@@ -1,0 +1,106 @@
+// Command hetopt estimates the optimal PE configuration and process
+// allocation for a problem size, using either a saved model file (from
+// modelfit -out) or a freshly built one.
+//
+// Usage:
+//
+//	hetopt -model models.json -n 9600
+//	hetopt -campaign nl -n 9600 -verify    # also simulate every candidate
+//	hetopt -campaign nl -n 9600 -heuristic # hill-climb instead of exhaustive
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/experiments"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetopt: ")
+	var (
+		modelPath = flag.String("model", "", "JSON model file written by modelfit")
+		campaign  = flag.String("campaign", "nl", "campaign to build when -model is not given: basic, nl, or ns")
+		n         = flag.Int("n", 6400, "problem size N to optimize for")
+		heuristic = flag.Bool("heuristic", false, "use the hill-climbing search instead of exhaustive enumeration")
+		verify    = flag.Bool("verify", false, "simulate every candidate and report the actual optimum")
+	)
+	flag.Parse()
+
+	ctx, err := experiments.NewPaperContext()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var models *core.ModelSet
+	if *modelPath != "" {
+		data, err := os.ReadFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = &core.ModelSet{}
+		if err := json.Unmarshal(data, models); err != nil {
+			log.Fatalf("parse %s: %v", *modelPath, err)
+		}
+	} else {
+		var camp measure.Campaign
+		switch strings.ToLower(*campaign) {
+		case "basic":
+			camp = measure.BasicCampaign()
+		case "nl":
+			camp = measure.NLCampaign()
+		case "ns":
+			camp = measure.NSCampaign()
+		default:
+			log.Fatalf("unknown campaign %q", *campaign)
+		}
+		bm, err := ctx.BuildModel(camp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = bm.Models
+	}
+
+	candidates := experiments.EvalConfigs()
+	var best cluster.Configuration
+	var tau float64
+	if *heuristic {
+		var evals int
+		best, tau, evals, err = models.OptimizeHeuristic(cluster.PaperEvaluationSpace(), *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heuristic search: %d model evaluations\n", evals)
+	} else {
+		best, tau, err = models.Optimize(candidates, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("N=%d estimated best configuration %s (P1,M1,P2,M2), tau = %.1f s\n", *n, best, tau)
+
+	if !*verify {
+		return
+	}
+	run, err := ctx.Run(best, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	act, tHat, err := ctx.ActualBest(candidates, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: chosen config runs in %.1f s; actual best %s runs in %.1f s\n",
+		run.WallTime, act, tHat)
+	fmt.Printf("errors: (tau-That)/That = %+.3f, (tauHat-That)/That = %+.3f\n",
+		stats.RelError(tau, tHat), stats.RelError(run.WallTime, tHat))
+}

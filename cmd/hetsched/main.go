@@ -1,0 +1,84 @@
+// Command hetsched plans a queue of HPL-style jobs on the paper cluster:
+// it trains (or loads) the estimation models, picks the optimal PE
+// configuration per job size, and reports the predicted schedule against
+// the fixed fast-only and all-PEs policies.
+//
+// Usage:
+//
+//	hetsched -jobs 3200x5,6400x2,9600
+//	hetsched -jobs 9600x10 -model models.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/experiments"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetsched: ")
+	var (
+		jobsSpec  = flag.String("jobs", "3200x4,6400x2,9600", "job list as NxCount pairs, comma separated")
+		modelPath = flag.String("model", "", "JSON model file written by modelfit (default: train the NL model)")
+		campaign  = flag.String("campaign", "nl", "campaign to train when -model is not given")
+	)
+	flag.Parse()
+
+	jobs, err := sched.ParseJobs(*jobsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var models *core.ModelSet
+	if *modelPath != "" {
+		data, err := os.ReadFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = &core.ModelSet{}
+		if err := json.Unmarshal(data, models); err != nil {
+			log.Fatalf("parse %s: %v", *modelPath, err)
+		}
+	} else {
+		ctx, err := experiments.NewPaperContext()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var camp measure.Campaign
+		switch strings.ToLower(*campaign) {
+		case "basic":
+			camp = measure.BasicCampaign()
+		case "nl":
+			camp = measure.NLCampaign()
+		case "ns":
+			camp = measure.NSCampaign()
+		default:
+			log.Fatalf("unknown campaign %q", *campaign)
+		}
+		bm, err := ctx.BuildModel(camp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = bm.Models
+	}
+
+	policies := []sched.Policy{
+		{Name: "fast-only", Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}},
+		{Name: "all-PEs", Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}},
+	}
+	plan, err := sched.Build(models, experiments.EvalConfigs(), jobs, policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Render())
+}

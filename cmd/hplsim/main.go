@@ -1,0 +1,128 @@
+// Command hplsim runs the HPL reproduction for one cluster configuration
+// and prints the detailed per-phase timing breakdown the estimation models
+// are built from.
+//
+// Usage:
+//
+//	hplsim -n 6400 -p1 1 -m1 2 -p2 8 -m2 1
+//	hplsim -n 128 -numeric            # small run with residual check
+//	hplsim -n 2400 -lib mpich-1.2.1   # the slow-pipes library (Fig. 1(a))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/hpl2d"
+	"hetmodel/internal/simnet"
+	"hetmodel/internal/vmpi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hplsim: ")
+	var (
+		n       = flag.Int("n", 3200, "matrix order N")
+		nb      = flag.Int("nb", hpl.DefaultNB, "panel block size NB")
+		p1      = flag.Int("p1", 1, "Athlon PEs to use")
+		m1      = flag.Int("m1", 1, "processes per Athlon PE")
+		p2      = flag.Int("p2", 0, "Pentium-II PEs to use")
+		m2      = flag.Int("m2", 1, "processes per Pentium-II PE")
+		lib     = flag.String("lib", "mpich-1.2.2", "messaging library: mpich-1.2.1 or mpich-1.2.2")
+		numeric = flag.Bool("numeric", false, "run real arithmetic and check the residual")
+		seed    = flag.Int64("seed", 1, "matrix / noise seed")
+		noNoise = flag.Bool("no-noise", false, "disable measurement noise")
+		pr      = flag.Int("pr", 1, "process grid rows (Pr x Pc must equal total processes; Pr > 1 uses the 2D implementation)")
+		pc      = flag.Int("pc", 0, "process grid columns (0 = P/Pr)")
+		trace   = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file")
+		look    = flag.Bool("lookahead", false, "enable depth-1 panel lookahead (1D grid only)")
+	)
+	flag.Parse()
+
+	library, err := libraryByName(*lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cluster.NewPaper(library)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: *p1, Procs: *m1}, {PEs: *p2, Procs: *m2}}}
+	params := hpl.Params{N: *n, NB: *nb, Numeric: *numeric, Seed: *seed, Lookahead: *look}
+	if *noNoise {
+		params.Noise = -1
+		params.NoiseAbs = -1
+	}
+	var tracer *vmpi.Tracer
+	if *trace != "" {
+		tracer = vmpi.NewTracer()
+		params.Tracer = tracer
+	}
+	var res *hpl.Result
+	if *pr > 1 {
+		cols := *pc
+		if cols == 0 && *pr > 0 {
+			cols = cfg.TotalProcs() / *pr
+		}
+		res, err = hpl2d.Run(cl, cfg, hpl2d.Params{Params: params, Pr: *pr, Pc: cols})
+	} else {
+		res, err = hpl.Run(cl, cfg, params)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("HPL %s N=%d NB=%d P=%d on %s\n", cfg, *n, *nb, res.P, library.Name)
+	fmt.Printf("wall %.3f s, %.3f Gflops\n", res.WallTime, res.Gflops)
+	if *numeric {
+		status := "PASSED"
+		if res.Residual > 16 {
+			status = "FAILED"
+		}
+		fmt.Printf("residual %.3e (%s)\n", res.Residual, status)
+	}
+	fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+		"rank", "pfact", "mxswp", "bcast", "laswp", "update", "uptrsv", "Ta", "Tc", "wall")
+	for r, rt := range res.PerRank {
+		fmt.Printf("%-6d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			r, rt.Pfact, rt.Mxswp, rt.Bcast, rt.Laswp, rt.Update, rt.Uptrsv, rt.Ta(), rt.Tc(), rt.Wall)
+	}
+	for ci, ct := range res.PerClass {
+		if !ct.Used {
+			continue
+		}
+		fmt.Printf("class %d (%s): Ta %.3f  Tc %.3f  wall %.3f\n",
+			ci, cl.Classes[ci].Name, ct.Ta, ct.Tc, ct.Wall)
+	}
+	if tracer != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *trace, len(tracer.Events()))
+	}
+	if res.WallTime <= 0 {
+		os.Exit(1)
+	}
+}
+
+func libraryByName(name string) (*simnet.CommLibrary, error) {
+	switch name {
+	case "mpich-1.2.1", "1.2.1":
+		return simnet.NewMPICH121(), nil
+	case "mpich-1.2.2", "1.2.2":
+		return simnet.NewMPICH122(), nil
+	default:
+		return nil, fmt.Errorf("unknown library %q (want mpich-1.2.1 or mpich-1.2.2)", name)
+	}
+}

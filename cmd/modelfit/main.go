@@ -1,0 +1,90 @@
+// Command modelfit runs one of the paper's measurement campaigns on the
+// simulated cluster, fits the N-T/P-T estimation models (with composition
+// and adjustment), and writes them as JSON for later use by hetopt.
+//
+// Usage:
+//
+//	modelfit -campaign nl -out models.json
+//	modelfit -campaign basic            # prints model summary to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hetmodel/internal/core"
+	"hetmodel/internal/experiments"
+	"hetmodel/internal/measure"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelfit: ")
+	var (
+		campaign = flag.String("campaign", "basic", "campaign to run: basic, nl, or ns")
+		out      = flag.String("out", "", "write the fitted models as JSON to this file")
+		diag     = flag.Bool("diag", false, "print per-bin fit diagnostics")
+		cv       = flag.Bool("cv", false, "leave-one-out cross-validation of the N-T fits")
+	)
+	flag.Parse()
+
+	var camp measure.Campaign
+	switch strings.ToLower(*campaign) {
+	case "basic":
+		camp = measure.BasicCampaign()
+	case "nl":
+		camp = measure.NLCampaign()
+	case "ns":
+		camp = measure.NSCampaign()
+	default:
+		log.Fatalf("unknown campaign %q (want basic, nl, or ns)", *campaign)
+	}
+
+	ctx, err := experiments.NewPaperContext()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bm, err := ctx.BuildModel(camp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campaign %s: %d runs, %.0f s simulated measurement time (%.1f h)\n",
+		camp.Name, bm.Result.Runs, bm.Result.TotalCost(), bm.Result.TotalCost()/3600)
+	fmt.Printf("models: %d N-T bins, %d P-T bins, composition Ta x%.3f Tc x%.2f\n",
+		len(bm.Models.NT), len(bm.Models.PT), bm.TaScale, experiments.TcScaleDefault)
+	for class, lt := range bm.Models.Adjust {
+		fmt.Printf("adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+	}
+	if *diag {
+		fmt.Print(bm.Models.RenderDiagnostics())
+	}
+	if *cv {
+		results, err := core.CrossValidateNT(bm.Result.Samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(results) == 0 {
+			fmt.Println("cross-validation: no validatable bins (zero degrees of freedom — distrust extrapolation)")
+		} else {
+			fmt.Printf("cross-validation: %d bins, worst held-out |Ta error| %.3f, worst per-bin median %.3f\n",
+				len(results), core.WorstCVError(results), core.MedianCVError(results))
+		}
+	}
+
+	if *out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(bm.Models, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+}

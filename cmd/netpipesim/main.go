@@ -1,0 +1,71 @@
+// Command netpipesim reproduces the NetPIPE throughput measurement of the
+// paper's Figure 2 on the simulated communication fabric.
+//
+// Usage:
+//
+//	netpipesim                      # intra-node, both MPICH presets
+//	netpipesim -lib mpich-1.2.1 -internode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hetmodel/internal/netpipe"
+	"hetmodel/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netpipesim: ")
+	var (
+		lib       = flag.String("lib", "", "library: mpich-1.2.1 or mpich-1.2.2 (default: both)")
+		interNode = flag.Bool("internode", false, "measure the inter-node (100base-TX) path")
+		minKB     = flag.Float64("min", 1, "smallest block size in KiB")
+		maxKB     = flag.Float64("max", 256, "largest block size in KiB")
+	)
+	flag.Parse()
+
+	var libs []*simnet.CommLibrary
+	switch *lib {
+	case "":
+		libs = []*simnet.CommLibrary{simnet.NewMPICH121(), simnet.NewMPICH122()}
+	case "mpich-1.2.1", "1.2.1":
+		libs = []*simnet.CommLibrary{simnet.NewMPICH121()}
+	case "mpich-1.2.2", "1.2.2":
+		libs = []*simnet.CommLibrary{simnet.NewMPICH122()}
+	default:
+		log.Fatalf("unknown library %q", *lib)
+	}
+
+	for _, l := range libs {
+		fabric, err := simnet.NewFabric(l, simnet.NewFast100TX())
+		if err != nil {
+			log.Fatal(err)
+		}
+		points, err := netpipe.Run(fabric, netpipe.Sweep{
+			MinBytes:       *minKB * 1024,
+			MaxBytes:       *maxKB * 1024,
+			StepsPerOctave: 2,
+			SameNode:       !*interNode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := "intra-node"
+		if *interNode {
+			path = "inter-node"
+		}
+		fmt.Printf("%s, %s path:\n", l.Name, path)
+		fmt.Printf("  %12s %12s %12s\n", "KBytes", "Gbps", "us")
+		for _, p := range points {
+			fmt.Printf("  %12.1f %12.3f %12.1f\n", p.Bytes/1024, p.Gbps, p.Seconds*1e6)
+		}
+		peak, at, err := netpipe.PeakThroughput(points)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  peak %.3f Gbps at %.0f KiB\n\n", peak, at/1024)
+	}
+}

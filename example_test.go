@@ -1,0 +1,67 @@
+package hetmodel_test
+
+import (
+	"fmt"
+
+	"hetmodel"
+)
+
+// The complete paper pipeline: simulate the testbed, train the NL model,
+// and ask for the best configuration at a large problem size.
+func Example() {
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		panic(err)
+	}
+	models, err := hetmodel.BuildPaperModels(cl, hetmodel.CampaignNL)
+	if err != nil {
+		panic(err)
+	}
+	best, _, err := models.Optimize(hetmodel.EvalConfigs(), 9600)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("best configuration (P1,M1,P2,M2):", best)
+	// Output:
+	// best configuration (P1,M1,P2,M2): (1,4,8,1)
+}
+
+// Running a single benchmark execution and reading the paper's timing
+// decomposition.
+func ExampleRunHPL() {
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		panic(err)
+	}
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{
+		{PEs: 1, Procs: 1}, // the Athlon, one process
+		{PEs: 4, Procs: 1}, // four Pentium-IIs
+	}}
+	res, err := hetmodel.RunHPL(cl, cfg, hetmodel.HPLParams{N: 2048})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranks:", res.P)
+	fmt.Println("both classes used:", res.PerClass[0].Used && res.PerClass[1].Used)
+	fmt.Println("Ta and Tc positive:", res.PerClass[1].Ta > 0 && res.PerClass[1].Tc > 0)
+	// Output:
+	// ranks: 5
+	// both classes used: true
+	// Ta and Tc positive: true
+}
+
+// Numeric mode runs real arithmetic and checks the solution like HPL does.
+func ExampleRunHPL_numeric() {
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		panic(err)
+	}
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 1, Procs: 1}, {PEs: 3, Procs: 1}}}
+	res, err := hetmodel.RunHPL(cl, cfg, hetmodel.HPLParams{N: 96, NB: 16, Numeric: true, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("residual below HPL threshold:", res.Residual < 16)
+	// Output:
+	// residual below HPL threshold: true
+}

@@ -1,0 +1,106 @@
+// Autotuner on a custom cluster: the method is not tied to the paper's
+// testbed. This example builds a different heterogeneous machine (two
+// fast nodes plus six slow dual nodes on gigabit), runs its own
+// model-construction campaign, fits the models through the public API, and
+// validates the resulting recommendation against simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A custom machine: class 0 = two fast single-CPU nodes, class 1 =
+	// six slow dual-CPU nodes, all on 1000base-SX.
+	fast := hetmodel.NewAthlon()
+	fast.Name = "fast-2000"
+	fast.GemmPeak *= 1.5
+	slow := hetmodel.NewPentiumII()
+	slow.Name = "slow-450"
+	var fastNodes, slowNodes []*hetmodel.Node
+	for i := 0; i < 2; i++ {
+		fastNodes = append(fastNodes, &hetmodel.Node{
+			Name: fmt.Sprintf("fast%d", i+1), Type: fast, CPUs: 1, MemoryBytes: 1 << 30,
+		})
+	}
+	for i := 0; i < 6; i++ {
+		slowNodes = append(slowNodes, &hetmodel.Node{
+			Name: fmt.Sprintf("slow%d", i+1), Type: slow, CPUs: 2, MemoryBytes: 768 << 20,
+		})
+	}
+	cl, err := hetmodel.NewCluster(
+		[]hetmodel.Class{
+			{Name: "fast", Nodes: fastNodes},
+			{Name: "slow", Nodes: slowNodes},
+		},
+		hetmodel.NewMPICH122(),
+		hetmodel.NewGigabit1000SX(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom construction campaign: homogeneous runs per class.
+	campaign := hetmodel.Campaign{
+		Name: "custom",
+		Ns:   []int{1024, 2048, 3072, 4096, 6144},
+		Groups: []hetmodel.Group{
+			{Label: "fast", Space: hetmodel.Space{
+				PEChoices:   [][]int{{1, 2}, {0}},
+				ProcChoices: [][]int{{1, 2, 3}, {0}},
+			}},
+			{Label: "slow", Space: hetmodel.Space{
+				PEChoices:   [][]int{{0}, {1, 2, 4, 8, 12}},
+				ProcChoices: [][]int{{0}, {1, 2}},
+			}},
+		},
+	}
+	result, err := hetmodel.RunCampaign(cl, campaign, hetmodel.HPLParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d runs, %.0f s simulated measurement time\n",
+		result.Runs, result.TotalCost())
+
+	// Fit the models. Calibrate the adjustment on a few large mixed runs.
+	var calib []hetmodel.Sample
+	for _, m := range []int{1, 2} {
+		cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 2, Procs: m}, {PEs: 12, Procs: 1}}}
+		r, err := hetmodel.RunHPL(cl, cfg, hetmodel.HPLParams{N: 6144})
+		if err != nil {
+			log.Fatal(err)
+		}
+		calib = append(calib, hetmodel.SamplesFromResult(r)...)
+	}
+	models, err := hetmodel.BuildModels(cl, result.Samples, calib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enumerate this machine's own candidate space and optimize.
+	space := hetmodel.Space{
+		PEChoices:   [][]int{{0, 1, 2}, {0, 1, 2, 4, 8, 12}},
+		ProcChoices: [][]int{{1, 2, 3}, {1, 2}},
+	}
+	candidates, err := space.Enumerate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{2048, 6144, 10240} {
+		best, tau, err := models.Optimize(candidates, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		check, err := hetmodel.RunHPL(cl, best, hetmodel.HPLParams{N: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("N=%5d: recommend %s — estimated %.1f s, simulated %.1f s (%.2f Gflops)\n",
+			n, best, tau, check.WallTime, check.Gflops)
+	}
+}

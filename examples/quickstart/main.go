@@ -1,0 +1,57 @@
+// Quickstart: build the paper's heterogeneous cluster, train the NL
+// estimation model from a measurement campaign, and ask it for the optimal
+// PE configuration and process allocation at a large problem size — the
+// complete pipeline of the paper in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The simulated testbed: 1x Athlon 1.33 GHz + 4x dual P-II 400 MHz.
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One plain HPL run on the whole cluster, one process per PE.
+	naive := hetmodel.Configuration{Use: []hetmodel.ClassUse{
+		{PEs: 1, Procs: 1}, // the Athlon
+		{PEs: 8, Procs: 1}, // all eight P-IIs
+	}}
+	res, err := hetmodel.RunHPL(cl, naive, hetmodel.HPLParams{N: 9600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive %s at N=9600: %.1f s (%.2f Gflops)\n",
+		naive, res.WallTime, res.Gflops)
+
+	// Train the NL model (4 problem sizes, reduced grid — about 3 hours
+	// of measurement on the real hardware, milliseconds here).
+	models, err := hetmodel.BuildPaperModels(cl, hetmodel.CampaignNL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ask for the best configuration among the paper's 62 candidates.
+	best, tau, err := models.Optimize(hetmodel.EvalConfigs(), 9600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model recommends %s (P1,M1,P2,M2), estimated %.1f s\n", best, tau)
+
+	// Verify the recommendation by simulation.
+	check, err := hetmodel.RunHPL(cl, best, hetmodel.HPLParams{N: 9600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %s: %.1f s (%.2f Gflops) — %.1f%% faster than naive\n",
+		best, check.WallTime, check.Gflops,
+		100*(res.WallTime-check.WallTime)/res.WallTime)
+}

@@ -1,0 +1,3 @@
+module hetmodel
+
+go 1.22

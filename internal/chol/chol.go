@@ -1,0 +1,326 @@
+// Package chol implements a second parallel application on the simulated
+// cluster: a right-looking blocked Cholesky factorization (A = L·Lᵀ) on a
+// 1×P block-cyclic column distribution, instrumented with the same
+// computation/communication timing decomposition as the HPL reproduction.
+//
+// The paper closes with "this study examined one specific application
+// (HPL), but other parallel applications should also be examined" (§5);
+// this package is that examination. Cholesky has the same asymptotic
+// orders as LU (O(N³) compute, O(N²) panel broadcast), so the paper's N-T
+// and P-T model forms apply unchanged — samples from chol feed
+// internal/core directly, and the same optimizer picks PE configurations
+// for it (see the package tests and examples/beyond-hpl).
+//
+// Like internal/hpl it runs in two modes: numeric (real arithmetic on the
+// deterministic SPD Kac–Murdock–Szegő matrix, residual-checked) and phantom
+// (timing only).
+package chol
+
+import (
+	"fmt"
+	"math"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/linalg"
+	"hetmodel/internal/machine"
+	"hetmodel/internal/vmpi"
+)
+
+// KMSRho is the correlation parameter of the generated SPD matrix.
+const KMSRho = 0.9
+
+// Params configures one distributed Cholesky run. The fields mirror
+// hpl.Params (N, NB, Numeric, Bcast, noise controls); Seed is unused by the
+// deterministic matrix generator but still seeds the measurement noise.
+type Params = hpl.Params
+
+// Result is the outcome of one run, reusing the HPL result layout: the
+// detailed timing buckets have the same meaning, with Mxswp and Laswp
+// identically zero (Cholesky needs no pivoting).
+type Result = hpl.Result
+
+// FlopCount returns the nominal Cholesky operation count N³/3 + 2·N².
+func FlopCount(n int) float64 {
+	nf := float64(n)
+	return nf*nf*nf/3 + 2*nf*nf
+}
+
+// Run executes the distributed Cholesky factorization (plus a
+// forward/backward solve) for the configuration on the cluster.
+func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result, error) {
+	params = hpl.FillDefaults(params)
+	if err := hpl.ValidateParams(params); err != nil {
+		return nil, err
+	}
+	pl, err := cl.Place(cfg)
+	if err != nil {
+		return nil, err
+	}
+	P := pl.P()
+	if params.N < P {
+		return nil, fmt.Errorf("%w: N=%d smaller than P=%d", hpl.ErrBadParams, params.N, P)
+	}
+	lay := hpl.NewLayout(params.N, params.NB, P)
+
+	nodeBytes := pl.NodeResidentBytes(func(rank int) float64 {
+		return 8*float64(params.N)*float64(lay.LocalCols(rank)) +
+			8*float64(params.N)*float64(params.NB) +
+			params.WorkspaceBytes
+	})
+	mulBusy := make([]float64, P)
+	mulSolo := make([]float64, P)
+	offsets := make([]float64, P)
+	cfgKey := "chol:" + cfg.Key()
+	for r := 0; r < P; r++ {
+		rp := pl.Ranks[r]
+		pressure := rp.Type.PressureFactor(nodeBytes[rp.NodeID], rp.Node.MemoryBytes)
+		jitter, offset := hpl.RunNoise(params.Seed, params.N, cfgKey, r, params.Noise, params.NoiseAbs)
+		mulBusy[r] = rp.Type.MultiprocFactor(rp.Resident) * pressure * jitter
+		mulSolo[r] = rp.Type.SoloFactor(rp.Resident) * pressure * jitter
+		offsets[r] = offset
+	}
+
+	var states []*numState
+	if params.Numeric {
+		states = make([]*numState, P)
+		for r := 0; r < P; r++ {
+			states[r] = newNumState(lay, r)
+		}
+	}
+
+	world, err := vmpi.NewWorld(P, pl.TransferTime)
+	if err != nil {
+		return nil, err
+	}
+	world.SetRendezvous(pl.Rendezvous)
+	world.SetTracer(params.Tracer)
+	res := hpl.NewResultShell(params, cfg.Normalize(), P)
+	chainTag := func(j int) int { return lay.NumPanels() + j }
+	barrierTag := 2*lay.NumPanels() + 16
+
+	world.Run(func(p *vmpi.Proc) {
+		rank := p.Rank()
+		rp := pl.Ranks[rank]
+		var st *numState
+		if states != nil {
+			st = states[rank]
+		}
+		var t hpl.RankTiming
+
+		for j := 0; j < lay.NumPanels(); j++ {
+			o := lay.Owner(j)
+			nb := lay.Width(j)
+			row0 := j * params.NB
+			m := params.N - row0
+
+			var payload *linalg.Matrix
+			if rank == o {
+				// Panel: potrf on the nb×nb diagonal block plus the
+				// triangular solve producing the m−nb rows below it.
+				flops := float64(nb)*float64(nb)*float64(nb)/3 +
+					float64(m-nb)*float64(nb)*float64(nb)
+				dt := rp.Type.KernelTime(machine.KindPanel, int(flops), m, 0) * mulSolo[rank]
+				p.Advance(dt)
+				t.Pfact += dt
+				if st != nil {
+					payload = st.factorPanel(j)
+				}
+			}
+
+			bytes := 8 * float64(m*nb)
+			data, elapsed := p.Bcast(o, j, payload, bytes, params.Bcast)
+			t.Bcast += elapsed
+			pm, _ := data.(*linalg.Matrix)
+
+			// Symmetric trailing update restricted to this rank's
+			// columns right of the panel: A22 -= L21·L21ᵀ. Unlike LU,
+			// each trailing block only updates the rows from its own
+			// diagonal down (the lower triangle) — about half of LU's
+			// update flops. The whole panel update runs as one fused
+			// kernel (a distributed dsyrk), so it is charged as a single
+			// GEMM with the flop-equivalent average height.
+			ct := lay.TrailingLocalCols(rank, j)
+			if ct > 0 {
+				var rowsTotal int
+				for jj := rank; jj < lay.NumPanels(); jj += P {
+					if jj > j {
+						rowsTotal += (params.N - jj*params.NB) * lay.Width(jj)
+					}
+				}
+				mEff := rowsTotal / ct
+				dt := rp.Type.KernelTime(machine.KindGemm, mEff, ct, nb) * mulBusy[rank]
+				p.Advance(dt)
+				t.Update += dt
+				if st != nil && pm != nil {
+					st.update(j, pm)
+				}
+			}
+		}
+
+		// Forward + backward substitution chain (two sweeps of the HPL
+		// uptrsv pattern); charged to the Uptrsv bucket like the paper
+		// folds the solve into Ta.
+		for j := lay.NumPanels() - 1; j >= 0; j-- {
+			if lay.Owner(j) != rank {
+				continue
+			}
+			nb := lay.Width(j)
+			row0 := j * params.NB
+			if j < lay.NumPanels()-1 && lay.Owner(j+1) != rank {
+				_, wait := p.Recv(lay.Owner(j+1), chainTag(j+1))
+				t.Uptrsv += wait
+			}
+			elems := 2 * (nb*nb + 2*row0*nb)
+			rowLen := row0
+			if rowLen < nb {
+				rowLen = nb
+			}
+			dt := rp.Type.KernelTime(machine.KindRowOp, elems, rowLen, 0) * mulSolo[rank]
+			p.Advance(dt)
+			t.Uptrsv += dt
+			if j > 0 && lay.Owner(j-1) != rank {
+				t.Uptrsv += p.Send(lay.Owner(j-1), chainTag(j), nil, 8*float64(params.N))
+			}
+		}
+
+		if off := offsets[rank]; off > 0 {
+			p.Advance(off)
+			t.Update += off
+		}
+		t.Wall = p.Clock()
+		res.PerRank[rank] = t
+		p.Barrier(barrierTag)
+	})
+
+	hpl.FinalizeResult(res, pl, len(cl.Classes), FlopCount(params.N))
+	if params.Numeric {
+		if err := validate(res, lay, states); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// numState is the per-rank numeric storage: full rows of the rank's
+// block-cyclic column share, lower triangle meaningful.
+type numState struct {
+	lay   hpl.Layout
+	rank  int
+	local *linalg.Matrix
+}
+
+func newNumState(lay hpl.Layout, rank int) *numState {
+	n := lay.N()
+	st := &numState{lay: lay, rank: rank, local: linalg.NewMatrix(n, lay.LocalCols(rank))}
+	for j := rank; j < lay.NumPanels(); j += lay.P() {
+		off := lay.LocalOffset(j)
+		for c := 0; c < lay.Width(j); c++ {
+			gc := j*lay.NB() + c
+			for i := 0; i < n; i++ {
+				st.local.Set(i, off+c, linalg.KMSEntry(KMSRho, i, gc))
+			}
+		}
+	}
+	return st
+}
+
+// factorPanel factorizes the owner's panel j in place: potrf on the
+// diagonal block, then the triangular solve for the rows below. Returns the
+// m×nb factored panel for broadcast.
+func (st *numState) factorPanel(j int) *linalg.Matrix {
+	lay := st.lay
+	nb := lay.Width(j)
+	off := lay.LocalOffset(j)
+	row0 := j * lay.NB()
+	n := lay.N()
+
+	for k := 0; k < nb; k++ {
+		gk := row0 + k
+		lc := off + k
+		d := st.local.At(gk, lc)
+		for c := 0; c < k; c++ {
+			v := st.local.At(gk, off+c)
+			d -= v * v
+		}
+		if d <= 0 {
+			panic(fmt.Sprintf("chol: matrix not positive definite at column %d", gk))
+		}
+		d = math.Sqrt(d)
+		st.local.Set(gk, lc, d)
+		inv := 1 / d
+		for i := gk + 1; i < n; i++ {
+			s := st.local.At(i, lc)
+			for c := 0; c < k; c++ {
+				s -= st.local.At(i, off+c) * st.local.At(gk, off+c)
+			}
+			st.local.Set(i, lc, s*inv)
+		}
+	}
+	panel := linalg.NewMatrix(n-row0, nb)
+	for i := 0; i < n-row0; i++ {
+		for c := 0; c < nb; c++ {
+			panel.Set(i, c, st.local.At(row0+i, off+c))
+		}
+	}
+	return panel
+}
+
+// update applies the symmetric rank-nb update to the rank's trailing
+// blocks: A[R, C] -= L[R, panel]·L[C, panel]ᵀ for R = rows from each
+// block's diagonal down.
+func (st *numState) update(j int, panel *linalg.Matrix) {
+	lay := st.lay
+	row0 := j * lay.NB()
+	n := lay.N()
+	for jj := st.rank; jj < lay.NumPanels(); jj += lay.P() {
+		if jj <= j {
+			continue
+		}
+		off := lay.LocalOffset(jj)
+		w := lay.Width(jj)
+		blockRow := jj * lay.NB()
+		// L rows for this block's columns (w×nb), transposed.
+		lc := panel.Slice(blockRow-row0, blockRow-row0+w, 0, panel.Cols)
+		lct := lc.Transpose()
+		lr := panel.Slice(blockRow-row0, n-row0, 0, panel.Cols)
+		a22 := st.local.Slice(blockRow, n, off, off+w)
+		if err := linalg.MulAdd(-1, lr, lct, a22); err != nil {
+			panic(fmt.Sprintf("chol: update failed: %v", err))
+		}
+	}
+}
+
+// validate reassembles L, solves A·x = b, and records the residual.
+func validate(res *Result, lay hpl.Layout, states []*numState) error {
+	n := lay.N()
+	l := linalg.NewMatrix(n, n)
+	for rank, st := range states {
+		for j := rank; j < lay.NumPanels(); j += lay.P() {
+			off := lay.LocalOffset(j)
+			for c := 0; c < lay.Width(j); c++ {
+				gc := j*lay.NB() + c
+				for i := gc; i < n; i++ {
+					l.Set(i, gc, st.local.At(i, off+c))
+				}
+			}
+		}
+	}
+	chol := &linalg.Cholesky{L: l}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 / float64(i+1)
+	}
+	x, err := chol.Solve(b)
+	if err != nil {
+		return fmt.Errorf("chol: solve: %w", err)
+	}
+	a := linalg.KMSMatrix(n, KMSRho)
+	resid, err := linalg.HPLResidual(a, x, b)
+	if err != nil {
+		return fmt.Errorf("chol: residual: %w", err)
+	}
+	res.Solution = x
+	res.Residual = resid
+	return nil
+}

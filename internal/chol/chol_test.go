@@ -1,0 +1,221 @@
+package chol
+
+import (
+	"math"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/linalg"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/simnet"
+)
+
+func paperCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.NewPaper(simnet.NewMPICH122())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func cfg(p1, m1, p2, m2 int) cluster.Configuration {
+	return cluster.Configuration{Use: []cluster.ClassUse{{PEs: p1, Procs: m1}, {PEs: p2, Procs: m2}}}
+}
+
+func TestNumericSingleRank(t *testing.T) {
+	cl := paperCluster(t)
+	res, err := Run(cl, cfg(1, 1, 0, 0), Params{N: 96, NB: 16, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 16 {
+		t.Fatalf("residual = %v", res.Residual)
+	}
+	// Cross-check against the sequential reference factorization.
+	a := linalg.KMSMatrix(96, KMSRho)
+	ref, err := linalg.FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 96)
+	for i := range b {
+		b[i] = 1 / float64(i+1)
+	}
+	want, err := ref.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Solution[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d]: distributed %v vs reference %v", i, res.Solution[i], want[i])
+		}
+	}
+}
+
+func TestNumericDistributedMatchesSingleRank(t *testing.T) {
+	cl := paperCluster(t)
+	single, err := Run(cl, cfg(1, 1, 0, 0), Params{N: 120, NB: 16, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(cl, cfg(1, 2, 3, 1), Params{N: 120, NB: 16, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Residual > 16 {
+		t.Fatalf("distributed residual = %v", multi.Residual)
+	}
+	for i := range single.Solution {
+		if math.Abs(single.Solution[i]-multi.Solution[i]) > 1e-8 {
+			t.Fatalf("x[%d] differs: %v vs %v", i, single.Solution[i], multi.Solution[i])
+		}
+	}
+}
+
+func TestNumericPartialLastPanel(t *testing.T) {
+	cl := paperCluster(t)
+	res, err := Run(cl, cfg(1, 1, 2, 1), Params{N: 101, NB: 16, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 16 {
+		t.Fatalf("residual = %v", res.Residual)
+	}
+}
+
+func TestPhantomStructure(t *testing.T) {
+	cl := paperCluster(t)
+	res, err := Run(cl, cfg(1, 2, 8, 1), Params{N: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime <= 0 || res.Gflops <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	for r, rt := range res.PerRank {
+		// Cholesky has no pivoting: those buckets stay zero.
+		if rt.Mxswp != 0 || rt.Laswp != 0 {
+			t.Fatalf("rank %d has pivot phases: %+v", r, rt)
+		}
+		if rt.Update < 0 || rt.Bcast < 0 {
+			t.Fatalf("rank %d negative phases: %+v", r, rt)
+		}
+	}
+	// Cholesky does half of LU's flops: wall time should be well below the
+	// HPL run of the same configuration.
+	lu, err := hpl.Run(cl, cfg(1, 2, 8, 1), hpl.Params{N: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime >= lu.WallTime {
+		t.Fatalf("Cholesky (%.2f s) should beat LU (%.2f s)", res.WallTime, lu.WallTime)
+	}
+}
+
+func TestValidatesParams(t *testing.T) {
+	cl := paperCluster(t)
+	if _, err := Run(cl, cfg(1, 1, 0, 0), Params{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := Run(cl, cfg(1, 6, 8, 6), Params{N: 10}); err == nil {
+		t.Fatal("N < P accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cl := paperCluster(t)
+	a, _ := Run(cl, cfg(1, 3, 8, 1), Params{N: 2400})
+	b, _ := Run(cl, cfg(1, 3, 8, 1), Params{N: 2400})
+	if a.WallTime != b.WallTime {
+		t.Fatalf("nondeterministic: %v vs %v", a.WallTime, b.WallTime)
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	want := 1000.0*1000*1000/3 + 2*1000*1000
+	if got := FlopCount(1000); math.Abs(got-want) > 1 {
+		t.Fatalf("FlopCount = %v", got)
+	}
+}
+
+// The headline: the paper's estimation-model pipeline, trained on Cholesky
+// samples instead of HPL ones, still picks a good configuration — the
+// "other parallel applications" the paper leaves to future study.
+func TestModelPipelineOnCholesky(t *testing.T) {
+	cl := paperCluster(t)
+
+	// Construction campaign (NL-shaped) measured with Cholesky runs.
+	athlonSpace, piiSpace := cluster.PaperConstructionSpace([]int{1, 2, 4, 8})
+	var samples []core.Sample
+	collect := func(space cluster.Space) {
+		cfgs, err := space.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1600, 3200, 4800, 6400} {
+			for _, c := range cfgs {
+				r, err := Run(cl, c, Params{N: n})
+				if err != nil {
+					t.Fatal(err)
+				}
+				samples = append(samples, measure.SamplesFromResult(r)...)
+			}
+		}
+	}
+	collect(athlonSpace)
+	collect(piiSpace)
+
+	ms, err := core.Build(len(cl.Classes), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taScale, err := ms.FitCompositionScale(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ComposeClass(0, 1, taScale, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	var calib []core.Sample
+	for m1 := 1; m1 <= 6; m1++ {
+		r, err := Run(cl, cfg(1, m1, 8, 1), Params{N: 6400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calib = append(calib, measure.SamplesFromResult(r)...)
+	}
+	if err := ms.FitAdjustment(calib); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluate at N = 8000 (extrapolated): the pick must be near-optimal.
+	candidates, err := cluster.PaperEvaluationSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _, err := ms.Optimize(candidates, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestRun, err := Run(cl, best, Params{N: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actT := math.Inf(1)
+	for _, c := range candidates {
+		r, err := Run(cl, c, Params{N: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.WallTime < actT {
+			actT = r.WallTime
+		}
+	}
+	penalty := (bestRun.WallTime - actT) / actT
+	if penalty > 0.15 {
+		t.Fatalf("Cholesky model pick costs %.1f%% over optimal (config %s)", penalty*100, best)
+	}
+}

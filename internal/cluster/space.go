@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Space is a grid of candidate configurations: per class, the allowed PE
+// counts and per-PE process counts. It encodes the paper's Table 2/5/8
+// "Model Construction" and "Model Evaluation" parameter grids.
+type Space struct {
+	// PEChoices[i] lists allowed Pi values for class i.
+	PEChoices [][]int
+	// ProcChoices[i] lists allowed Mi values for class i.
+	ProcChoices [][]int
+}
+
+// Enumerate expands the grid into distinct, normalized configurations with
+// at least one process. Configurations that differ only in the process count
+// of an unused class collapse to one.
+func (s Space) Enumerate() ([]Configuration, error) {
+	if len(s.PEChoices) == 0 || len(s.PEChoices) != len(s.ProcChoices) {
+		return nil, fmt.Errorf("%w: space has %d PE and %d proc choice lists",
+			ErrBadConfig, len(s.PEChoices), len(s.ProcChoices))
+	}
+	classes := len(s.PEChoices)
+	seen := make(map[string]bool)
+	var out []Configuration
+	var rec func(ci int, cur []ClassUse)
+	rec = func(ci int, cur []ClassUse) {
+		if ci == classes {
+			cfg := Configuration{Use: append([]ClassUse(nil), cur...)}.Normalize()
+			if cfg.TotalProcs() == 0 {
+				return
+			}
+			if k := cfg.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, cfg)
+			}
+			return
+		}
+		for _, pe := range s.PEChoices[ci] {
+			for _, m := range s.ProcChoices[ci] {
+				rec(ci+1, append(cur, ClassUse{PEs: pe, Procs: m}))
+			}
+		}
+	}
+	rec(0, nil)
+	sortConfigurations(out)
+	return out, nil
+}
+
+// sortConfigurations orders configurations lexicographically by class use,
+// keeping enumeration deterministic for tests and reports.
+func sortConfigurations(cfgs []Configuration) {
+	sort.Slice(cfgs, func(i, j int) bool {
+		a, b := cfgs[i].Use, cfgs[j].Use
+		for k := range a {
+			if a[k].PEs != b[k].PEs {
+				return a[k].PEs < b[k].PEs
+			}
+			if a[k].Procs != b[k].Procs {
+				return a[k].Procs < b[k].Procs
+			}
+		}
+		return false
+	})
+}
+
+// PaperConstructionSpace returns the "Model Construction" grid of the given
+// paper table for the two-class paper cluster:
+//
+//	Athlon:    P1 = 1,      M1 = 1..6
+//	PentiumII: P2 = peList, M2 = 1..6
+//
+// The Athlon and Pentium-II configurations are measured separately
+// (homogeneous sub-clusters, §3.5), so this returns two spaces.
+func PaperConstructionSpace(peList []int) (athlon, pentium Space) {
+	athlon = Space{
+		PEChoices:   [][]int{{1}, {0}},
+		ProcChoices: [][]int{{1, 2, 3, 4, 5, 6}, {0}},
+	}
+	pentium = Space{
+		PEChoices:   [][]int{{0}, peList},
+		ProcChoices: [][]int{{0}, {1, 2, 3, 4, 5, 6}},
+	}
+	return athlon, pentium
+}
+
+// PaperEvaluationSpace returns the paper's "Model Evaluation" grid
+// (Tables 2, 5, 8): Athlon P1 ∈ {0,1}, M1 ∈ 1..6; Pentium-II P2 ∈ 0..8,
+// M2 = 1 — 62 distinct configurations.
+func PaperEvaluationSpace() Space {
+	return Space{
+		PEChoices:   [][]int{{0, 1}, {0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		ProcChoices: [][]int{{1, 2, 3, 4, 5, 6}, {1}},
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmodel/internal/stats"
+)
+
+// CVResult summarizes a leave-one-out cross-validation of one N-T bin: each
+// measured size is held out in turn, the model refit on the rest, and the
+// held-out prediction compared to the measurement.
+type CVResult struct {
+	Key Key
+	// HeldOut lists the held-out sizes (ascending).
+	HeldOut []int
+	// TaErr and TcErr are the relative prediction errors per held-out size.
+	TaErr, TcErr []float64
+	// MaxAbsTaErr is the worst |Ta error| — the a-priori extrapolation
+	// risk signal the paper lacked when it trusted the NS model. Small
+	// held-out runs are noise-dominated, so the worst error is usually a
+	// sub-second run; MedianAbsTaErr summarizes the typical bin quality.
+	MaxAbsTaErr float64
+	// MedianAbsTaErr is the median |Ta error| over the held-out sizes.
+	MedianAbsTaErr float64
+}
+
+// CrossValidateNT performs leave-one-out cross-validation of every N-T bin
+// that has at least one more size than the fit needs (bins at the minimum
+// cannot be refit with a point removed and are skipped — which is itself
+// the warning: zero-DoF bins are unvalidatable).
+func CrossValidateNT(samples []Sample) ([]CVResult, error) {
+	groups := GroupByKey(samples)
+	keys := make([]Key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.M < b.M
+	})
+	var out []CVResult
+	for _, key := range keys {
+		group := groups[key]
+		if len(group) <= len(taDegrees) {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].N < group[j].N })
+		res := CVResult{Key: key}
+		for hold := range group {
+			train := make([]Sample, 0, len(group)-1)
+			for i, s := range group {
+				if i != hold {
+					train = append(train, s)
+				}
+			}
+			m, err := FitNT(train)
+			if err != nil {
+				return nil, fmt.Errorf("core: cross-validation refit for %v: %w", key, err)
+			}
+			held := group[hold]
+			res.HeldOut = append(res.HeldOut, held.N)
+			taErr := stats.RelError(m.Ta(float64(held.N)), held.Ta)
+			res.TaErr = append(res.TaErr, taErr)
+			res.TcErr = append(res.TcErr, stats.RelError(m.Tc(float64(held.N)), held.Tc))
+			if a := abs(taErr); a > res.MaxAbsTaErr {
+				res.MaxAbsTaErr = a
+			}
+		}
+		absErrs := make([]float64, len(res.TaErr))
+		for i, e := range res.TaErr {
+			absErrs[i] = abs(e)
+		}
+		if med, err := stats.Median(absErrs); err == nil {
+			res.MedianAbsTaErr = med
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MedianCVError returns the largest per-bin median |Ta error| (0 when
+// nothing was validatable) — a noise-robust counterpart of WorstCVError.
+func MedianCVError(results []CVResult) float64 {
+	worst := 0.0
+	for _, r := range results {
+		if r.MedianAbsTaErr > worst {
+			worst = r.MedianAbsTaErr
+		}
+	}
+	return worst
+}
+
+// WorstCVError returns the largest held-out |Ta error| across all bins
+// (0 when nothing was validatable).
+func WorstCVError(results []CVResult) float64 {
+	worst := 0.0
+	for _, r := range results {
+		if r.MaxAbsTaErr > worst {
+			worst = r.MaxAbsTaErr
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossValidateCleanWorld(t *testing.T) {
+	// Noise-free cubic data: held-out predictions are essentially exact.
+	samples := twoClassWorld()
+	results, err := CrossValidateNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("nothing validated")
+	}
+	for _, r := range results {
+		if len(r.HeldOut) != 9 {
+			t.Fatalf("%v held out %d sizes, want 9", r.Key, len(r.HeldOut))
+		}
+		if r.MaxAbsTaErr > 1e-6 {
+			t.Fatalf("%v max CV error %v on clean data", r.Key, r.MaxAbsTaErr)
+		}
+	}
+	if WorstCVError(results) > 1e-6 {
+		t.Fatal("worst error should be ~0 on clean data")
+	}
+}
+
+func TestCrossValidateSkipsZeroDoFBins(t *testing.T) {
+	// Exactly four sizes: unvalidatable (removing one leaves too few).
+	var samples []Sample
+	for _, n := range []int{400, 800, 1200, 1600} {
+		nf := float64(n)
+		samples = append(samples, synthSample(0, 1, 1, n, 1e-9*nf*nf*nf, 1e-8*nf*nf))
+	}
+	results, err := CrossValidateNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("zero-DoF bin validated: %v", results)
+	}
+	if WorstCVError(results) != 0 {
+		t.Fatal("empty results should have zero worst error")
+	}
+}
+
+func TestCrossValidateDetectsNonPolynomialStructure(t *testing.T) {
+	// Data with a non-cubic component (rate ramp): cross-validation must
+	// report a noticeably larger error at the extrapolation-prone
+	// endpoints than the clean world's ~0.
+	var samples []Sample
+	for _, n := range paperNs {
+		nf := float64(n)
+		// A rational rate ramp: n³·(1 + c/(n+800)) is not expressible in
+		// the cubic basis (unlike a plain 1 + c/n factor, which is).
+		ta := 1e-9 * nf * nf * nf * (1 + 300/(nf+800))
+		samples = append(samples, synthSample(0, 1, 1, n, ta, 1e-8*nf*nf))
+	}
+	results, err := CrossValidateNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	if results[0].MaxAbsTaErr < 1e-4 {
+		t.Fatalf("CV failed to flag non-polynomial structure: %v", results[0].MaxAbsTaErr)
+	}
+	// Errors are finite and recorded per held-out size.
+	for i, e := range results[0].TaErr {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("bad error at %d: %v", i, e)
+		}
+	}
+}
+
+func TestMedianCVError(t *testing.T) {
+	results, err := CrossValidateNT(twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MedianCVError(results) > 1e-6 {
+		t.Fatal("clean world median error should be ~0")
+	}
+	for _, r := range results {
+		if r.MedianAbsTaErr > r.MaxAbsTaErr {
+			t.Fatalf("median exceeds max: %+v", r)
+		}
+	}
+	if MedianCVError(nil) != 0 {
+		t.Fatal("empty results should give 0")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/simnet"
+)
+
+func TestMemoryGuardExcludes(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.ComposeClass(0, 1, 0.25, 0.85)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}}
+
+	// Guard that excludes everything above N = 5000.
+	ms.Memory = func(c cluster.Configuration, n float64) float64 {
+		if n > 5000 {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	est, err := ms.Estimate(cfg, 3200)
+	if err != nil || math.IsInf(est, 0) {
+		t.Fatalf("in-memory config excluded: %v %v", est, err)
+	}
+	est, err = ms.Estimate(cfg, 6400)
+	if err != nil || !math.IsInf(est, 1) {
+		t.Fatalf("over-memory config not excluded: %v %v", est, err)
+	}
+	// The optimizer must never pick an excluded configuration.
+	cands := []cluster.Configuration{cfg}
+	if _, _, err := ms.Optimize(cands, 6400); err == nil {
+		t.Fatal("optimizer picked an excluded configuration")
+	}
+	best, _, err := ms.Optimize(cands, 3200)
+	if err != nil || best.Key() != cfg.Key() {
+		t.Fatalf("optimizer failed below the wall: %v %v", best, err)
+	}
+}
+
+func TestClusterMemoryGuardPredicts(t *testing.T) {
+	cl := paperClusterForCore(t)
+	guard := cl.MemoryGuard(func(n float64) float64 { return 24 << 20 })
+	lone := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}
+	// 8·9600² = 703 MiB + 24 MiB fits in 768 MiB...
+	if guard(lone, 9600) != 1 {
+		t.Fatal("N=9600 should fit the lone Athlon")
+	}
+	// ...while 8·10000² = 763 MiB + 24 MiB does not.
+	if !math.IsInf(guard(lone, 10000), 1) {
+		t.Fatal("N=10000 should exceed the lone Athlon's memory")
+	}
+	// Spreading over nine PEs fits easily.
+	all := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}
+	if guard(all, 10000) != 1 {
+		t.Fatal("N=10000 should fit across nine PEs")
+	}
+	// Unplaceable configurations are excluded.
+	tooMany := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 5, Procs: 1}, {}}}
+	if !math.IsInf(guard(tooMany, 1000), 1) {
+		t.Fatal("unplaceable configuration not excluded")
+	}
+	// A nil extra function is allowed.
+	bare := cl.MemoryGuard(nil)
+	if bare(lone, 9600) != 1 {
+		t.Fatal("nil-extra guard broken")
+	}
+}
+
+// paperClusterForCore builds the paper cluster without importing the
+// experiments package (which would create an import cycle in tests).
+func paperClusterForCore(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.NewPaper(simnet.NewMPICH122())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}

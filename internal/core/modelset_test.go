@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/stats"
+)
+
+// twoClassWorld builds a consistent two-class training set:
+// class 1 (the "Pentium-II") measured at many P, class 0 (the "Athlon")
+// only single-PE.
+func twoClassWorld() []Sample {
+	var samples []Sample
+	// Class 1 homogeneous runs, M = 1..2.
+	for _, m := range []int{1, 2} {
+		for _, pe := range []int{1, 2, 4, 8} {
+			p := pe * m
+			for _, n := range paperNs {
+				nf := float64(n)
+				ta := 6e-10*nf*nf*nf/float64(p) + 0.2
+				tc := 0.0
+				if pe > 1 {
+					tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+				} else {
+					tc = 1e-9 * nf * nf // laswp-only
+				}
+				samples = append(samples, Sample{
+					Config: cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: pe, Procs: m}}},
+					N:      n, P: p, Class: 1, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+				})
+			}
+		}
+	}
+	// Class 0 single-PE runs, M = 1..2 (4x faster than class 1).
+	for _, m := range []int{1, 2} {
+		for _, n := range paperNs {
+			nf := float64(n)
+			ta := 6e-10*nf*nf*nf/float64(m)/4 + 0.1
+			tc := 0.25e-9 * nf * nf
+			samples = append(samples, Sample{
+				Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: m}, {}}},
+				N:      n, P: m, Class: 0, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+			})
+		}
+	}
+	return samples
+}
+
+func TestBuildModelSet(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N-T: class1 has 2 M × 4 P = 8 bins; class0 has 2 bins.
+	if len(ms.NT) != 10 {
+		t.Fatalf("NT bins = %d, want 10", len(ms.NT))
+	}
+	// P-T: class1 M=1 and M=2 fittable.
+	if len(ms.PT) != 2 {
+		t.Fatalf("PT bins = %d, want 2", len(ms.PT))
+	}
+	if len(ms.Keys()) != 10 || len(ms.PTKeys()) != 2 {
+		t.Fatal("ordered key listings wrong")
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(0, twoClassWorld()); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("0 classes accepted")
+	}
+	if _, err := Build(2, nil); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("no samples accepted")
+	}
+}
+
+func TestComposeClass(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	if err := ms.ComposeClass(0, 1, 0.25, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.PT) != 4 {
+		t.Fatalf("PT bins after composition = %d, want 4", len(ms.PT))
+	}
+	src := ms.PT[PTKey{Class: 1, M: 1}]
+	dst := ms.PT[PTKey{Class: 0, M: 1}]
+	if math.Abs(dst.Ta(3200, 8)-0.25*src.Ta(3200, 8)) > 1e-12 {
+		t.Fatal("composed Ta wrong")
+	}
+	// Composing again must not overwrite existing models.
+	if err := ms.ComposeClass(0, 1, 0.5, 0.5); err == nil {
+		t.Fatal("recompose with nothing to do should error")
+	}
+	if ms.PT[PTKey{Class: 0, M: 1}] != dst {
+		t.Fatal("existing composed model overwritten")
+	}
+}
+
+func TestComposeClassValidation(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	if err := ms.ComposeClass(0, 1, 0, 1); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("zero scale accepted")
+	}
+	if err := ms.ComposeClass(1, 0, 1, 1); !errors.Is(err, ErrNoModel) {
+		t.Fatal("composing from class without PT models accepted")
+	}
+}
+
+func TestFitCompositionScale(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	scale, err := ms.FitCompositionScale(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 is 4x faster: per-N ratio approaches 0.25 for large N where
+	// the constant offsets vanish.
+	if scale < 0.2 || scale > 0.4 {
+		t.Fatalf("composition scale = %v, want ≈ 0.25-0.35", scale)
+	}
+	// Self-composition is trivially the identity scale.
+	if self, err := ms.FitCompositionScale(0, 0); err != nil || math.Abs(self-1) > 1e-12 {
+		t.Fatalf("self scale = %v, %v", self, err)
+	}
+	// A class with no single-PE bins cannot anchor a composition.
+	if _, err := ms.FitCompositionScale(5, 1); !errors.Is(err, ErrNoModel) {
+		t.Fatal("nonexistent class accepted")
+	}
+}
+
+func TestEstimateBinning(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.ComposeClass(0, 1, 0.25, 0.85)
+
+	// Single-PE config → N-T bin (exact match with the generating law).
+	single := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 2}}}
+	est, err := ms.Estimate(single, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := 3200.0
+	want := 6e-10*nf*nf*nf/2 + 0.2 + 1e-9*nf*nf
+	if rel := math.Abs(est-want) / want; rel > 0.01 {
+		t.Fatalf("single-PE estimate rel err %v", rel)
+	}
+
+	// Multi-PE config → P-T bin.
+	multi := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}}
+	est, err = ms.Estimate(multi, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTa := 6e-10*nf*nf*nf/8 + 0.2
+	wantTc := 2e-9*nf*nf*8 + 1e-8*nf*nf/8 + 0.05
+	if rel := math.Abs(est-(wantTa+wantTc)) / (wantTa + wantTc); rel > 0.05 {
+		t.Fatalf("multi-PE estimate rel err %v", rel)
+	}
+
+	// Heterogeneous config: max over classes.
+	hetero := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}
+	est, err = ms.Estimate(hetero, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := ms.EstimateClass(hetero, 0, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ms.EstimateClass(hetero, 1, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-math.Max(c0, c1)) > 1e-12 {
+		t.Fatalf("estimate %v != max(%v, %v)", est, c0, c1)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	// Missing N-T bin (M=5 never measured).
+	bad := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 5}}}
+	if _, err := ms.Estimate(bad, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("missing NT bin accepted")
+	}
+	// Missing P-T bin.
+	bad = cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 4, Procs: 5}}}
+	if _, err := ms.Estimate(bad, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("missing PT bin accepted")
+	}
+	// Wrong class count.
+	if _, err := ms.Estimate(cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}}}, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("wrong class count accepted")
+	}
+	// Empty configuration.
+	if _, err := ms.Estimate(cluster.Configuration{Use: []cluster.ClassUse{{}, {}}}, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("empty config accepted")
+	}
+	// EstimateClass on unused class.
+	if _, err := ms.EstimateClass(cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 1}}}, 0, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("unused class accepted")
+	}
+}
+
+func TestAdjustmentAppliesInExtrapolationRegion(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.AdjustMinM = 1
+	lt := stats.LinearTransform{A: 0.5, B: 0}
+	ms.Adjust = map[int]*stats.LinearTransform{1: &lt}
+
+	// In-range P (the M=1 bin was fit on P = 1,2,4,8): unadjusted.
+	cfg1 := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}}
+	pt1 := ms.PT[PTKey{Class: 1, M: 1}]
+	est1, _ := ms.Estimate(cfg1, 3200)
+	if math.Abs(est1-pt1.Estimate(3200, 8)) > 1e-9 {
+		t.Fatal("in-range P should be unadjusted")
+	}
+	// P beyond the fitted range: Tc halved.
+	cfg2 := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 16, Procs: 1}}}
+	est2, err := ms.Estimate(cfg2, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pt1.Ta(3200, 16) + 0.5*pt1.Tc(3200, 16)
+	if math.Abs(est2-want) > 1e-9 {
+		t.Fatalf("adjusted estimate %v, want %v", est2, want)
+	}
+	// Below the MinM threshold: unadjusted even when extrapolating.
+	ms.AdjustMinM = 2
+	est3, _ := ms.Estimate(cfg2, 3200)
+	if math.Abs(est3-pt1.Estimate(3200, 16)) > 1e-9 {
+		t.Fatal("below-threshold M should be unadjusted")
+	}
+}
+
+func TestAdjustmentAppliesToComposedModels(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.ComposeClass(0, 1, 0.25, 0.85)
+	ms.AdjustMinM = 1
+	lt := stats.LinearTransform{A: 0.5, B: 0}
+	ms.Adjust = map[int]*stats.LinearTransform{0: &lt}
+	// Composed models are corrected at any P (their class was never
+	// measured multi-PE).
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 3, Procs: 1}}}
+	got, err := ms.EstimateClass(cfg, 0, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ms.PT[PTKey{Class: 0, M: 1}]
+	want := pt.Ta(3200, 4) + 0.5*pt.Tc(3200, 4)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("composed-class estimate %v, want %v", got, want)
+	}
+}
+
+func TestAdjustmentClampsNegativeTc(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.AdjustMinM = 1
+	lt := stats.LinearTransform{A: -10, B: 0}
+	ms.Adjust = map[int]*stats.LinearTransform{1: &lt}
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 16, Procs: 1}}}
+	est, err := ms.Estimate(cfg, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ms.PT[PTKey{Class: 1, M: 1}]
+	if math.Abs(est-pt.Ta(3200, 16)) > 1e-9 {
+		t.Fatalf("negative Tc not clamped: est %v, Ta %v", est, pt.Ta(3200, 16))
+	}
+}
+
+func TestFitAdjustment(t *testing.T) {
+	samples := twoClassWorld()
+	ms, _ := Build(2, samples)
+	ms.AdjustMinM = 1
+	// Calibrate on extrapolation-region samples (P = 16, beyond the
+	// fitted 1..8) whose measured Tc is half the model's prediction.
+	pt := ms.PT[PTKey{Class: 1, M: 1}]
+	var calib []Sample
+	for _, n := range []int{4800, 6400} {
+		calib = append(calib, Sample{
+			Class: 1, M: 1, P: 16, N: n,
+			Tc: pt.Tc(float64(n), 16) / 2,
+		})
+	}
+	if err := ms.FitAdjustment(calib); err != nil {
+		t.Fatal(err)
+	}
+	lt := ms.Adjust[1]
+	if lt == nil {
+		t.Fatal("no transform fitted")
+	}
+	if math.Abs(lt.A-0.5) > 0.05 || lt.B != 0 {
+		t.Fatalf("transform = %+v, want ≈ 0.5·x", lt)
+	}
+	// Single-PE and below-threshold samples are ignored; none → no-op.
+	ms2, _ := Build(2, samples)
+	ms2.AdjustMinM = 5
+	if err := ms2.FitAdjustment(calib); err != nil {
+		t.Fatal(err)
+	}
+	if ms2.Adjust != nil {
+		t.Fatal("adjustment fitted from no qualifying samples")
+	}
+}
+
+func TestFitAdjustmentMissingModel(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.AdjustMinM = 1
+	calib := []Sample{{Class: 1, M: 5, P: 10, N: 6400, Tc: 1}}
+	if err := ms.FitAdjustment(calib); !errors.Is(err, ErrNoModel) {
+		t.Fatal("missing PT bin accepted in adjustment")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	ms, _ := Build(2, twoClassWorld())
+	ms.ComposeClass(0, 1, 0.25, 0.85)
+	lt := stats.LinearTransform{A: 0.9, B: 0}
+	ms.Adjust = map[int]*stats.LinearTransform{1: &lt}
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ModelSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Classes != ms.Classes || len(back.NT) != len(ms.NT) || len(back.PT) != len(ms.PT) {
+		t.Fatalf("round trip lost models: %d/%d NT, %d/%d PT",
+			len(back.NT), len(ms.NT), len(back.PT), len(ms.PT))
+	}
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}
+	a, err := ms.Estimate(cfg, 4800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Estimate(cfg, 4800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("estimates differ after round trip: %v vs %v", a, b)
+	}
+}
+
+func TestSerializationRejectsBadData(t *testing.T) {
+	var ms ModelSet
+	if err := json.Unmarshal([]byte(`{"version":99}`), &ms); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"version":1,"classes":0}`), &ms); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"version":1,"classes":2,"nt":[{"Key":{"Class":0,"P":1,"M":1},"TaCoeff":[1],"TcCoeff":[1,2,3]}]}`), &ms); err == nil {
+		t.Fatal("malformed NT accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &ms); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

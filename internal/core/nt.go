@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"hetmodel/internal/lsq"
+)
+
+// taDegrees and tcDegrees are the polynomial bases of the paper's §3.2:
+// Ta is cubic (the update term dominates, O(N³)), Tc quadratic (broadcast
+// and row swaps, O(N²)).
+var (
+	taDegrees = []int{3, 2, 1, 0}
+	tcDegrees = []int{2, 1, 0}
+)
+
+// NTModel is the paper's N-T model: execution-time polynomials in N for one
+// fixed configuration (PE class, total processes P, processes-per-PE M).
+type NTModel struct {
+	Key Key
+	// TaCoeff are k0..k3 of Ta(N) = k0·N³ + k1·N² + k2·N + k3.
+	TaCoeff []float64
+	// TcCoeff are k4..k6 of Tc(N) = k4·N² + k5·N + k6.
+	TcCoeff []float64
+	// Ns are the problem sizes the model was fit on.
+	Ns []float64
+	// TaR2 and TcR2 are the fits' coefficients of determination.
+	TaR2, TcR2 float64
+}
+
+// FitNT extracts an N-T model from samples that must all share one
+// configuration bin. The paper requires at least four distinct N (Ta has
+// four coefficients).
+func FitNT(samples []Sample) (*NTModel, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: no samples", ErrBadSamples)
+	}
+	key := Key{Class: samples[0].Class, P: samples[0].P, M: samples[0].M}
+	seen := map[int]bool{}
+	var ns, tas, tcs []float64
+	for _, s := range samples {
+		k := Key{Class: s.Class, P: s.P, M: s.M}
+		if k != key {
+			return nil, fmt.Errorf("%w: mixed bins %v and %v", ErrBadSamples, key, k)
+		}
+		if seen[s.N] {
+			return nil, fmt.Errorf("%w: duplicate N=%d in bin %v", ErrBadSamples, s.N, key)
+		}
+		seen[s.N] = true
+		ns = append(ns, float64(s.N))
+		tas = append(tas, s.Ta)
+		tcs = append(tcs, s.Tc)
+	}
+	if len(ns) < len(taDegrees) {
+		return nil, fmt.Errorf("%w: bin %v has %d sizes, need >= %d", ErrBadSamples, key, len(ns), len(taDegrees))
+	}
+	taFit, err := lsq.FitPolynomial(ns, tas, taDegrees)
+	if err != nil {
+		return nil, fmt.Errorf("core: Ta fit for %v: %w", key, err)
+	}
+	tcFit, err := lsq.FitPolynomial(ns, tcs, tcDegrees)
+	if err != nil {
+		return nil, fmt.Errorf("core: Tc fit for %v: %w", key, err)
+	}
+	return &NTModel{
+		Key:     key,
+		TaCoeff: taFit.Coeff,
+		TcCoeff: tcFit.Coeff,
+		Ns:      ns,
+		TaR2:    taFit.RSquared,
+		TcR2:    tcFit.RSquared,
+	}, nil
+}
+
+// Ta evaluates the computation-time polynomial at problem size n.
+func (m *NTModel) Ta(n float64) float64 { return lsq.EvalPolynomial(m.TaCoeff, taDegrees, n) }
+
+// Tc evaluates the communication-time polynomial at problem size n.
+func (m *NTModel) Tc(n float64) float64 { return lsq.EvalPolynomial(m.TcCoeff, tcDegrees, n) }
+
+// Estimate returns Ta + Tc at problem size n.
+func (m *NTModel) Estimate(n float64) float64 { return m.Ta(n) + m.Tc(n) }
+
+// FitAllNT fits one N-T model per configuration bin found in samples,
+// skipping bins with too few sizes. It returns the models keyed by bin.
+func FitAllNT(samples []Sample) (map[Key]*NTModel, error) {
+	groups := GroupByKey(samples)
+	out := make(map[Key]*NTModel, len(groups))
+	for key, group := range groups {
+		if len(group) < len(taDegrees) {
+			continue
+		}
+		m, err := FitNT(group)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = m
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no bin has enough sizes", ErrBadSamples)
+	}
+	return out, nil
+}

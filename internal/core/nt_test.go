@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetmodel/internal/cluster"
+)
+
+// synthSample builds a sample from known generating laws.
+func synthSample(class, p, m, n int, ta, tc float64) Sample {
+	return Sample{
+		Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: p / m, Procs: m}, {}}},
+		N:      n, P: p, Class: class, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+	}
+}
+
+// cubicLaw returns Ta with known coefficients.
+func cubicLaw(k0, k1, k2, k3 float64) func(n float64) float64 {
+	return func(n float64) float64 { return k0*n*n*n + k1*n*n + k2*n + k3 }
+}
+
+func quadLaw(k4, k5, k6 float64) func(n float64) float64 {
+	return func(n float64) float64 { return k4*n*n + k5*n + k6 }
+}
+
+var paperNs = []int{400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400}
+
+func TestFitNTRecoversCoefficients(t *testing.T) {
+	ta := cubicLaw(5e-10, 2e-7, 3e-5, 0.4)
+	tc := quadLaw(4e-8, 1e-5, 0.1)
+	var samples []Sample
+	for _, n := range paperNs {
+		samples = append(samples, synthSample(0, 1, 1, n, ta(float64(n)), tc(float64(n))))
+	}
+	m, err := FitNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{500, 2000, 9600} {
+		if rel := math.Abs(m.Ta(n)-ta(n)) / ta(n); rel > 1e-6 {
+			t.Fatalf("Ta(%v) rel err %v", n, rel)
+		}
+		if rel := math.Abs(m.Tc(n)-tc(n)) / tc(n); rel > 1e-6 {
+			t.Fatalf("Tc(%v) rel err %v", n, rel)
+		}
+	}
+	if est := m.Estimate(1000); math.Abs(est-(ta(1000)+tc(1000))) > 1e-9 {
+		t.Fatalf("Estimate = %v", est)
+	}
+	if m.TaR2 < 0.999999 || m.TcR2 < 0.999999 {
+		t.Fatalf("R²: %v %v", m.TaR2, m.TcR2)
+	}
+}
+
+func TestFitNTValidation(t *testing.T) {
+	if _, err := FitNT(nil); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("empty accepted")
+	}
+	// Mixed bins.
+	s := []Sample{
+		synthSample(0, 1, 1, 400, 1, 1),
+		synthSample(0, 2, 1, 600, 1, 1),
+	}
+	if _, err := FitNT(s); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("mixed bins accepted")
+	}
+	// Duplicate N.
+	s = []Sample{
+		synthSample(0, 1, 1, 400, 1, 1),
+		synthSample(0, 1, 1, 400, 2, 2),
+	}
+	if _, err := FitNT(s); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("duplicate N accepted")
+	}
+	// Too few sizes.
+	s = []Sample{
+		synthSample(0, 1, 1, 400, 1, 1),
+		synthSample(0, 1, 1, 600, 1, 1),
+		synthSample(0, 1, 1, 800, 1, 1),
+	}
+	if _, err := FitNT(s); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("3 sizes accepted (need 4)")
+	}
+}
+
+func TestFitNTExactInterpolationFourPoints(t *testing.T) {
+	// With exactly four sizes the fit interpolates: zero residual at the
+	// training points — the zero-DoF fragility behind the paper's NS
+	// failure.
+	ta := cubicLaw(1e-9, 0, 0, 0)
+	var samples []Sample
+	for _, n := range []int{400, 800, 1200, 1600} {
+		noisy := ta(float64(n)) + 0.1*math.Sin(float64(n)) // non-cubic wiggle
+		samples = append(samples, synthSample(0, 1, 1, n, noisy, 0.01*float64(n)))
+	}
+	m, err := FitNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if math.Abs(m.Ta(float64(s.N))-s.Ta) > 1e-6 {
+			t.Fatalf("four-point fit must interpolate at N=%d", s.N)
+		}
+	}
+}
+
+func TestFitAllNT(t *testing.T) {
+	var samples []Sample
+	ta := cubicLaw(1e-9, 1e-6, 1e-4, 0.1)
+	tc := quadLaw(1e-8, 1e-6, 0.05)
+	for _, bin := range []struct{ class, p, m int }{{0, 1, 1}, {0, 2, 2}, {1, 4, 1}} {
+		for _, n := range paperNs {
+			samples = append(samples, synthSample(bin.class, bin.p, bin.m, n, ta(float64(n)), tc(float64(n))))
+		}
+	}
+	// One undersized bin that must be skipped.
+	samples = append(samples, synthSample(1, 8, 1, 400, 1, 1))
+	models, err := FitAllNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 {
+		t.Fatalf("models = %d, want 3", len(models))
+	}
+	if _, ok := models[Key{Class: 1, P: 8, M: 1}]; ok {
+		t.Fatal("undersized bin not skipped")
+	}
+}
+
+func TestFitAllNTAllUndersized(t *testing.T) {
+	samples := []Sample{synthSample(0, 1, 1, 400, 1, 1)}
+	if _, err := FitAllNT(samples); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("all-undersized accepted")
+	}
+}
+
+func TestKeyStrings(t *testing.T) {
+	if (Key{1, 2, 3}).String() != "class1/P2/M3" {
+		t.Fatal("Key string")
+	}
+	if (PTKey{1, 2}).String() != "class1/M2" {
+		t.Fatal("PTKey string")
+	}
+}
+
+// Property: N-T fits with ample sizes reproduce polynomial laws regardless
+// of coefficients.
+func TestFitNTRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := []float64{
+			math.Abs(rng.NormFloat64()) * 1e-9,
+			math.Abs(rng.NormFloat64()) * 1e-6,
+			math.Abs(rng.NormFloat64()) * 1e-3,
+			math.Abs(rng.NormFloat64()),
+		}
+		ta := cubicLaw(k[0], k[1], k[2], k[3])
+		tc := quadLaw(k[1], k[2], k[3])
+		var samples []Sample
+		for _, n := range paperNs {
+			samples = append(samples, synthSample(0, 1, 1, n, ta(float64(n)), tc(float64(n))))
+		}
+		m, err := FitNT(samples)
+		if err != nil {
+			return false
+		}
+		n := 9600.0
+		return math.Abs(m.Ta(n)-ta(n)) < 1e-5*(1+ta(n)) &&
+			math.Abs(m.Tc(n)-tc(n)) < 1e-5*(1+tc(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

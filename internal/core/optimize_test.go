@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetmodel/internal/cluster"
+)
+
+func builtWorld(t *testing.T) *ModelSet {
+	t.Helper()
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ComposeClass(0, 1, 0.25, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func candidateSpace() []cluster.Configuration {
+	space := cluster.Space{
+		PEChoices:   [][]int{{0, 1}, {0, 1, 2, 4, 8}},
+		ProcChoices: [][]int{{1, 2}, {1, 2}},
+	}
+	cfgs, _ := space.Enumerate()
+	return cfgs
+}
+
+func TestEstimateAllSkipsUnscorable(t *testing.T) {
+	ms := builtWorld(t)
+	cands := []cluster.Configuration{
+		{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}},
+		{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 6}}}, // unmeasured M
+	}
+	ests := ms.EstimateAll(cands, 3200)
+	if len(ests) != 2 {
+		t.Fatalf("estimates = %d", len(ests))
+	}
+	if ests[0].Err != nil {
+		t.Fatalf("scorable candidate errored: %v", ests[0].Err)
+	}
+	if ests[1].Err == nil {
+		t.Fatal("unscorable candidate passed")
+	}
+}
+
+func TestOptimizePicksMinimum(t *testing.T) {
+	ms := builtWorld(t)
+	cands := candidateSpace()
+	best, tau, err := ms.Optimize(cands, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify it really is the minimum over scorable candidates.
+	for _, e := range ms.EstimateAll(cands, 6400) {
+		if e.Err == nil && e.Tau < tau-1e-12 {
+			t.Fatalf("candidate %s (%v) beats chosen %s (%v)", e.Config, e.Tau, best, tau)
+		}
+	}
+}
+
+func TestOptimizeLargeNPrefersMorePEs(t *testing.T) {
+	ms := builtWorld(t)
+	cands := candidateSpace()
+	bestSmall, _, err := ms.Optimize(cands, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestLarge, _, err := ms.Optimize(cands, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestLarge.TotalProcs() < bestSmall.TotalProcs() {
+		t.Fatalf("large-N best %s uses fewer procs than small-N best %s", bestLarge, bestSmall)
+	}
+}
+
+func TestOptimizeNoScorableCandidates(t *testing.T) {
+	ms := builtWorld(t)
+	cands := []cluster.Configuration{
+		{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 6}}},
+	}
+	if _, _, err := ms.Optimize(cands, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("optimizer succeeded with nothing scorable")
+	}
+}
+
+func TestOptimizeHeuristicFindsGoodSolution(t *testing.T) {
+	ms := builtWorld(t)
+	space := cluster.Space{
+		PEChoices:   [][]int{{0, 1}, {0, 1, 2, 4, 8}},
+		ProcChoices: [][]int{{1, 2}, {1, 2}},
+	}
+	cfgs, _ := space.Enumerate()
+	_, exhaustiveTau, err := ms.Optimize(cfgs, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, heurTau, evals, err := ms.OptimizeHeuristic(space, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hill climb must reach within 20% of the exhaustive optimum on
+	// this smooth landscape, using fewer evaluations than the full grid.
+	if heurTau > exhaustiveTau*1.2 {
+		t.Fatalf("heuristic tau %v far from exhaustive %v", heurTau, exhaustiveTau)
+	}
+	if evals <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestOptimizeHeuristicValidation(t *testing.T) {
+	ms := builtWorld(t)
+	if _, _, _, err := ms.OptimizeHeuristic(cluster.Space{}, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatal("mismatched space accepted")
+	}
+}
+
+func TestNeighbours(t *testing.T) {
+	choices := []int{0, 1, 2, 4, 8}
+	got := neighbours(choices, 2)
+	want := map[int]bool{1: true, 4: true, 0: true}
+	if len(got) != len(want) {
+		t.Fatalf("neighbours(2) = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected neighbour %d", v)
+		}
+	}
+	// Extremes.
+	if got := neighbours(choices, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("neighbours(0) = %v", got)
+	}
+	if got := neighbours(choices, 8); len(got) != 2 { // 4 and jump-to-0
+		t.Fatalf("neighbours(8) = %v", got)
+	}
+	// Value not in the list falls back to the extremes.
+	if got := neighbours(choices, 3); len(got) < 2 {
+		t.Fatalf("neighbours(3) = %v", got)
+	}
+}
+
+func TestMinPositive(t *testing.T) {
+	if minPositive([]int{0, 1, 2}) != 1 {
+		t.Fatal("minPositive")
+	}
+	if minPositive([]int{0}) != 0 {
+		t.Fatal("minPositive all zero")
+	}
+	if minPositive(nil) != 0 {
+		t.Fatal("minPositive empty")
+	}
+}
+
+func TestMaxM(t *testing.T) {
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 4}, {PEs: 8, Procs: 1}}}
+	if maxM(cfg) != 4 {
+		t.Fatal("maxM")
+	}
+	cfg = cluster.Configuration{Use: []cluster.ClassUse{{PEs: 0, Procs: 9}, {PEs: 8, Procs: 1}}}
+	if maxM(cfg) != 1 {
+		t.Fatal("maxM must ignore unused classes")
+	}
+}
+
+func TestEstimateMonotoneInN(t *testing.T) {
+	ms := builtWorld(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}}
+	prev := -math.MaxFloat64
+	for _, n := range []float64{800, 1600, 3200, 6400, 9600} {
+		est, err := ms.Estimate(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est <= prev {
+			t.Fatalf("estimate not increasing at N=%v", n)
+		}
+		prev = est
+	}
+}

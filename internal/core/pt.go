@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmodel/internal/linalg"
+	"hetmodel/internal/lsq"
+)
+
+// PTModel is the paper's P-T model (§3.3): for one (PE class, Mi), execution
+// time as a function of both N and the total process count P:
+//
+//	Ta(N, P) = k7·Ra(N)/P + k8
+//	Tc(N, P) = k9·P·Rc(N) + k10·Rc(N)/P + k11
+//
+// The paper writes the regressors as Tai(N)|P,Mi — the N-T prediction of the
+// corresponding configuration. To obtain a single model usable at any P, we
+// anchor them to reference curves derived from the N-T fits:
+//
+//   - Ra(N) is the total-work curve: the N-T Ta of the smallest measured P
+//     for this bin, multiplied by that P (per-process work ∝ 1/P, so
+//     Ta·P approximates the P-independent total).
+//   - Rc(N) is the N-T Tc of the smallest measured P strictly greater than
+//     M (single-PE runs have no inter-PE communication to anchor on).
+//
+// The constants k7–k11 then absorb the remaining P dependence, exactly in
+// the spirit of the paper's semi-empirical fit.
+type PTModel struct {
+	Key PTKey
+	// KaCoeff are k7, k8.
+	KaCoeff []float64
+	// KcCoeff are k9, k10, k11.
+	KcCoeff []float64
+	// RaCoeff is the reference total-work cubic (Ta coefficients already
+	// scaled by the reference P).
+	RaCoeff []float64
+	// RcCoeff is the reference communication quadratic.
+	RcCoeff []float64
+	// Ps are the process counts the model was fit across.
+	Ps []int
+	// TaScale and TcScale support model composition (§3.5): predictions
+	// are multiplied by these factors (1 for directly fitted models).
+	TaScale, TcScale float64
+	// Composed marks a model derived by composition rather than fitted
+	// from its own class's measurements.
+	Composed bool
+}
+
+// Extrapolating reports whether a prediction at total process count p lies
+// outside the model's own evidence: composed models always extrapolate
+// (their class was never measured multi-PE), fitted models beyond their
+// largest fitted P. These are the regions the §4.1 adjustment corrects.
+func (m *PTModel) Extrapolating(p int) bool {
+	if m.Composed || len(m.Ps) == 0 {
+		return true
+	}
+	return p > m.Ps[len(m.Ps)-1]
+}
+
+// FitPT fits a P-T model for one (class, M) bin from N-T models across
+// several P plus the underlying raw samples. The paper requires at least
+// three distinct P (Tc has three coefficients).
+func FitPT(nts map[Key]*NTModel, samples []Sample, key PTKey) (*PTModel, error) {
+	// Collect this bin's N-T models ordered by P.
+	var ps []int
+	for k := range nts {
+		if k.Class == key.Class && k.M == key.M {
+			ps = append(ps, k.P)
+		}
+	}
+	sort.Ints(ps)
+	if len(ps) < 3 {
+		return nil, fmt.Errorf("%w: bin %v has %d process counts, need >= 3", ErrBadSamples, key, len(ps))
+	}
+	refA := nts[Key{Class: key.Class, P: ps[0], M: key.M}]
+	raCoeff := append([]float64(nil), refA.TaCoeff...)
+	for i := range raCoeff {
+		raCoeff[i] *= float64(ps[0])
+	}
+	// Communication reference: smallest P with inter-PE communication.
+	var refC *NTModel
+	for _, p := range ps {
+		if p > key.M {
+			refC = nts[Key{Class: key.Class, P: p, M: key.M}]
+			break
+		}
+	}
+	if refC == nil {
+		return nil, fmt.Errorf("%w: bin %v has no multi-PE run for the Tc reference", ErrBadSamples, key)
+	}
+	rcCoeff := append([]float64(nil), refC.TcCoeff...)
+
+	ra := func(n float64) float64 { return lsq.EvalPolynomial(raCoeff, taDegrees, n) }
+	rc := func(n float64) float64 { return lsq.EvalPolynomial(rcCoeff, tcDegrees, n) }
+
+	// Regress k7, k8 and k9..k11 over the raw samples of the bin.
+	var rowsA, rowsC [][]float64
+	var ysA, ysC []float64
+	for _, s := range samples {
+		if s.Class != key.Class || s.M != key.M {
+			continue
+		}
+		n, p := float64(s.N), float64(s.P)
+		rowsA = append(rowsA, []float64{ra(n) / p, 1})
+		ysA = append(ysA, s.Ta)
+		rowsC = append(rowsC, []float64{p * rc(n), rc(n) / p, 1})
+		ysC = append(ysC, s.Tc)
+	}
+	if len(rowsA) < 3 {
+		return nil, fmt.Errorf("%w: bin %v has %d samples", ErrBadSamples, key, len(rowsA))
+	}
+	da, err := linalg.FromRows(rowsA)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := linalg.FromRows(rowsC)
+	if err != nil {
+		return nil, err
+	}
+	fa, err := lsq.MultifitLinear(da, ysA)
+	if err != nil {
+		return nil, fmt.Errorf("core: P-T Ta fit for %v: %w", key, err)
+	}
+	fc, err := lsq.MultifitLinear(dc, ysC)
+	if err != nil {
+		return nil, fmt.Errorf("core: P-T Tc fit for %v: %w", key, err)
+	}
+	return &PTModel{
+		Key:     key,
+		KaCoeff: fa.Coeff,
+		KcCoeff: fc.Coeff,
+		RaCoeff: raCoeff,
+		RcCoeff: rcCoeff,
+		Ps:      ps,
+		TaScale: 1,
+		TcScale: 1,
+	}, nil
+}
+
+// Ta evaluates the P-T computation time at (n, P).
+func (m *PTModel) Ta(n float64, p int) float64 {
+	ra := lsq.EvalPolynomial(m.RaCoeff, taDegrees, n)
+	return m.TaScale * (m.KaCoeff[0]*ra/float64(p) + m.KaCoeff[1])
+}
+
+// Tc evaluates the P-T communication time at (n, P).
+func (m *PTModel) Tc(n float64, p int) float64 {
+	rc := lsq.EvalPolynomial(m.RcCoeff, tcDegrees, n)
+	pf := float64(p)
+	return m.TcScale * (m.KcCoeff[0]*pf*rc + m.KcCoeff[1]*rc/pf + m.KcCoeff[2])
+}
+
+// Estimate returns Ta + Tc at (n, P).
+func (m *PTModel) Estimate(n float64, p int) float64 { return m.Ta(n, p) + m.Tc(n, p) }
+
+// Compose returns a copy of the model rebound to another class with scaled
+// predictions — the paper's model composition (§3.5), which derives the
+// Athlon P-T models from the Pentium-II ones by constant factors.
+func (m *PTModel) Compose(class int, taScale, tcScale float64) *PTModel {
+	out := *m
+	out.Key = PTKey{Class: class, M: m.Key.M}
+	out.KaCoeff = append([]float64(nil), m.KaCoeff...)
+	out.KcCoeff = append([]float64(nil), m.KcCoeff...)
+	out.RaCoeff = append([]float64(nil), m.RaCoeff...)
+	out.RcCoeff = append([]float64(nil), m.RcCoeff...)
+	out.TaScale = m.TaScale * taScale
+	out.TcScale = m.TcScale * tcScale
+	out.Composed = true
+	return &out
+}
+
+// FitAllPT fits P-T models for every (class, M) bin that has enough
+// process counts, returning them keyed by bin. Bins without at least three
+// P are skipped (the caller composes those, §3.5).
+func FitAllPT(nts map[Key]*NTModel, samples []Sample) map[PTKey]*PTModel {
+	bins := map[PTKey]bool{}
+	for k := range nts {
+		bins[PTKey{Class: k.Class, M: k.M}] = true
+	}
+	out := make(map[PTKey]*PTModel)
+	for key := range bins {
+		if m, err := FitPT(nts, samples, key); err == nil {
+			out[key] = m
+		}
+	}
+	return out
+}

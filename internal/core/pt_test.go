@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// synthPTWorld generates samples obeying the P-T law exactly:
+// Ta = work(N)/P + a0, Tc = c9·P·q(N) + c10·q(N)/P + c11, so FitPT can be
+// validated for prediction accuracy.
+func synthPTWorld(class, m int, ps []int, ns []int) []Sample {
+	work := func(n float64) float64 { return 6e-10 * n * n * n }
+	q := func(n float64) float64 { return 3e-8 * n * n }
+	var out []Sample
+	for _, p := range ps {
+		for _, n := range ns {
+			nf := float64(n)
+			ta := work(nf)/float64(p) + 0.2
+			tc := 0.05*float64(p)*q(nf) + 0.4*q(nf)/float64(p)
+			out = append(out, synthSample(class, p, m, n, ta, tc))
+		}
+	}
+	return out
+}
+
+func TestFitPTPredicts(t *testing.T) {
+	ps := []int{1, 2, 4, 8}
+	samples := synthPTWorld(1, 1, ps, paperNs)
+	nts, err := FitAllNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := FitPT(nts, samples, PTKey{Class: 1, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Ps) != 4 {
+		t.Fatalf("Ps = %v", pt.Ps)
+	}
+	// In-range and P-extrapolated predictions must track the law.
+	work := func(n float64) float64 { return 6e-10 * n * n * n }
+	q := func(n float64) float64 { return 3e-8 * n * n }
+	for _, tc := range []struct {
+		n float64
+		p int
+	}{{3200, 4}, {6400, 8}, {4800, 6}, {6400, 12}} {
+		wantTa := work(tc.n)/float64(tc.p) + 0.2
+		wantTc := 0.05*float64(tc.p)*q(tc.n) + 0.4*q(tc.n)/float64(tc.p)
+		if rel := math.Abs(pt.Ta(tc.n, tc.p)-wantTa) / wantTa; rel > 0.02 {
+			t.Fatalf("Ta(%v,%d) rel err %v", tc.n, tc.p, rel)
+		}
+		if rel := math.Abs(pt.Tc(tc.n, tc.p)-wantTc) / wantTc; rel > 0.05 {
+			t.Fatalf("Tc(%v,%d) rel err %v", tc.n, tc.p, rel)
+		}
+	}
+	if est := pt.Estimate(3200, 4); math.Abs(est-(pt.Ta(3200, 4)+pt.Tc(3200, 4))) > 1e-12 {
+		t.Fatal("Estimate != Ta + Tc")
+	}
+}
+
+func TestFitPTRequiresThreeP(t *testing.T) {
+	samples := synthPTWorld(1, 1, []int{1, 2}, paperNs)
+	nts, err := FitAllNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitPT(nts, samples, PTKey{Class: 1, M: 1}); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("two process counts accepted")
+	}
+}
+
+func TestFitPTSinglePEOnlyBin(t *testing.T) {
+	// A bin measured only at P == M (one PE) cannot yield a P-T model.
+	samples := synthPTWorld(0, 4, []int{4}, paperNs)
+	nts, err := FitAllNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitPT(nts, samples, PTKey{Class: 0, M: 4}); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("bin without multi-PE runs accepted")
+	}
+}
+
+func TestComposeScalesPredictions(t *testing.T) {
+	ps := []int{1, 2, 4, 8}
+	samples := synthPTWorld(1, 2, ps, paperNs)
+	nts, _ := FitAllNT(samples)
+	pt, err := FitPT(nts, samples, PTKey{Class: 1, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := pt.Compose(0, 0.27, 0.85)
+	if composed.Key != (PTKey{Class: 0, M: 2}) {
+		t.Fatalf("composed key = %v", composed.Key)
+	}
+	if math.Abs(composed.Ta(3200, 8)-0.27*pt.Ta(3200, 8)) > 1e-12 {
+		t.Fatal("Ta not scaled")
+	}
+	if math.Abs(composed.Tc(3200, 8)-0.85*pt.Tc(3200, 8)) > 1e-12 {
+		t.Fatal("Tc not scaled")
+	}
+	// Composition chains multiply.
+	twice := composed.Compose(2, 2, 2)
+	if math.Abs(twice.Ta(3200, 8)-0.54*pt.Ta(3200, 8)) > 1e-9 {
+		t.Fatal("composition does not chain")
+	}
+	// Composing must not alias the source's coefficient slices.
+	composed.KaCoeff[0] = 999
+	if pt.KaCoeff[0] == 999 {
+		t.Fatal("Compose aliases source")
+	}
+}
+
+func TestFitAllPT(t *testing.T) {
+	samples := append(
+		synthPTWorld(1, 1, []int{1, 2, 4, 8}, paperNs),
+		synthPTWorld(1, 2, []int{2, 4, 8, 16}, paperNs)...,
+	)
+	// A bin with too few P (skipped silently).
+	samples = append(samples, synthPTWorld(0, 1, []int{1}, paperNs)...)
+	nts, err := FitAllNT(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := FitAllPT(nts, samples)
+	if len(pts) != 2 {
+		t.Fatalf("PT models = %d, want 2", len(pts))
+	}
+	if _, ok := pts[PTKey{Class: 1, M: 2}]; !ok {
+		t.Fatal("missing M=2 model")
+	}
+	if _, ok := pts[PTKey{Class: 0, M: 1}]; ok {
+		t.Fatal("undersized bin fitted")
+	}
+}

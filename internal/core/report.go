@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BinDiagnostic summarizes one fitted N-T bin's quality.
+type BinDiagnostic struct {
+	Key        Key
+	Sizes      int
+	TaR2, TcR2 float64
+	// K0 is the leading (cubic) computation coefficient — the quantity
+	// whose misfit drives the NS failure mode.
+	K0 float64
+	// Interpolating marks zero-degrees-of-freedom fits (exactly as many
+	// sizes as coefficients), which interpolate noise instead of
+	// averaging it.
+	Interpolating bool
+}
+
+// Diagnostics reports the quality of every fitted model in the set, ordered
+// deterministically.
+func (ms *ModelSet) Diagnostics() []BinDiagnostic {
+	var out []BinDiagnostic
+	for _, key := range ms.Keys() {
+		m := ms.NT[key]
+		out = append(out, BinDiagnostic{
+			Key:           key,
+			Sizes:         len(m.Ns),
+			TaR2:          m.TaR2,
+			TcR2:          m.TcR2,
+			K0:            m.TaCoeff[0],
+			Interpolating: len(m.Ns) == len(taDegrees),
+		})
+	}
+	return out
+}
+
+// SuspectBins returns the bins whose fits deserve distrust: negative or
+// implausibly small leading coefficients (the model would predict sublinear
+// large-N growth) or poor explained variance. These are exactly the bins
+// that produce the paper's Table 9 pathology.
+func (ms *ModelSet) SuspectBins() []BinDiagnostic {
+	var out []BinDiagnostic
+	for _, d := range ms.Diagnostics() {
+		if d.K0 <= 0 || d.TaR2 < 0.99 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RenderDiagnostics prints the diagnostic table with a trailing summary.
+func (ms *ModelSet) RenderDiagnostics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model diagnostics (%d N-T bins, %d P-T bins)\n", len(ms.NT), len(ms.PT))
+	fmt.Fprintf(&b, "  %-18s %6s %10s %10s %14s %8s\n", "bin", "sizes", "Ta R2", "Tc R2", "k0", "0-DoF")
+	for _, d := range ms.Diagnostics() {
+		fmt.Fprintf(&b, "  %-18s %6d %10.6f %10.6f %14.3e %8v\n",
+			d.Key, d.Sizes, d.TaR2, d.TcR2, d.K0, d.Interpolating)
+	}
+	suspects := ms.SuspectBins()
+	if len(suspects) == 0 {
+		fmt.Fprintf(&b, "  no suspect bins\n")
+	} else {
+		fmt.Fprintf(&b, "  %d suspect bin(s):", len(suspects))
+		for _, d := range suspects {
+			fmt.Fprintf(&b, " %s", d.Key)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

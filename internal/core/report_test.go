@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnostics(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := ms.Diagnostics()
+	if len(diags) != len(ms.NT) {
+		t.Fatalf("diagnostics = %d, want %d", len(diags), len(ms.NT))
+	}
+	for _, d := range diags {
+		// twoClassWorld is noise-free with 9 sizes: perfect, non-0-DoF fits.
+		if d.Sizes != 9 || d.Interpolating {
+			t.Fatalf("unexpected shape: %+v", d)
+		}
+		if d.TaR2 < 0.999999 {
+			t.Fatalf("Ta R2 = %v for %v", d.TaR2, d.Key)
+		}
+		if d.K0 <= 0 {
+			t.Fatalf("k0 = %v for %v", d.K0, d.Key)
+		}
+	}
+	if len(ms.SuspectBins()) != 0 {
+		t.Fatalf("clean world flagged: %v", ms.SuspectBins())
+	}
+	out := ms.RenderDiagnostics()
+	if !strings.Contains(out, "no suspect bins") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSuspectBinsFlagNegativeK0(t *testing.T) {
+	// Four points from a polynomial with negative cubic term: an exact
+	// zero-DoF fit the diagnostics must flag.
+	var samples []Sample
+	for _, n := range []int{400, 800, 1200, 1600} {
+		nf := float64(n)
+		ta := -1e-10*nf*nf*nf + 1e-5*nf*nf + 0.3
+		samples = append(samples, synthSample(0, 1, 1, n, ta, 1e-7*nf*nf))
+	}
+	ms, err := Build(1, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects := ms.SuspectBins()
+	if len(suspects) != 1 {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	if !suspects[0].Interpolating {
+		t.Fatal("zero-DoF fit not marked as interpolating")
+	}
+	if !strings.Contains(ms.RenderDiagnostics(), "suspect bin") {
+		t.Fatal("render missing suspects")
+	}
+}

@@ -1,0 +1,78 @@
+// Package core implements the paper's contribution: semi-empirical
+// execution-time estimation models for heterogeneous clusters and the
+// optimizer that uses them to pick the best PE configuration and process
+// allocation.
+//
+// The model family follows §3 of the paper:
+//
+//   - N-T models (§3.2): per measured configuration (PE class, P, Mi),
+//     Ta(N) = k0·N³ + k1·N² + k2·N + k3 and Tc(N) = k4·N² + k5·N + k6,
+//     fit by linear least squares.
+//   - P-T models (§3.3): per (PE class, Mi), integrating the N-T models over
+//     the process count: Ta(N,P) = k7·Ra(N)/P + k8 and
+//     Tc(N,P) = k9·P·Rc(N) + k10·Rc(N)/P + k11, where Ra/Rc are reference
+//     curves taken from the N-T fits (see PTModel).
+//   - Binning (§3.4): single-PE executions (P = Mi) use the N-T model;
+//     multi-PE executions use the P-T model. Optional memory bins switch
+//     model sets when the per-node memory requirement crosses a threshold.
+//   - Model composition (§3.5): a class with too few PEs to measure P-T
+//     models borrows another class's P-T models scaled by constant factors.
+//   - Adjustment (§4.1): a linear transformation fit on a few large-N
+//     measurements corrects the systematic deviation of configurations with
+//     many co-resident processes (Mi ≥ 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmodel/internal/cluster"
+)
+
+// ErrBadSamples reports an unusable training set.
+var ErrBadSamples = errors.New("core: unusable sample set")
+
+// ErrNoModel reports a missing model for a requested configuration.
+var ErrNoModel = errors.New("core: no model for configuration")
+
+// Sample is one measured HPL execution, reduced to the per-class critical
+// times the models describe.
+type Sample struct {
+	// Config is the full cluster configuration of the run.
+	Config cluster.Configuration
+	// N is the problem size, P the total process count.
+	N, P int
+	// Class is the PE class this sample's times describe.
+	Class int
+	// M is the processes-per-PE of that class in the run.
+	M int
+	// Ta and Tc are the class's critical computation and communication
+	// times (paper §3.2 decomposition).
+	Ta, Tc float64
+	// Wall is the run's total execution time.
+	Wall float64
+}
+
+// Key identifies an N-T model's configuration bin.
+type Key struct {
+	Class, P, M int
+}
+
+func (k Key) String() string { return fmt.Sprintf("class%d/P%d/M%d", k.Class, k.P, k.M) }
+
+// PTKey identifies a P-T model's bin.
+type PTKey struct {
+	Class, M int
+}
+
+func (k PTKey) String() string { return fmt.Sprintf("class%d/M%d", k.Class, k.M) }
+
+// GroupByKey partitions samples into N-T bins.
+func GroupByKey(samples []Sample) map[Key][]Sample {
+	out := make(map[Key][]Sample)
+	for _, s := range samples {
+		k := Key{Class: s.Class, P: s.P, M: s.M}
+		out[k] = append(out[k], s)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hetmodel/internal/stats"
+)
+
+// modelSetJSON is the stable on-disk representation of a ModelSet (maps
+// keyed by structs are flattened into entry lists).
+type modelSetJSON struct {
+	Version    int                            `json:"version"`
+	Classes    int                            `json:"classes"`
+	NT         []*NTModel                     `json:"nt"`
+	PT         []*PTModel                     `json:"pt"`
+	Adjust     map[int]*stats.LinearTransform `json:"adjust,omitempty"`
+	AdjustMinM int                            `json:"adjustMinM"`
+}
+
+const serializeVersion = 1
+
+// MarshalJSON implements json.Marshaler.
+func (ms *ModelSet) MarshalJSON() ([]byte, error) {
+	out := modelSetJSON{
+		Version:    serializeVersion,
+		Classes:    ms.Classes,
+		Adjust:     ms.Adjust,
+		AdjustMinM: ms.AdjustMinM,
+	}
+	for _, k := range ms.Keys() {
+		out.NT = append(out.NT, ms.NT[k])
+	}
+	for _, k := range ms.PTKeys() {
+		out.PT = append(out.PT, ms.PT[k])
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (ms *ModelSet) UnmarshalJSON(data []byte) error {
+	var in modelSetJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != serializeVersion {
+		return fmt.Errorf("core: unsupported model file version %d", in.Version)
+	}
+	if in.Classes <= 0 {
+		return fmt.Errorf("%w: %d classes", ErrBadSamples, in.Classes)
+	}
+	ms.Classes = in.Classes
+	ms.Adjust = in.Adjust
+	ms.AdjustMinM = in.AdjustMinM
+	ms.NT = make(map[Key]*NTModel, len(in.NT))
+	for _, m := range in.NT {
+		if m == nil || len(m.TaCoeff) != len(taDegrees) || len(m.TcCoeff) != len(tcDegrees) {
+			return fmt.Errorf("%w: malformed N-T model", ErrBadSamples)
+		}
+		ms.NT[m.Key] = m
+	}
+	ms.PT = make(map[PTKey]*PTModel, len(in.PT))
+	for _, m := range in.PT {
+		if m == nil || len(m.KaCoeff) != 2 || len(m.KcCoeff) != 3 {
+			return fmt.Errorf("%w: malformed P-T model", ErrBadSamples)
+		}
+		ms.PT[m.Key] = m
+	}
+	return nil
+}

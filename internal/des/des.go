@@ -1,0 +1,140 @@
+// Package des implements a small deterministic discrete-event simulation
+// kernel: a virtual clock and a time-ordered event queue with stable FIFO
+// ordering for simultaneous events.
+//
+// It is the foundation for the contention-aware network experiments and for
+// the fine-grained validation tests of the virtual-time MPI runtime; the
+// production HPL simulator advances per-rank virtual clocks directly (see
+// internal/vmpi) and only falls back to the kernel where global ordering
+// matters.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrStopped reports scheduling into a simulation that has been stopped.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a scheduled callback. The callback runs with the simulation
+// clock set to its timestamp and may schedule further events.
+type Event struct {
+	At     float64
+	Action func()
+
+	seq   uint64
+	index int
+}
+
+// Simulation is a discrete-event simulation. The zero value is ready to use.
+type Simulation struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Processed counts events executed so far.
+	Processed uint64
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Schedule registers action to run at absolute virtual time at. Events in
+// the past (at < Now) are clamped to Now. Events at identical times run in
+// scheduling order (FIFO), which keeps runs deterministic.
+func (s *Simulation) Schedule(at float64, action func()) error {
+	if s.stopped {
+		return ErrStopped
+	}
+	if action == nil {
+		return errors.New("des: nil action")
+	}
+	if at < s.now || math.IsNaN(at) {
+		at = s.now
+	}
+	ev := &Event{At: at, Action: action, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return nil
+}
+
+// After schedules action delay units after the current time.
+func (s *Simulation) After(delay float64, action func()) error {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.Schedule(s.now+delay, action)
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (s *Simulation) Step() bool {
+	if s.stopped || s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	s.now = ev.At
+	s.Processed++
+	ev.Action()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (s *Simulation) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline; the clock never
+// passes the deadline. It returns the number of events executed.
+func (s *Simulation) RunUntil(deadline float64) uint64 {
+	var n uint64
+	for !s.stopped && s.queue.Len() > 0 && s.queue[0].At <= deadline {
+		s.Step()
+		n++
+	}
+	if s.now < deadline && !s.stopped {
+		s.now = deadline
+	}
+	return n
+}
+
+// Stop halts the simulation; pending events are discarded and further
+// scheduling fails with ErrStopped.
+func (s *Simulation) Stop() {
+	s.stopped = true
+	s.queue = nil
+}
+
+// Pending returns the number of queued events.
+func (s *Simulation) Pending() int { return s.queue.Len() }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

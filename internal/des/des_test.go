@@ -1,0 +1,156 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	var sim Simulation
+	var order []int
+	sim.Schedule(2, func() { order = append(order, 2) })
+	sim.Schedule(1, func() { order = append(order, 1) })
+	sim.Schedule(3, func() { order = append(order, 3) })
+	end := sim.Run()
+	if end != 3 {
+		t.Fatalf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if sim.Processed != 3 {
+		t.Fatalf("processed = %d", sim.Processed)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var sim Simulation
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.Schedule(5, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	var sim Simulation
+	sim.Schedule(10, func() {
+		sim.Schedule(5, func() {}) // in the past → clamped to now
+	})
+	end := sim.Run()
+	if end != 10 {
+		t.Fatalf("end = %v, want 10 (clamped)", end)
+	}
+}
+
+func TestNaNClamped(t *testing.T) {
+	var sim Simulation
+	fired := false
+	sim.Schedule(math.NaN(), func() { fired = true })
+	sim.Run()
+	if !fired || sim.Now() != 0 {
+		t.Fatalf("NaN schedule mishandled: fired=%v now=%v", fired, sim.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var sim Simulation
+	var at float64
+	sim.Schedule(4, func() {
+		sim.After(3, func() { at = sim.Now() })
+	})
+	sim.Run()
+	if at != 7 {
+		t.Fatalf("After fired at %v", at)
+	}
+	// Negative delays clamp to zero delay.
+	var sim2 Simulation
+	sim2.After(-5, func() {})
+	if sim2.Run() != 0 {
+		t.Fatal("negative delay not clamped")
+	}
+}
+
+func TestNilAction(t *testing.T) {
+	var sim Simulation
+	if err := sim.Schedule(1, nil); err == nil {
+		t.Fatal("nil action should error")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var sim Simulation
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		sim.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := sim.RunUntil(3)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("RunUntil executed %d (%v)", n, fired)
+	}
+	if sim.Now() != 3 || sim.Pending() != 2 {
+		t.Fatalf("now=%v pending=%d", sim.Now(), sim.Pending())
+	}
+	// Deadline beyond all events advances the clock to the deadline.
+	sim.RunUntil(100)
+	if sim.Now() != 100 {
+		t.Fatalf("now = %v, want 100", sim.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var sim Simulation
+	sim.Schedule(1, func() {})
+	sim.Stop()
+	if sim.Step() {
+		t.Fatal("Step after Stop should be false")
+	}
+	if err := sim.Schedule(2, func() {}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var sim Simulation
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			sim.After(1, tick)
+		}
+	}
+	sim.Schedule(0, tick)
+	end := sim.Run()
+	if count != 100 || end != 99 {
+		t.Fatalf("count=%d end=%v", count, end)
+	}
+}
+
+// Property: events always execute in nondecreasing time order.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sim Simulation
+		var times []float64
+		for i := 0; i < 50; i++ {
+			sim.Schedule(rng.Float64()*100, func() { times = append(times, sim.Now()) })
+		}
+		sim.Run()
+		return sort.Float64sAreSorted(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package des
+
+import (
+	"errors"
+	"sort"
+)
+
+// SharedLink models a bandwidth-shared resource (e.g. a node's NIC) using
+// max-min fair processor sharing: k concurrent transfers each progress at
+// capacity/k bytes per unit time. It is used by the contention extension
+// experiments to quantify what the paper's homogeneous-network assumption
+// ignores.
+type SharedLink struct {
+	// Capacity is the link bandwidth in bytes per second.
+	Capacity float64
+
+	active []*transfer
+	now    float64
+}
+
+type transfer struct {
+	remaining float64
+	done      func(finish float64)
+}
+
+// ErrBadTransfer reports a nonpositive transfer size or capacity.
+var ErrBadTransfer = errors.New("des: transfer size and capacity must be positive")
+
+// NewSharedLink returns a link with the given capacity (bytes/second).
+func NewSharedLink(capacity float64) (*SharedLink, error) {
+	if capacity <= 0 {
+		return nil, ErrBadTransfer
+	}
+	return &SharedLink{Capacity: capacity}, nil
+}
+
+// Start begins a transfer of size bytes at virtual time at; done is invoked
+// with the finish time once the transfer completes (after Finish* calls
+// process the timeline). Transfers may overlap; overlapping transfers share
+// bandwidth equally.
+func (l *SharedLink) Start(at float64, size float64, done func(finish float64)) error {
+	if size <= 0 {
+		return ErrBadTransfer
+	}
+	l.advance(at)
+	l.active = append(l.active, &transfer{remaining: size, done: done})
+	return nil
+}
+
+// advance progresses all active transfers to time t, completing any that
+// finish on the way.
+func (l *SharedLink) advance(t float64) {
+	for t > l.now {
+		if len(l.active) == 0 {
+			l.now = t
+			return
+		}
+		rate := l.Capacity / float64(len(l.active))
+		// Find the earliest completion among active transfers.
+		minRem := l.active[0].remaining
+		for _, tr := range l.active[1:] {
+			if tr.remaining < minRem {
+				minRem = tr.remaining
+			}
+		}
+		finishAt := l.now + minRem/rate
+		if finishAt > t {
+			// Nothing completes before t; drain partial progress.
+			progress := (t - l.now) * rate
+			for _, tr := range l.active {
+				tr.remaining -= progress
+			}
+			l.now = t
+			return
+		}
+		// Complete every transfer that reaches zero at finishAt.
+		progress := minRem
+		var still []*transfer
+		var finished []*transfer
+		for _, tr := range l.active {
+			tr.remaining -= progress
+			if tr.remaining <= 1e-9 {
+				finished = append(finished, tr)
+			} else {
+				still = append(still, tr)
+			}
+		}
+		l.active = still
+		l.now = finishAt
+		for _, tr := range finished {
+			if tr.done != nil {
+				tr.done(finishAt)
+			}
+		}
+	}
+}
+
+// Drain runs the link until all transfers complete and returns the time the
+// last one finished (or the current time when idle).
+func (l *SharedLink) Drain() float64 {
+	for len(l.active) > 0 {
+		rate := l.Capacity / float64(len(l.active))
+		minRem := l.active[0].remaining
+		for _, tr := range l.active[1:] {
+			if tr.remaining < minRem {
+				minRem = tr.remaining
+			}
+		}
+		l.advance(l.now + minRem/rate)
+	}
+	return l.now
+}
+
+// Active returns the number of in-flight transfers.
+func (l *SharedLink) Active() int { return len(l.active) }
+
+// Now returns the link's local virtual time.
+func (l *SharedLink) Now() float64 { return l.now }
+
+// FairShareFinishTimes computes, analytically, the finish times of a set of
+// transfers all starting at time 0 on a fair-shared link, without callbacks.
+// It is the closed-form counterpart of SharedLink used in tests and fast
+// estimations. The result is sorted ascending.
+func FairShareFinishTimes(capacity float64, sizes []float64) ([]float64, error) {
+	if capacity <= 0 {
+		return nil, ErrBadTransfer
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, ErrBadTransfer
+		}
+	}
+	rem := append([]float64(nil), sizes...)
+	sort.Float64s(rem)
+	out := make([]float64, 0, len(rem))
+	now, done := 0.0, 0
+	prev := 0.0
+	for done < len(rem) {
+		k := float64(len(rem) - done)
+		rate := capacity / k
+		// The smallest remaining transfer finishes next.
+		segment := (rem[done] - prev) / rate
+		now += segment
+		prev = rem[done]
+		// All transfers with this size finish together.
+		for done < len(rem) && rem[done] == prev {
+			out = append(out, now)
+			done++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedLinkSingleTransfer(t *testing.T) {
+	l, err := NewSharedLink(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finish float64
+	l.Start(0, 200, func(f float64) { finish = f })
+	l.Drain()
+	if finish != 2 {
+		t.Fatalf("finish = %v, want 2", finish)
+	}
+}
+
+func TestSharedLinkEqualSharing(t *testing.T) {
+	l, _ := NewSharedLink(100)
+	var finishes []float64
+	done := func(f float64) { finishes = append(finishes, f) }
+	// Two equal transfers starting together each get 50 B/s.
+	l.Start(0, 100, done)
+	l.Start(0, 100, done)
+	l.Drain()
+	if len(finishes) != 2 || finishes[0] != 2 || finishes[1] != 2 {
+		t.Fatalf("finishes = %v", finishes)
+	}
+}
+
+func TestSharedLinkStaggeredTransfers(t *testing.T) {
+	l, _ := NewSharedLink(100)
+	var f1, f2 float64
+	l.Start(0, 100, func(f float64) { f1 = f })
+	// Second transfer joins at t=0.5 when 50 bytes of the first remain.
+	l.Start(0.5, 100, func(f float64) { f2 = f })
+	l.Drain()
+	// From 0.5 both share 50 B/s. First has 50 left → done at 1.5.
+	// Second then has 50 left with full 100 B/s → done at 2.0.
+	if math.Abs(f1-1.5) > 1e-9 || math.Abs(f2-2.0) > 1e-9 {
+		t.Fatalf("f1=%v f2=%v", f1, f2)
+	}
+}
+
+func TestSharedLinkErrors(t *testing.T) {
+	if _, err := NewSharedLink(0); err == nil {
+		t.Fatal("zero capacity should fail")
+	}
+	l, _ := NewSharedLink(10)
+	if err := l.Start(0, 0, nil); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+func TestSharedLinkIdleAdvance(t *testing.T) {
+	l, _ := NewSharedLink(10)
+	l.Start(5, 10, nil)
+	l.Drain()
+	if l.Now() != 6 {
+		t.Fatalf("now = %v, want 6", l.Now())
+	}
+	if l.Active() != 0 {
+		t.Fatal("transfer still active")
+	}
+}
+
+func TestFairShareFinishTimesClosedForm(t *testing.T) {
+	// sizes 100, 100 on capacity 100 → both at t=2.
+	out, err := FairShareFinishTimes(100, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-2) > 1e-9 || math.Abs(out[1]-2) > 1e-9 {
+		t.Fatalf("out = %v", out)
+	}
+	// sizes 50, 100: first finishes at t=1 (rate 50), second gets full rate
+	// for its remaining 50 → t = 1 + 0.5.
+	out, _ = FairShareFinishTimes(100, []float64{50, 100})
+	if math.Abs(out[0]-1) > 1e-9 || math.Abs(out[1]-1.5) > 1e-9 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFairShareErrors(t *testing.T) {
+	if _, err := FairShareFinishTimes(0, []float64{1}); err == nil {
+		t.Fatal("zero capacity should fail")
+	}
+	if _, err := FairShareFinishTimes(10, []float64{0}); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+// Property: the event-driven SharedLink agrees with the closed form when all
+// transfers start at time zero.
+func TestSharedLinkMatchesClosedFormProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Float64()*100
+		}
+		want, err := FairShareFinishTimes(50, sizes)
+		if err != nil {
+			return false
+		}
+		l, _ := NewSharedLink(50)
+		var got []float64
+		for _, s := range sizes {
+			l.Start(0, s, func(f float64) { got = append(got, f) })
+		}
+		l.Drain()
+		sort.Float64s(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total bytes moved per unit time never exceeds capacity —
+// the makespan of any batch is at least sum(sizes)/capacity.
+func TestSharedLinkWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		sizes := make([]float64, n)
+		var total float64
+		for i := range sizes {
+			sizes[i] = 1 + rng.Float64()*50
+			total += sizes[i]
+		}
+		out, err := FairShareFinishTimes(20, sizes)
+		if err != nil {
+			return false
+		}
+		makespan := out[len(out)-1]
+		// Work conservation: last finish exactly total/capacity when the
+		// link is never idle (all start at 0).
+		return math.Abs(makespan-total/20) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

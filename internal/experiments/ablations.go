@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/hpl2d"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/stats"
+	"hetmodel/internal/vmpi"
+)
+
+// AdjustmentAblation compares a model's evaluation errors with and without
+// the §4.1 correction (the design choice behind paper Figures 6 vs 7).
+type AdjustmentAblation struct {
+	Model           string
+	WithAdjust      []float64 // |errEst| per evaluation size
+	WithoutAdjust   []float64
+	MeanAbsWith     float64
+	MeanAbsWithout  float64
+	EvaluationSizes []int
+}
+
+// AblationAdjustment runs the evaluation at each size with the adjustment
+// enabled and disabled, reporting the absolute estimation errors of the
+// estimated optimum.
+func (c *Context) AblationAdjustment(bm *BuiltModel) (*AdjustmentAblation, error) {
+	out := &AdjustmentAblation{Model: bm.Campaign.Name}
+	candidates := EvalConfigs()
+	for _, adjusted := range []bool{true, false} {
+		models := bm.Models
+		saved := models.Adjust
+		if !adjusted {
+			models.Adjust = nil
+		}
+		var errs []float64
+		for _, n := range measure.EvaluationNs(bm.Campaign.Name) {
+			if adjusted {
+				out.EvaluationSizes = append(out.EvaluationSizes, n)
+			}
+			est, tau, err := models.Optimize(candidates, n)
+			if err != nil {
+				models.Adjust = saved
+				return nil, err
+			}
+			_, tHat, err := c.ActualBest(candidates, n)
+			if err != nil {
+				models.Adjust = saved
+				return nil, err
+			}
+			_ = est
+			e := stats.RelError(tau, tHat)
+			if e < 0 {
+				e = -e
+			}
+			errs = append(errs, e)
+		}
+		models.Adjust = saved
+		mean, err := stats.Mean(errs)
+		if err != nil {
+			return nil, err
+		}
+		if adjusted {
+			out.WithAdjust, out.MeanAbsWith = errs, mean
+		} else {
+			out.WithoutAdjust, out.MeanAbsWithout = errs, mean
+		}
+	}
+	return out, nil
+}
+
+// Render prints the ablation.
+func (a *AdjustmentAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: §4.1 adjustment (%s model), |tau - That|/That\n", a.Model)
+	fmt.Fprintf(&b, "  %8s %12s %12s\n", "N", "adjusted", "raw")
+	for i, n := range a.EvaluationSizes {
+		fmt.Fprintf(&b, "  %8d %12.3f %12.3f\n", n, a.WithAdjust[i], a.WithoutAdjust[i])
+	}
+	fmt.Fprintf(&b, "  %8s %12.3f %12.3f\n", "mean", a.MeanAbsWith, a.MeanAbsWithout)
+	return b.String()
+}
+
+// BcastAblation compares the ring (HPL-like) and binomial panel broadcasts,
+// probing the paper's (P−1)·O(N²) communication-order assumption.
+type BcastAblation struct {
+	N         int
+	Config    cluster.Configuration
+	RingTime  float64
+	BinomTime float64
+}
+
+// AblationBcast measures one configuration under both broadcast algorithms.
+// It bypasses the memo cache since the parameters differ from the
+// context's.
+func (c *Context) AblationBcast(cfg cluster.Configuration, n int) (*BcastAblation, error) {
+	params := c.Params
+	params.N = n
+	params.Bcast = vmpi.BcastRing
+	rr, err := hpl.Run(c.Cluster, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	params.Bcast = vmpi.BcastBinomial
+	rb, err := hpl.Run(c.Cluster, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	return &BcastAblation{N: n, Config: cfg, RingTime: rr.WallTime, BinomTime: rb.WallTime}, nil
+}
+
+// GridAblation compares process-grid shapes for one configuration — the
+// paper's §3.1 restriction ("we examine only the case of a 1-by-P process
+// grid") made quantitative: 2D grids trade smaller panel broadcasts for
+// pivot communication on every panel column.
+type GridAblation struct {
+	N      int
+	Config cluster.Configuration
+	Shapes [][2]int
+	Walls  []float64
+}
+
+// AblationGrid measures the configuration on each Pr×Pc shape (Pr·Pc must
+// equal the configuration's process count; 1×P uses the production 1D
+// implementation).
+func (c *Context) AblationGrid(cfg cluster.Configuration, n int, shapes [][2]int) (*GridAblation, error) {
+	out := &GridAblation{N: n, Config: cfg, Shapes: shapes}
+	for _, shape := range shapes {
+		params := c.Params
+		params.N = n
+		var wall float64
+		if shape[0] == 1 {
+			r, err := hpl.Run(c.Cluster, cfg, params)
+			if err != nil {
+				return nil, err
+			}
+			wall = r.WallTime
+		} else {
+			r, err := hpl2d.Run(c.Cluster, cfg, hpl2d.Params{Params: params, Pr: shape[0], Pc: shape[1]})
+			if err != nil {
+				return nil, err
+			}
+			wall = r.WallTime
+		}
+		out.Walls = append(out.Walls, wall)
+	}
+	return out, nil
+}
+
+// Render prints the grid-shape sweep.
+func (a *GridAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: process grid at N=%d %s\n", a.N, a.Config)
+	for i, s := range a.Shapes {
+		fmt.Fprintf(&b, "  %dx%-3d %8.1f s\n", s[0], s[1], a.Walls[i])
+	}
+	return b.String()
+}
+
+// NBAblation sweeps the HPL panel width for one configuration: the knob the
+// paper holds fixed but every HPL tuning guide sweeps. Small NB starves the
+// update kernel (low per-call efficiency, many broadcasts); large NB bloats
+// the serial panel factorization.
+type NBAblation struct {
+	N      int
+	Config cluster.Configuration
+	NBs    []int
+	Walls  []float64
+}
+
+// AblationNB measures the configuration across panel widths.
+func (c *Context) AblationNB(cfg cluster.Configuration, n int, nbs []int) (*NBAblation, error) {
+	out := &NBAblation{N: n, Config: cfg, NBs: nbs}
+	for _, nb := range nbs {
+		params := c.Params
+		params.N = n
+		params.NB = nb
+		r, err := hpl.Run(c.Cluster, cfg, params)
+		if err != nil {
+			return nil, err
+		}
+		out.Walls = append(out.Walls, r.WallTime)
+	}
+	return out, nil
+}
+
+// Best returns the fastest panel width of the sweep.
+func (a *NBAblation) Best() (nb int, wall float64) {
+	for i, w := range a.Walls {
+		if i == 0 || w < wall {
+			nb, wall = a.NBs[i], w
+		}
+	}
+	return nb, wall
+}
+
+// Render prints the sweep.
+func (a *NBAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: panel width NB at N=%d %s\n", a.N, a.Config)
+	for i, nb := range a.NBs {
+		fmt.Fprintf(&b, "  NB=%-4d %8.1f s\n", nb, a.Walls[i])
+	}
+	best, wall := a.Best()
+	fmt.Fprintf(&b, "  best NB=%d (%.1f s)\n", best, wall)
+	return b.String()
+}
+
+// LookaheadAblation quantifies the paper's "ignore the overlap of
+// computation and communication" assumption (§3.1): depth-1 panel lookahead
+// overlaps the next panel's factorization and broadcast with the trailing
+// update.
+type LookaheadAblation struct {
+	N       int
+	Config  cluster.Configuration
+	Plain   float64
+	Overlap float64
+}
+
+// Gain returns the relative improvement of lookahead.
+func (a *LookaheadAblation) Gain() float64 {
+	if a.Plain <= 0 {
+		return 0
+	}
+	return (a.Plain - a.Overlap) / a.Plain
+}
+
+// AblationLookahead measures one configuration with and without lookahead.
+func (c *Context) AblationLookahead(cfg cluster.Configuration, n int) (*LookaheadAblation, error) {
+	params := c.Params
+	params.N = n
+	plain, err := hpl.Run(c.Cluster, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	params.Lookahead = true
+	overlap, err := hpl.Run(c.Cluster, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	return &LookaheadAblation{N: n, Config: cfg, Plain: plain.WallTime, Overlap: overlap.WallTime}, nil
+}
+
+// Render prints the lookahead ablation.
+func (a *LookaheadAblation) Render() string {
+	return fmt.Sprintf(
+		"Ablation: lookahead at N=%d %s — no overlap %.1fs vs depth-1 overlap %.1fs (%.1f%% gained; the paper's no-overlap assumption costs this much)\n",
+		a.N, a.Config, a.Plain, a.Overlap, 100*a.Gain())
+}
+
+// OptimizerAblation compares exhaustive and heuristic search
+// (the paper's §5 future work).
+type OptimizerAblation struct {
+	N               int
+	ExhaustiveTau   float64
+	ExhaustiveEvals int
+	HeuristicTau    float64
+	HeuristicEvals  int
+	SameConfig      bool
+}
+
+// AblationOptimizer runs both search strategies on a built model.
+func AblationOptimizer(bm *BuiltModel, n int) (*OptimizerAblation, error) {
+	candidates := EvalConfigs()
+	exBest, exTau, err := bm.Models.Optimize(candidates, n)
+	if err != nil {
+		return nil, err
+	}
+	space := cluster.PaperEvaluationSpace()
+	heurBest, heurTau, evals, err := bm.Models.OptimizeHeuristic(space, n)
+	if err != nil {
+		return nil, err
+	}
+	return &OptimizerAblation{
+		N:               n,
+		ExhaustiveTau:   exTau,
+		ExhaustiveEvals: len(candidates),
+		HeuristicTau:    heurTau,
+		HeuristicEvals:  evals,
+		SameConfig:      exBest.Key() == heurBest.Key(),
+	}, nil
+}
+
+// Render prints the optimizer ablation.
+func (a *OptimizerAblation) Render() string {
+	return fmt.Sprintf(
+		"Ablation: optimizer at N=%d — exhaustive tau=%.1f (%d evals), heuristic tau=%.1f (%d evals), same pick: %v\n",
+		a.N, a.ExhaustiveTau, a.ExhaustiveEvals, a.HeuristicTau, a.HeuristicEvals, a.SameConfig)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV exports figure curves as CSV: one X column followed by one
+// column per series. Series are aligned by index (figure sweeps share their
+// X grid).
+func WriteSeriesCSV(w io.Writer, xLabel string, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(series) > 0 {
+		for i := range series[0].X {
+			row := []string{formatFloat(series[0].X[i])}
+			for _, s := range series {
+				if i < len(s.Y) {
+					row = append(row, formatFloat(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEvalTableCSV exports an estimated-vs-actual table (Tables 4/7/9).
+func WriteEvalTableCSV(w io.Writer, t *EvalTable) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"n", "est_config", "tau", "tau_hat", "actual_config", "t_hat", "err_est", "err_exec",
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.N),
+			r.EstConfig.String(),
+			formatFloat(r.Tau),
+			formatFloat(r.TauHat),
+			r.ActConfig.String(),
+			formatFloat(r.THat),
+			formatFloat(r.ErrEst),
+			formatFloat(r.ErrExec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCostTableCSV exports a measurement-cost table (Tables 3/6).
+func WriteCostTableCSV(w io.Writer, t *CostTable) error {
+	cw := csv.NewWriter(w)
+	header := []string{"n"}
+	header = append(header, t.Labels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := []string{strconv.Itoa(row.N)}
+		for _, label := range t.Labels {
+			rec = append(rec, formatFloat(row.Seconds[label]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCorrelationCSV exports a correlation scatter (Figures 6-15).
+func WriteCorrelationCSV(w io.Writer, points []CorrPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "m1", "estimated", "measured"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Config.String(),
+			strconv.Itoa(p.M1),
+			formatFloat(p.Est),
+			formatFloat(p.Meas),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

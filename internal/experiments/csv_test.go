@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"hetmodel/internal/cluster"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return records
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{11, 21}}, // short
+	}
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, "N", series); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 4 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "N" || recs[0][1] != "a" || recs[0][2] != "b" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[3][2] != "" {
+		t.Fatalf("short series should pad empty, got %q", recs[3][2])
+	}
+	// Empty series set still yields a header.
+	var sb2 strings.Builder
+	if err := WriteSeriesCSV(&sb2, "N", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, sb2.String())) != 1 {
+		t.Fatal("empty export should have a header row")
+	}
+}
+
+func TestWriteEvalTableCSV(t *testing.T) {
+	table := &EvalTable{
+		Model: "Basic",
+		Rows: []EvalRow{{
+			N:         3200,
+			EstConfig: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}},
+			Tau:       19.8, TauHat: 19.4,
+			ActConfig: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}},
+			THat:      19.4, ErrEst: 0.024, ErrExec: 0,
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteEvalTableCSV(&sb, table); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 2 || recs[1][0] != "3200" || recs[1][1] != "(1,1,0,0)" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestWriteCostTableCSV(t *testing.T) {
+	table := &CostTable{
+		Campaign: "NS",
+		Labels:   []string{"Athlon", "PentiumII"},
+		Rows: []CostRow{
+			{N: 400, Seconds: map[string]float64{"Athlon": 4.4, "PentiumII": 31}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteCostTableCSV(&sb, table); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 2 || recs[1][2] != "31" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestWriteCorrelationCSV(t *testing.T) {
+	points := []CorrPoint{{
+		Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 2}, {PEs: 8, Procs: 1}}},
+		M1:     2, Est: 100.5, Meas: 98.2,
+	}}
+	var sb strings.Builder
+	if err := WriteCorrelationCSV(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 2 || recs[1][0] != "(1,2,8,1)" || recs[1][1] != "2" {
+		t.Fatalf("records = %v", recs)
+	}
+}

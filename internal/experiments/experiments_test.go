@@ -1,0 +1,543 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/netpipe"
+	"hetmodel/internal/simnet"
+	"hetmodel/internal/stats"
+)
+
+// The context and Basic/NL/NS models are expensive enough to share across
+// tests in this package.
+var (
+	sharedCtx    *Context
+	sharedModels map[string]*BuiltModel
+)
+
+func ctxAndModels(t *testing.T) (*Context, map[string]*BuiltModel) {
+	t.Helper()
+	if sharedCtx != nil {
+		return sharedCtx, sharedModels
+	}
+	ctx, err := NewPaperContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]*BuiltModel{}
+	for _, camp := range []measure.Campaign{
+		measure.BasicCampaign(), measure.NLCampaign(), measure.NSCampaign(),
+	} {
+		bm, err := ctx.BuildModel(camp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[camp.Name] = bm
+	}
+	sharedCtx, sharedModels = ctx, models
+	return ctx, models
+}
+
+func TestEvalConfigsCount(t *testing.T) {
+	if got := len(EvalConfigs()); got != 62 {
+		t.Fatalf("evaluation configurations = %d, want 62 (paper)", got)
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}
+	a, err := ctx.Run(cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Run(cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("memoization returned distinct results")
+	}
+}
+
+func TestCompositionScaleNearPaper(t *testing.T) {
+	_, models := ctxAndModels(t)
+	// The paper's hand-chosen Athlon←P-II Ta factor is 0.27; our fitted
+	// value should land in the same regime (the speed ratio is ~4-5x).
+	scale := models["Basic"].TaScale
+	if scale < 0.15 || scale > 0.45 {
+		t.Fatalf("composition Ta scale = %.3f, want ≈ 0.27 (paper §4.1)", scale)
+	}
+}
+
+// Table 4: the Basic model must pick optimal or near-optimal
+// configurations; the paper reports 0-3.6% execution penalties.
+func TestTable4BasicModelShape(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	table, err := ctx.EvaluationTable(models["Basic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(table.Rows))
+	}
+	if table.Rows[0].N != 3200 || table.Rows[4].N != 9600 {
+		t.Fatalf("sizes wrong: %+v", table.Rows)
+	}
+	if max := table.MaxExecError(); max > 0.12 {
+		t.Fatalf("Basic max exec penalty %.1f%%, want ≤ 12%% (paper ≤ 3.6%%)", max*100)
+	}
+	// Small N: a lone-Athlon optimum (paper: (1,1,0,0) at N=3200).
+	r3200 := table.Rows[0]
+	if r3200.ActConfig.Use[1].PEs != 0 {
+		t.Fatalf("N=3200 actual best should be Athlon-only, got %s", r3200.ActConfig)
+	}
+	// Large N: heterogeneous multiprocess optimum with all eight P-IIs.
+	r9600 := table.Rows[4]
+	if r9600.ActConfig.Use[1].PEs != 8 || r9600.ActConfig.Use[0].Procs < 3 {
+		t.Fatalf("N=9600 actual best should be (1,3+,8,1), got %s", r9600.ActConfig)
+	}
+	if r9600.EstConfig.Use[1].PEs != 8 {
+		t.Fatalf("N=9600 estimate should use all P-IIs, got %s", r9600.EstConfig)
+	}
+}
+
+// Table 7: the NL model (4 large sizes) stays accurate; paper 0-4.3%.
+func TestTable7NLModelShape(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	table, err := ctx.EvaluationTable(models["NL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(table.Rows))
+	}
+	if max := table.MaxExecError(); max > 0.12 {
+		t.Fatalf("NL max exec penalty %.1f%%, want ≤ 12%% (paper ≤ 4.3%%)", max*100)
+	}
+}
+
+// Table 9: the NS model (small-size training) must fail for large N:
+// large underestimation and significant execution penalties (paper
+// 28-82%).
+func TestTable9NSModelFails(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	table, err := ctx.EvaluationTable(models["NS"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within its training range it is fine (paper: N=1600 error 0).
+	if e := table.Rows[0].ErrExec; e > 0.05 {
+		t.Fatalf("NS at N=1600 exec penalty %.1f%%, want small", e*100)
+	}
+	// Beyond: estimates collapse below reality and the picks cost real
+	// time. Require both signatures on the largest sizes.
+	worstUnder, worstExec := 0.0, 0.0
+	for _, r := range table.Rows {
+		if r.N >= 4800 {
+			if -r.ErrEst > worstUnder {
+				worstUnder = -r.ErrEst
+			}
+			if r.ErrExec > worstExec {
+				worstExec = r.ErrExec
+			}
+		}
+	}
+	if worstUnder < 0.10 {
+		t.Fatalf("NS should underestimate large N (paper τ << T̂); worst underestimation %.1f%%", worstUnder*100)
+	}
+	if worstExec < 0.15 {
+		t.Fatalf("NS exec penalty %.1f%%, want ≥ 15%% (paper 28-82%%)", worstExec*100)
+	}
+}
+
+// The NS failure must grow with N (paper: 28% → 82%).
+func TestNSUnderestimationGrowsWithN(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	table, err := ctx.EvaluationTable(models["NS"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last, first float64
+	for _, r := range table.Rows {
+		if r.N == 4800 {
+			first = -r.ErrEst
+		}
+		if r.N == 9600 {
+			last = -r.ErrEst
+		}
+	}
+	if last <= first {
+		t.Fatalf("NS underestimation should grow with N: %.3f at 4800 vs %.3f at 9600", first, last)
+	}
+}
+
+// Campaign cost ordering (Tables 3 and 6): Basic > NL > NS, with NS tiny.
+func TestMeasurementCostOrdering(t *testing.T) {
+	_, models := ctxAndModels(t)
+	basic := models["Basic"].Result.TotalCost()
+	nl := models["NL"].Result.TotalCost()
+	ns := models["NS"].Result.TotalCost()
+	if !(basic > nl && nl > ns) {
+		t.Fatalf("cost ordering violated: basic %.0f, NL %.0f, NS %.0f", basic, nl, ns)
+	}
+	// Paper: Basic ≈ 6 h, NL ≈ 3 h, NS ≈ 10 min — NS is >10x cheaper
+	// than NL.
+	if ns*10 > nl {
+		t.Fatalf("NS (%.0fs) should be ≥10x cheaper than NL (%.0fs)", ns, nl)
+	}
+	// Basic total in the hours regime like the paper's 22869 s.
+	if basic < 3600 || basic > 20*3600 {
+		t.Fatalf("Basic campaign cost %.0fs out of the paper's regime", basic)
+	}
+}
+
+// Figure 1: multiprocessing loss drastic under 1.2.1-like, mild under
+// 1.2.2-like.
+func TestFigure1Shape(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	s121, err := Figure1(simnet.NewMPICH121(), ctx.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s122, err := Figure1(simnet.NewMPICH122(), ctx.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(figure1Ns) - 1
+	loss121 := 1 - s121[3].Y[last]/s121[0].Y[last]
+	loss122 := 1 - s122[3].Y[last]/s122[0].Y[last]
+	if loss121 < 0.4 {
+		t.Fatalf("1.2.1 n=4 loss %.2f, want drastic", loss121)
+	}
+	if loss122 > loss121/1.5 {
+		t.Fatalf("1.2.2 loss %.2f not much smaller than 1.2.1 %.2f", loss122, loss121)
+	}
+}
+
+// Figure 2: 1.2.2-like intra-node peak several times the 1.2.1-like one.
+func TestFigure2Shape(t *testing.T) {
+	p121, err := Figure2(simnet.NewMPICH121())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p122, err := Figure2(simnet.NewMPICH122())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak121, _, _ := netpipe.PeakThroughput(p121)
+	peak122, _, _ := netpipe.PeakThroughput(p122)
+	if peak122 < 3*peak121 {
+		t.Fatalf("Fig 2 contrast: 1.2.2 peak %.2f vs 1.2.1 %.2f Gbps", peak122, peak121)
+	}
+}
+
+// Figure 3(a): heterogeneous-naive ≈ five P-IIs; lone Athlon degrades at
+// N=10000 while P2 x 5 does not.
+func TestFigure3aShape(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	series, err := ctx.Figure3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	last := len(figure3Ns) - 1 // N=10000
+	athlon, hetero, p2x5 := byName["Athlon x 1"], byName["Ath+P2x4"], byName["P2 x 5"]
+	ratio := hetero.Y[last] / p2x5.Y[last]
+	if ratio < 0.7 || ratio > 1.35 {
+		t.Fatalf("Ath+P2x4 / P2x5 at N=10000 = %.2f, want ≈ 1 (load imbalance)", ratio)
+	}
+	// Athlon memory wall at 10000: below its own N=9000 value.
+	if athlon.Y[last] >= athlon.Y[last-1] {
+		t.Fatalf("Athlon should degrade at N=10000: %.2f vs %.2f", athlon.Y[last], athlon.Y[last-1])
+	}
+	if p2x5.Y[last] < p2x5.Y[last-1]*0.95 {
+		t.Fatalf("P2 x 5 should not degrade at N=10000")
+	}
+}
+
+// Figure 3(b): the best n grows with N; n=4 reaches well past the lone
+// Athlon at N=10000 (paper: 77% of the 2.2 Gflops peak).
+func TestFigure3bShape(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	series, err := ctx.Figure3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	last := len(figure3Ns) - 1
+	n4, n1, lone := byName["n = 4"], byName["n = 1"], byName["Athlon x 1"]
+	if n4.Y[last] <= n1.Y[last] {
+		t.Fatalf("at N=10000 n=4 (%.2f) should beat n=1 (%.2f)", n4.Y[last], n1.Y[last])
+	}
+	if n4.Y[last] <= lone.Y[last] {
+		t.Fatal("at N=10000 multiprocessing should beat the lone Athlon")
+	}
+	// At the smallest size the ordering reverses (overhead dominates).
+	if n4.Y[0] >= n1.Y[0] {
+		t.Fatalf("at N=1000 n=4 (%.2f) should lose to n=1 (%.2f)", n4.Y[0], n1.Y[0])
+	}
+}
+
+// Figures 6/7: the adjustment tightens the correlation for M1 >= 3 configs.
+func TestCorrelationAdjustmentImproves(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	bm := models["Basic"]
+	raw, err := ctx.Correlation(bm, 6400, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := ctx.Correlation(bm, 6400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(adj) || len(raw) < 50 {
+		t.Fatalf("correlation points: raw %d adj %d", len(raw), len(adj))
+	}
+	sse := func(points []CorrPoint) float64 {
+		var s float64
+		for _, p := range points {
+			d := (p.Est - p.Meas) / p.Meas
+			s += d * d
+		}
+		return s
+	}
+	if sse(adj) >= sse(raw) {
+		t.Fatalf("adjustment did not improve fit: sse adj %.3f vs raw %.3f", sse(adj), sse(raw))
+	}
+	// Correlation should be strong after adjustment.
+	var xs, ys []float64
+	for _, p := range adj {
+		xs = append(xs, p.Est)
+		ys = append(ys, p.Meas)
+	}
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 {
+		t.Fatalf("adjusted correlation r = %.3f, want ≥ 0.95", r)
+	}
+}
+
+func TestAblationAdjustment(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	abl, err := ctx.AblationAdjustment(models["Basic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.MeanAbsWith >= abl.MeanAbsWithout {
+		t.Fatalf("adjustment should reduce mean |error|: %.3f vs %.3f",
+			abl.MeanAbsWith, abl.MeanAbsWithout)
+	}
+	if !strings.Contains(abl.Render(), "Ablation") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationOptimizer(t *testing.T) {
+	_, models := ctxAndModels(t)
+	abl, err := AblationOptimizer(models["Basic"], 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.HeuristicEvals >= abl.ExhaustiveEvals {
+		t.Fatalf("heuristic used %d evals vs %d exhaustive — no savings",
+			abl.HeuristicEvals, abl.ExhaustiveEvals)
+	}
+	if abl.HeuristicTau > abl.ExhaustiveTau*1.25 {
+		t.Fatalf("heuristic tau %.1f far from exhaustive %.1f", abl.HeuristicTau, abl.ExhaustiveTau)
+	}
+}
+
+func TestAblationBcast(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 2}, {PEs: 8, Procs: 1}}}
+	abl, err := ctx.AblationBcast(cfg, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.RingTime <= 0 || abl.BinomTime <= 0 {
+		t.Fatalf("ablation times: %+v", abl)
+	}
+}
+
+func TestGridTables(t *testing.T) {
+	grid, err := GridFor(measure.BasicCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: (6 + 48) x 9 = 486 sets.
+	if grid.TotalRuns != 486 {
+		t.Fatalf("Basic runs = %d, want 486", grid.TotalRuns)
+	}
+	nlGrid, _ := GridFor(measure.NLCampaign())
+	// Paper: (6 + 24) x 4 = 120 sets.
+	if nlGrid.TotalRuns != 120 {
+		t.Fatalf("NL runs = %d, want 120", nlGrid.TotalRuns)
+	}
+	if !strings.Contains(grid.Render(), "486") {
+		t.Fatal("grid render missing total")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	ctx, models := ctxAndModels(t)
+	if !strings.Contains(ctx.Table1(), "Athlon-1333") {
+		t.Fatal("Table 1 missing Athlon")
+	}
+	table, err := ctx.EvaluationTable(models["Basic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	if !strings.Contains(out, "errExec") || !strings.Contains(out, "9600") {
+		t.Fatalf("evaluation render incomplete:\n%s", out)
+	}
+	cost := costTableFromResult(models["Basic"].Result)
+	if !strings.Contains(cost.Render(), "Total") {
+		t.Fatal("cost render incomplete")
+	}
+	if RenderSeries("t", "x", "y", nil) == "" {
+		t.Fatal("empty series render")
+	}
+}
+
+func TestWriteFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is expensive")
+	}
+	ctx, _ := ctxAndModels(t)
+	var sb strings.Builder
+	if err := ctx.WriteFullReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	report := sb.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3(a)", "Figure 3(b)",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 11", "Figure 12", "Figure 15",
+		"Campaign Basic", "Campaign NL", "Campaign NS",
+		"Estimated vs actual best configurations (Basic model)",
+		"Estimated vs actual best configurations (NL model)",
+		"Estimated vs actual best configurations (NS model)",
+		"Measurement cost, campaign Basic",
+		"Ablation",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestAblationNB(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}
+	abl, err := ctx.AblationNB(cfg, 3200, []int{16, 32, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Walls) != 5 {
+		t.Fatalf("walls = %v", abl.Walls)
+	}
+	best, wall := abl.Best()
+	if wall <= 0 {
+		t.Fatalf("best wall = %v", wall)
+	}
+	// The sweep must not be monotone: both extremes lose to the middle
+	// (tiny NB pays per-call and per-panel costs; huge NB serializes the
+	// panel factorization).
+	if best == 16 || best == 256 {
+		t.Fatalf("best NB = %d; expected an interior optimum (walls %v)", best, abl.Walls)
+	}
+	if !strings.Contains(abl.Render(), "best NB=") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationGrid(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}}}
+	abl, err := ctx.AblationGrid(cfg, 2048, [][2]int{{1, 8}, {2, 4}, {4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Walls) != 3 {
+		t.Fatalf("walls = %v", abl.Walls)
+	}
+	for i, w := range abl.Walls {
+		if w <= 0 {
+			t.Fatalf("shape %v wall = %v", abl.Shapes[i], w)
+		}
+	}
+	if !strings.Contains(abl.Render(), "process grid") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	abl, err := ctx.AblationContention(2<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight equal streams through one link drain in exactly 8x the
+	// independent time (work conservation), so the slowdown is 8.
+	if s := abl.Slowdown(); s < 7.99 || s > 8.01 {
+		t.Fatalf("slowdown = %v, want 8", s)
+	}
+	if !strings.Contains(abl.Render(), "contention") {
+		t.Fatal("render broken")
+	}
+	if _, err := ctx.AblationContention(-1, 2); err == nil {
+		t.Fatal("bad bytes accepted")
+	}
+}
+
+// Cross-validation across campaigns: Basic (9 sizes) is validatable with
+// small held-out errors; NL and NS (4 sizes, zero degrees of freedom)
+// cannot be validated at all — the statistical fingerprint of the paper's
+// NS failure.
+func TestCrossValidationAcrossCampaigns(t *testing.T) {
+	_, models := ctxAndModels(t)
+	basicCV, err := core.CrossValidateNT(models["Basic"].Result.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basicCV) == 0 {
+		t.Fatal("Basic campaign should be cross-validatable")
+	}
+	for _, name := range []string{"NL", "NS"} {
+		cv, err := core.CrossValidateNT(models[name].Result.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cv) != 0 {
+			t.Fatalf("%s has zero DoF and should be unvalidatable, got %d results", name, len(cv))
+		}
+	}
+}
+
+func TestAblationLookahead(t *testing.T) {
+	ctx, _ := ctxAndModels(t)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}
+	abl, err := ctx.AblationLookahead(cfg, 4800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.Gain() <= 0 {
+		t.Fatalf("lookahead should help a bcast-heavy config: %+v", abl)
+	}
+	if !strings.Contains(abl.Render(), "lookahead") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/netpipe"
+	"hetmodel/internal/simnet"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// RenderSeries prints a set of curves as aligned columns (X, then one
+// column per series).
+func RenderSeries(title, xLabel, yLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %10s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	fmt.Fprintf(&b, "   [%s]\n", yLabel)
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "  %10.0f", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14.3f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// figure1Ns are the sizes swept in Figures 1 and 3.
+var figure1Ns = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000}
+
+// Figure1 reproduces the multiprocessing performance of a single Athlon
+// under one messaging library: Gflops vs N for n = 1..4 processes
+// (paper Figure 1(a): MPICH-1.2.1-like; 1(b): 1.2.2-like).
+func Figure1(lib *simnet.CommLibrary, params hpl.Params) ([]Series, error) {
+	cl, err := cluster.NewPaper(lib)
+	if err != nil {
+		return nil, err
+	}
+	ctx := NewContext(cl, params)
+	var out []Series
+	for n := 1; n <= 4; n++ {
+		s := Series{Name: fmt.Sprintf("%dP/CPU", n)}
+		cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: n}, {}}}
+		for _, size := range figure1Ns {
+			r, err := ctx.Run(cfg, size)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, r.Gflops)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure2 reproduces the NetPIPE throughput sweep between two processes on
+// the same node for one messaging library (paper Figure 2).
+func Figure2(lib *simnet.CommLibrary) ([]netpipe.Point, error) {
+	fabric, err := simnet.NewFabric(lib, simnet.NewFast100TX())
+	if err != nil {
+		return nil, err
+	}
+	return netpipe.Run(fabric, netpipe.Sweep{
+		MinBytes:       1024,
+		MaxBytes:       256 * 1024,
+		StepsPerOctave: 2,
+		SameNode:       true,
+	})
+}
+
+// RenderFigure2 prints a NetPIPE sweep in the paper's units.
+func RenderFigure2(name string, points []netpipe.Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 (%s): intra-node throughput vs block size\n", name)
+	fmt.Fprintf(&b, "  %12s %12s\n", "KBytes", "Gbps")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %12.1f %12.3f\n", p.Bytes/1024, p.Gbps)
+	}
+	return b.String()
+}
+
+// figure3Ns extends the sweep to the memory wall at N = 10000.
+var figure3Ns = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
+
+// Figure3a reproduces the load-imbalance comparison: a single Athlon,
+// the naive heterogeneous set (Athlon + 4 P-II), and five P-IIs.
+func (c *Context) Figure3a() ([]Series, error) {
+	configs := []struct {
+		name string
+		cfg  cluster.Configuration
+	}{
+		{"Athlon x 1", cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}},
+		{"Ath+P2x4", cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 4, Procs: 1}}}},
+		{"P2 x 5", cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 5, Procs: 1}}}},
+	}
+	var out []Series
+	for _, cc := range configs {
+		s := Series{Name: cc.name}
+		for _, n := range figure3Ns {
+			r, err := c.Run(cc.cfg, n)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, r.Gflops)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure3b reproduces the multiprocessing sweep on the heterogeneous set:
+// n = 1..4 processes on the Athlon plus four single-process P-IIs, with the
+// lone Athlon for contrast.
+func (c *Context) Figure3b() ([]Series, error) {
+	var out []Series
+	athlon := Series{Name: "Athlon x 1"}
+	lone := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}
+	for _, n := range figure3Ns {
+		r, err := c.Run(lone, n)
+		if err != nil {
+			return nil, err
+		}
+		athlon.X = append(athlon.X, float64(n))
+		athlon.Y = append(athlon.Y, r.Gflops)
+	}
+	out = append(out, athlon)
+	for m1 := 1; m1 <= 4; m1++ {
+		s := Series{Name: fmt.Sprintf("n = %d", m1)}
+		cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: m1}, {PEs: 4, Procs: 1}}}
+		for _, n := range figure3Ns {
+			r, err := c.Run(cfg, n)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, r.Gflops)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CorrPoint is one point of a correlation scatter (paper Figures 6–15):
+// estimated vs measured execution time for one evaluation configuration.
+type CorrPoint struct {
+	Config cluster.Configuration
+	// M1 is the Athlon process count (the paper's legend key; 0 when the
+	// Athlon is unused).
+	M1 int
+	// Est is the model estimate (T), Meas the simulated measurement (t).
+	Est, Meas float64
+}
+
+// Correlation computes the estimate-vs-measurement scatter of a built model
+// at one size over the 62 evaluation configurations. adjusted selects
+// whether the §4.1 correction is applied (Figures 6/8/9/12/14 are raw,
+// 7/10/11/13/15 adjusted). Configurations the model cannot score are
+// skipped, as in the paper's plots.
+func (c *Context) Correlation(bm *BuiltModel, n int, adjusted bool) ([]CorrPoint, error) {
+	models := bm.Models
+	saved := models.Adjust
+	if !adjusted {
+		models.Adjust = nil
+	}
+	defer func() { models.Adjust = saved }()
+
+	var out []CorrPoint
+	for _, cfg := range EvalConfigs() {
+		est, err := models.Estimate(cfg, float64(n))
+		if err != nil || math.IsInf(est, 0) {
+			continue
+		}
+		r, err := c.Run(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorrPoint{
+			Config: cfg,
+			M1:     cfg.Use[0].Procs,
+			Est:    est,
+			Meas:   r.WallTime,
+		})
+	}
+	return out, nil
+}
+
+// RenderCorrelation prints a correlation scatter with its Pearson r.
+func RenderCorrelation(title string, points []CorrPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %14s %4s %12s %12s\n", "config", "M1", "T(est)", "t(meas)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %14s %4d %12.2f %12.2f\n", p.Config, p.M1, p.Est, p.Meas)
+	}
+	return b.String()
+}

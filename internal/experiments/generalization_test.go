@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/machine"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/simnet"
+)
+
+// threeClassCluster builds a machine beyond the paper's two classes: one
+// fast node, two mid dual nodes, three slow dual nodes.
+func threeClassCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	fast := machine.NewAthlon()
+	mid := machine.NewPentiumII()
+	mid.Name = "Mid-600"
+	mid.GemmPeak *= 2
+	mid.PanelPeak *= 2
+	mid.RowOpPeak *= 1.5
+	slow := machine.NewPentiumII()
+
+	mkNodes := func(pe *machine.PEType, cpus, count int, prefix string) []*machine.Node {
+		var out []*machine.Node
+		for i := 0; i < count; i++ {
+			out = append(out, &machine.Node{
+				Name: prefix, Type: pe, CPUs: cpus, MemoryBytes: 768 << 20,
+			})
+		}
+		return out
+	}
+	fabric, err := simnet.NewFabric(simnet.NewMPICH122(), simnet.NewFast100TX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New([]cluster.Class{
+		{Name: "fast", Nodes: mkNodes(fast, 1, 1, "fast1")},
+		{Name: "mid", Nodes: mkNodes(mid, 2, 2, "mid")},
+		{Name: "slow", Nodes: mkNodes(slow, 2, 3, "slow")},
+	}, fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestThreeClassPipeline exercises the whole method on a three-class
+// cluster: homogeneous campaigns per class, N-T/P-T fits, composition for
+// the class with a single PE, optimization, and verification against
+// simulation — the paper's formalism with nothing hard-coded to two
+// classes.
+func TestThreeClassPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-class campaign")
+	}
+	cl := threeClassCluster(t)
+	ns := []int{1024, 2048, 3072, 4096}
+
+	use := func(class, pes, procs int) cluster.Configuration {
+		cfg := cluster.Configuration{Use: make([]cluster.ClassUse, 3)}
+		cfg.Use[class] = cluster.ClassUse{PEs: pes, Procs: procs}
+		return cfg
+	}
+
+	var samples []core.Sample
+	run := func(cfg cluster.Configuration, n int) *hpl.Result {
+		t.Helper()
+		r, err := hpl.Run(cl, cfg, hpl.Params{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Fast class: single PE only (composition target), M = 1..3.
+	for _, m := range []int{1, 2, 3} {
+		for _, n := range ns {
+			samples = append(samples, measure.SamplesFromResult(run(use(0, 1, m), n))...)
+		}
+	}
+	// Mid and slow classes: homogeneous multi-PE grids.
+	for class, peList := range map[int][]int{1: {1, 2, 4}, 2: {1, 2, 4, 6}} {
+		for _, pes := range peList {
+			for _, m := range []int{1, 2, 3} {
+				for _, n := range ns {
+					samples = append(samples, measure.SamplesFromResult(run(use(class, pes, m), n))...)
+				}
+			}
+		}
+	}
+
+	ms, err := core.Build(3, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid and slow have their own P-T models; fast is composed from slow.
+	if _, ok := ms.PT[core.PTKey{Class: 1, M: 1}]; !ok {
+		t.Fatal("mid class has no P-T model")
+	}
+	if _, ok := ms.PT[core.PTKey{Class: 2, M: 1}]; !ok {
+		t.Fatal("slow class has no P-T model")
+	}
+	scale, err := ms.FitCompositionScale(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale <= 0 || scale >= 1 {
+		t.Fatalf("fast/slow composition scale = %v, want in (0,1)", scale)
+	}
+	if err := ms.ComposeClass(0, 2, scale, 0.85); err != nil {
+		t.Fatal(err)
+	}
+
+	// Candidate space over all three classes.
+	space := cluster.Space{
+		PEChoices:   [][]int{{0, 1}, {0, 2, 4}, {0, 3, 6}},
+		ProcChoices: [][]int{{1, 2, 3}, {1}, {1}},
+	}
+	candidates, err := space.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const evalN = 6144
+	best, tau, err := ms.Optimize(candidates, evalN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 {
+		t.Fatalf("tau = %v", tau)
+	}
+	bestTime := run(best, evalN).WallTime
+	actT := math.Inf(1)
+	var actBest cluster.Configuration
+	for _, cfg := range candidates {
+		w := run(cfg, evalN).WallTime
+		if w < actT {
+			actT, actBest = w, cfg
+		}
+	}
+	penalty := (bestTime - actT) / actT
+	if penalty > 0.15 {
+		t.Fatalf("three-class pick %s costs %.1f%% over optimal %s", best, penalty*100, actBest)
+	}
+}

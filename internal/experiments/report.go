@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/measure"
+	"hetmodel/internal/simnet"
+)
+
+// WriteFullReport regenerates every table and figure of the paper's
+// evaluation section and writes them, in paper order, to w. This is the
+// entry point of cmd/experiments and the source of EXPERIMENTS.md's
+// measured numbers.
+func (c *Context) WriteFullReport(w io.Writer) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("== Reproduction report: Kishimoto & Ichikawa, IPDPS 2004 ==\n\n")
+	p("%s\n", c.Table1())
+
+	// Figures 1 and 2: the MPICH version contrast.
+	for _, lib := range []*simnet.CommLibrary{simnet.NewMPICH121(), simnet.NewMPICH122()} {
+		series, err := Figure1(lib, c.Params)
+		if err != nil {
+			return err
+		}
+		p("%s\n", RenderSeries(
+			fmt.Sprintf("Figure 1 (%s): single-Athlon multiprocessing", lib.Name),
+			"N", "Gflops", series))
+		points, err := Figure2(lib)
+		if err != nil {
+			return err
+		}
+		p("%s\n", RenderFigure2(lib.Name, points))
+	}
+
+	// Figure 3: load imbalance and multiprocessing on the heterogeneous
+	// cluster.
+	f3a, err := c.Figure3a()
+	if err != nil {
+		return err
+	}
+	p("%s\n", RenderSeries("Figure 3(a): load imbalance", "N", "Gflops", f3a))
+	f3b, err := c.Figure3b()
+	if err != nil {
+		return err
+	}
+	p("%s\n", RenderSeries("Figure 3(b): multiprocessing", "N", "Gflops", f3b))
+
+	// The three campaigns: grid, cost, models, evaluation, correlations.
+	campaigns := []measure.Campaign{
+		measure.BasicCampaign(),
+		measure.NLCampaign(),
+		measure.NSCampaign(),
+	}
+	corrTargets := map[string][]int{
+		"Basic": {6400},       // Figures 6, 7
+		"NL":    {1600, 6400}, // Figures 8–11
+		"NS":    {1600, 6400}, // Figures 12–15
+	}
+	figNo := map[string]map[int][2]int{
+		"Basic": {6400: {6, 7}},
+		"NL":    {1600: {8, 10}, 6400: {9, 11}},
+		"NS":    {1600: {12, 13}, 6400: {14, 15}},
+	}
+	for _, camp := range campaigns {
+		grid, err := GridFor(camp)
+		if err != nil {
+			return err
+		}
+		p("%s\n", grid.Render())
+
+		bm, err := c.BuildModel(camp)
+		if err != nil {
+			return err
+		}
+		p("%s model: %d N-T bins, %d P-T bins, composition Ta x%.3f Tc x%.2f\n",
+			camp.Name, len(bm.Models.NT), len(bm.Models.PT), bm.TaScale, TcScaleDefault)
+		for class, lt := range bm.Models.Adjust {
+			p("  adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+		}
+		p("\n%s\n", costTableFromResult(bm.Result).Render())
+
+		for _, n := range corrTargets[camp.Name] {
+			nums := figNo[camp.Name][n]
+			raw, err := c.Correlation(bm, n, false)
+			if err != nil {
+				return err
+			}
+			p("%s\n", RenderCorrelation(
+				fmt.Sprintf("Figure %d (%s, N=%d, raw estimates)", nums[0], camp.Name, n), raw))
+			adj, err := c.Correlation(bm, n, true)
+			if err != nil {
+				return err
+			}
+			p("%s\n", RenderCorrelation(
+				fmt.Sprintf("Figure %d (%s, N=%d, after adjustment)", nums[1], camp.Name, n), adj))
+		}
+
+		table, err := c.EvaluationTable(bm)
+		if err != nil {
+			return err
+		}
+		p("%s\n", table.Render())
+
+		abl, err := c.AblationAdjustment(bm)
+		if err != nil {
+			return err
+		}
+		p("%s\n", abl.Render())
+		if camp.Name == "Basic" {
+			opt, err := AblationOptimizer(bm, 6400)
+			if err != nil {
+				return err
+			}
+			p("%s", opt.Render())
+			bc, err := c.AblationBcast(cluster.Configuration{
+				Use: []cluster.ClassUse{{PEs: 1, Procs: 2}, {PEs: 8, Procs: 1}},
+			}, 4800)
+			if err != nil {
+				return err
+			}
+			p("Ablation: bcast at N=%d %s — ring %.1fs vs binomial %.1fs\n\n",
+				bc.N, bc.Config, bc.RingTime, bc.BinomTime)
+			nbAbl, err := c.AblationNB(cluster.Configuration{
+				Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}},
+			}, 3200, []int{16, 32, 64, 128, 256})
+			if err != nil {
+				return err
+			}
+			p("%s\n", nbAbl.Render())
+			gridAbl, err := c.AblationGrid(cluster.Configuration{
+				Use: []cluster.ClassUse{{}, {PEs: 8, Procs: 1}},
+			}, 3200, [][2]int{{1, 8}, {2, 4}, {4, 2}, {8, 1}})
+			if err != nil {
+				return err
+			}
+			p("%s\n", gridAbl.Render())
+			la, err := c.AblationLookahead(cluster.Configuration{
+				Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}},
+			}, 4800)
+			if err != nil {
+				return err
+			}
+			p("%s\n", la.Render())
+			cont, err := c.AblationContention(2<<20, 8)
+			if err != nil {
+				return err
+			}
+			p("%s\n", cont.Render())
+			cv, err := core.CrossValidateNT(bm.Result.Samples)
+			if err != nil {
+				return err
+			}
+			p("Cross-validation (Basic): %d bins validatable, worst held-out |Ta err| = %.3f, worst per-bin median = %.3f\n\n",
+				len(cv), core.WorstCVError(cv), core.MedianCVError(cv))
+		}
+	}
+	return nil
+}

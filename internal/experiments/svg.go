@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hetmodel/internal/measure"
+	"hetmodel/internal/plot"
+	"hetmodel/internal/simnet"
+)
+
+// WriteFigureSVGs renders every figure of the paper as an SVG file in dir
+// (created if needed) and returns the written file names in order. It
+// builds the three models itself, reusing the context's run cache.
+func (c *Context) WriteFigureSVGs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name string, ch *plot.Chart) error {
+		svg, err := ch.SVG()
+		if err != nil {
+			return fmt.Errorf("experiments: render %s: %w", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	// Figures 1(a)/1(b): multiprocessing under the two libraries.
+	for _, lf := range []struct {
+		lib  *simnet.CommLibrary
+		file string
+		sub  string
+	}{
+		{simnet.NewMPICH121(), "figure1a.svg", "(a) MPICH-1.2.1-like"},
+		{simnet.NewMPICH122(), "figure1b.svg", "(b) MPICH-1.2.2-like"},
+	} {
+		series, err := Figure1(lf.lib, c.Params)
+		if err != nil {
+			return written, err
+		}
+		ch := plot.New("Figure 1 "+lf.sub+": Athlon multiprocessing", "N (matrix order)", "Gflops")
+		for _, s := range series {
+			ch.Line(s.Name, s.X, s.Y)
+		}
+		if err := write(lf.file, ch); err != nil {
+			return written, err
+		}
+	}
+
+	// Figures 2(a)/2(b): intra-node throughput (log-x).
+	for _, lf := range []struct {
+		lib  *simnet.CommLibrary
+		file string
+		sub  string
+	}{
+		{simnet.NewMPICH121(), "figure2a.svg", "(a) MPICH-1.2.1-like"},
+		{simnet.NewMPICH122(), "figure2b.svg", "(b) MPICH-1.2.2-like"},
+	} {
+		points, err := Figure2(lf.lib)
+		if err != nil {
+			return written, err
+		}
+		ch := plot.New("Figure 2 "+lf.sub+": intra-node throughput", "Block size [KBytes]", "Throughput [Gbps]")
+		ch.LogX = true
+		var xs, ys []float64
+		for _, p := range points {
+			xs = append(xs, p.Bytes/1024)
+			ys = append(ys, p.Gbps)
+		}
+		ch.Line("Athlon", xs, ys)
+		if err := write(lf.file, ch); err != nil {
+			return written, err
+		}
+	}
+
+	// Figures 3(a)/3(b).
+	f3a, err := c.Figure3a()
+	if err != nil {
+		return written, err
+	}
+	ch := plot.New("Figure 3(a): load imbalance", "N (matrix order)", "Gflops")
+	for _, s := range f3a {
+		ch.Line(s.Name, s.X, s.Y)
+	}
+	if err := write("figure3a.svg", ch); err != nil {
+		return written, err
+	}
+	f3b, err := c.Figure3b()
+	if err != nil {
+		return written, err
+	}
+	ch = plot.New("Figure 3(b): multiprocessing", "N (matrix order)", "Gflops")
+	for _, s := range f3b {
+		ch.Line(s.Name, s.X, s.Y)
+	}
+	if err := write("figure3b.svg", ch); err != nil {
+		return written, err
+	}
+
+	// Figures 6-15: correlation scatters per campaign/size/adjustment.
+	type corrSpec struct {
+		fig      int
+		campaign string
+		n        int
+		adjusted bool
+	}
+	specs := []corrSpec{
+		{6, "Basic", 6400, false}, {7, "Basic", 6400, true},
+		{8, "NL", 1600, false}, {9, "NL", 6400, false},
+		{10, "NL", 1600, true}, {11, "NL", 6400, true},
+		{12, "NS", 1600, false}, {13, "NS", 1600, true},
+		{14, "NS", 6400, false}, {15, "NS", 6400, true},
+	}
+	built := map[string]*BuiltModel{}
+	for _, spec := range specs {
+		bm, ok := built[spec.campaign]
+		if !ok {
+			var camp measure.Campaign
+			switch spec.campaign {
+			case "Basic":
+				camp = measure.BasicCampaign()
+			case "NL":
+				camp = measure.NLCampaign()
+			case "NS":
+				camp = measure.NSCampaign()
+			}
+			var err error
+			bm, err = c.BuildModel(camp)
+			if err != nil {
+				return written, err
+			}
+			built[spec.campaign] = bm
+		}
+		points, err := c.Correlation(bm, spec.n, spec.adjusted)
+		if err != nil {
+			return written, err
+		}
+		variant := "original estimations"
+		if spec.adjusted {
+			variant = "after adjustment"
+		}
+		ch := plot.New(
+			fmt.Sprintf("Figure %d: %s model, N = %d, %s", spec.fig, spec.campaign, spec.n, variant),
+			"T [sec.] : Estimation", "t [sec.] : Measurement")
+		ch.ShowDiagonal = true
+		// Group points by M1, the paper's legend.
+		byM1 := map[int][][2]float64{}
+		for _, p := range points {
+			byM1[p.M1] = append(byM1[p.M1], [2]float64{p.Est, p.Meas})
+		}
+		m1s := make([]int, 0, len(byM1))
+		for m1 := range byM1 {
+			m1s = append(m1s, m1)
+		}
+		sort.Ints(m1s)
+		for _, m1 := range m1s {
+			var xs, ys []float64
+			for _, pt := range byM1[m1] {
+				xs = append(xs, pt[0])
+				ys = append(ys, pt[1])
+			}
+			ch.Scatter(fmt.Sprintf("M1=%d", m1), xs, ys)
+		}
+		if err := write(fmt.Sprintf("figure%d.svg", spec.fig), ch); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigureSVGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure rendering builds all three models")
+	}
+	ctx, _ := ctxAndModels(t)
+	dir := t.TempDir()
+	files, err := ctx.WriteFigureSVGs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 (fig 1) + 2 (fig 2) + 2 (fig 3) + 10 (fig 6-15) = 16 figures.
+	if len(files) != 16 {
+		t.Fatalf("wrote %d figures, want 16: %v", len(files), files)
+	}
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every figure is well-formed XML containing drawable marks.
+		dec := xml.NewDecoder(strings.NewReader(string(data)))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%s: invalid XML: %v", name, err)
+			}
+		}
+		s := string(data)
+		if !strings.Contains(s, "<polyline") && !strings.Contains(s, "<circle") {
+			t.Fatalf("%s has no marks", name)
+		}
+	}
+	// Correlation figures carry the diagonal.
+	d, _ := os.ReadFile(filepath.Join(dir, "figure6.svg"))
+	if !strings.Contains(string(d), "stroke-dasharray") {
+		t.Fatal("figure6 missing the T=t diagonal")
+	}
+}

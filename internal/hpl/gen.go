@@ -1,0 +1,68 @@
+package hpl
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// columnRNG returns a deterministic generator for global column gc, so any
+// rank (and the validation step) can regenerate identical matrix columns
+// without communication — the role HPL's pdmatgen plays.
+func columnRNG(seed int64, gc int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(gc)*7919 + 17))
+}
+
+// GenColumn fills dst (length N) with the entries of global column gc.
+// Entries are uniform in [-0.5, 0.5), HPL's distribution. Exported so the
+// 2D-grid variant factorizes identical matrices.
+func GenColumn(seed int64, gc int, dst []float64) {
+	genColumn(seed, gc, dst)
+}
+
+// GenRHS fills dst with the shared right-hand-side vector.
+func GenRHS(seed int64, dst []float64) {
+	genRHS(seed, dst)
+}
+
+// genColumn fills dst (length N) with the entries of global column gc.
+func genColumn(seed int64, gc int, dst []float64) {
+	rng := columnRNG(seed, gc)
+	for i := range dst {
+		dst[i] = rng.Float64() - 0.5
+	}
+}
+
+// genRHS fills dst (length N) with the right-hand-side vector, generated as
+// pseudo-column index -1.
+func genRHS(seed int64, dst []float64) {
+	genColumn(seed, -1, dst)
+}
+
+// RunNoise returns the deterministic measurement perturbation of one rank
+// of one run: a compute-rate factor 1 + amp·u (u uniform in [-1, 1)) and an
+// absolute compute-time offset absAmp·u' in seconds. It hashes the run
+// identity so repeated executions reproduce identical "measurements" while
+// distinct (N, configuration, rank) triples decorrelate.
+func RunNoise(seed int64, n int, cfgKey string, rank int, amp, absAmp float64) (factor, offset float64) {
+	if amp <= 0 && absAmp <= 0 {
+		return 1, 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(seed))
+	put(uint64(n))
+	h.Write([]byte(cfgKey))
+	put(uint64(rank))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	factor = 1 + amp*(2*rng.Float64()-1)
+	// Interference only ever adds time; the offset is uniform in
+	// [0, 2·absAmp) so its mean is absAmp.
+	offset = absAmp * 2 * rng.Float64()
+	return factor, offset
+}

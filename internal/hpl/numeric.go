@@ -1,0 +1,220 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"hetmodel/internal/linalg"
+)
+
+// matrixPayload aliases the dense matrix type used in broadcast payloads.
+type matrixPayload = linalg.Matrix
+
+// numState is the per-rank numeric storage for a real factorization run:
+// the rank's block-cyclic share of the matrix, all N rows of each owned
+// column block.
+type numState struct {
+	lay   Layout
+	rank  int
+	seed  int64
+	local *linalg.Matrix
+}
+
+func newNumState(lay Layout, rank int, seed int64) *numState {
+	cols := lay.LocalCols(rank)
+	st := &numState{lay: lay, rank: rank, seed: seed, local: linalg.NewMatrix(lay.N(), cols)}
+	// Generate owned columns deterministically (HPL's pdmatgen role).
+	col := make([]float64, lay.N())
+	for j := rank; j < lay.NumPanels(); j += lay.P() {
+		off := lay.LocalOffset(j)
+		for c := 0; c < lay.Width(j); c++ {
+			genColumn(seed, j*lay.NB()+c, col)
+			for i := 0; i < lay.N(); i++ {
+				st.local.Set(i, off+c, col[i])
+			}
+		}
+	}
+	return st
+}
+
+// factorPanel performs the unblocked partial-pivoting factorization of the
+// rank's panel j (which it must own) and returns the broadcast payload: the
+// factored m×nb panel and the global pivot rows. Row swaps are applied to
+// the panel columns only; other columns are swapped in the laswp phase.
+func (st *numState) factorPanel(j int) *panelMsg {
+	lay := st.lay
+	nb := lay.Width(j)
+	off := lay.LocalOffset(j)
+	row0 := j * lay.NB()
+	m := lay.N() - row0
+	pivots := make([]int, nb)
+
+	for k := 0; k < nb; k++ {
+		gr := row0 + k
+		lc := off + k
+		// Partial pivoting over rows gr..N-1 of this column.
+		piv := gr
+		maxv := math.Abs(st.local.At(gr, lc))
+		for i := gr + 1; i < lay.N(); i++ {
+			if v := math.Abs(st.local.At(i, lc)); v > maxv {
+				maxv, piv = v, i
+			}
+		}
+		pivots[k] = piv
+		if piv != gr {
+			// Swap within the panel block only.
+			for c := off; c < off+nb; c++ {
+				a, b := st.local.At(gr, c), st.local.At(piv, c)
+				st.local.Set(gr, c, b)
+				st.local.Set(piv, c, a)
+			}
+		}
+		d := st.local.At(gr, lc)
+		if d == 0 {
+			// Singular column: keep zeros (multipliers stay zero), as
+			// HPL would produce a failed residual rather than crash.
+			continue
+		}
+		inv := 1 / d
+		for i := gr + 1; i < lay.N(); i++ {
+			st.local.Set(i, lc, st.local.At(i, lc)*inv)
+		}
+		// Rank-1 update of the remaining panel columns.
+		for c := k + 1; c < nb; c++ {
+			ucv := st.local.At(gr, off+c)
+			if ucv == 0 {
+				continue
+			}
+			for i := gr + 1; i < lay.N(); i++ {
+				st.local.Set(i, off+c, st.local.At(i, off+c)-st.local.At(i, lc)*ucv)
+			}
+		}
+	}
+
+	// Copy the factored panel (rows row0.., panel columns) for broadcast.
+	l := linalg.NewMatrix(m, nb)
+	for i := 0; i < m; i++ {
+		for c := 0; c < nb; c++ {
+			l.Set(i, c, st.local.At(row0+i, off+c))
+		}
+	}
+	return &panelMsg{L: l, Pivots: pivots}
+}
+
+// applySwaps applies panel j's pivots to every local column block except
+// panel j itself (the laswp phase).
+func (st *numState) applySwaps(j int, pivots []int) {
+	lay := st.lay
+	row0 := j * lay.NB()
+	for jj := st.rank; jj < lay.NumPanels(); jj += lay.P() {
+		if jj == j {
+			continue
+		}
+		off := lay.LocalOffset(jj)
+		w := lay.Width(jj)
+		for k, piv := range pivots {
+			gr := row0 + k
+			if piv == gr {
+				continue
+			}
+			for c := off; c < off+w; c++ {
+				a, b := st.local.At(gr, c), st.local.At(piv, c)
+				st.local.Set(gr, c, b)
+				st.local.Set(piv, c, a)
+			}
+		}
+	}
+}
+
+// update applies panel j's factors to every trailing block of the rank.
+func (st *numState) update(j int, pm *panelMsg) {
+	st.updateFiltered(j, pm, func(int) bool { return true })
+}
+
+// updateFiltered applies panel j's factors (U12 ← L11⁻¹·A12 then
+// A22 ← A22 − L2·U12) to the rank's trailing blocks selected by keep.
+func (st *numState) updateFiltered(j int, pm *panelMsg, keep func(jj int) bool) {
+	lay := st.lay
+	nb := lay.Width(j)
+	row0 := j * lay.NB()
+	m := lay.N() - row0
+	// L11: unit lower triangle of the first nb panel rows.
+	l11 := pm.L.Slice(0, nb, 0, nb)
+	var l2 *linalg.Matrix
+	if m > nb {
+		l2 = pm.L.Slice(nb, m, 0, nb)
+	}
+	for jj := st.rank; jj < lay.NumPanels(); jj += lay.P() {
+		if jj <= j || !keep(jj) {
+			continue
+		}
+		off := lay.LocalOffset(jj)
+		w := lay.Width(jj)
+		a12 := st.local.Slice(row0, row0+nb, off, off+w)
+		if err := linalg.SolveLowerUnit(l11, a12); err != nil {
+			panic(fmt.Sprintf("hpl: trsm failed: %v", err))
+		}
+		if l2 != nil {
+			a22 := st.local.Slice(row0+nb, lay.N(), off, off+w)
+			if err := linalg.MulAdd(-1, l2, a12, a22); err != nil {
+				panic(fmt.Sprintf("hpl: gemm failed: %v", err))
+			}
+		}
+	}
+}
+
+// validate reassembles the distributed packed LU, solves against the
+// generated right-hand side, and records the solution and HPL residual in
+// the result. It runs on the host after the virtual world drains.
+func (r *Result) validate(lay Layout, states []*numState, pivots [][]int) error {
+	n := lay.N()
+	full := linalg.NewMatrix(n, n)
+	for rank, st := range states {
+		for j := rank; j < lay.NumPanels(); j += lay.P() {
+			off := lay.LocalOffset(j)
+			for c := 0; c < lay.Width(j); c++ {
+				gc := j*lay.NB() + c
+				for i := 0; i < n; i++ {
+					full.Set(i, gc, st.local.At(i, off+c))
+				}
+			}
+		}
+	}
+	// Apply the recorded pivots to the right-hand side in panel order.
+	b := make([]float64, n)
+	genRHS(r.Params.Seed, b)
+	pb := append([]float64(nil), b...)
+	for j := 0; j < lay.NumPanels(); j++ {
+		row0 := j * lay.NB()
+		for k, piv := range pivots[j] {
+			gr := row0 + k
+			if piv != gr {
+				pb[gr], pb[piv] = pb[piv], pb[gr]
+			}
+		}
+	}
+	y, err := linalg.SolveLowerUnitVec(full, pb)
+	if err != nil {
+		return fmt.Errorf("hpl: forward substitution: %w", err)
+	}
+	x, err := linalg.SolveUpperVec(full, y)
+	if err != nil {
+		return fmt.Errorf("hpl: backward substitution: %w", err)
+	}
+	// Regenerate the original matrix for the residual check.
+	a := linalg.NewMatrix(n, n)
+	col := make([]float64, n)
+	for gc := 0; gc < n; gc++ {
+		genColumn(r.Params.Seed, gc, col)
+		for i := 0; i < n; i++ {
+			a.Set(i, gc, col[i])
+		}
+	}
+	resid, err := linalg.HPLResidual(a, x, b)
+	if err != nil {
+		return fmt.Errorf("hpl: residual: %w", err)
+	}
+	r.Solution = x
+	r.Residual = resid
+	return nil
+}

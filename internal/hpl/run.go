@@ -1,0 +1,314 @@
+package hpl
+
+import (
+	"fmt"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/machine"
+	"hetmodel/internal/vmpi"
+)
+
+// Layout captures the 1×P block-cyclic column distribution arithmetic. It
+// is shared with the other distributed applications built on the same
+// distribution (internal/chol).
+type Layout struct {
+	n, nb, p  int
+	numPanels int
+}
+
+// NewLayout returns the layout of an n-column matrix split into nb-wide
+// panels dealt round-robin over p ranks.
+func NewLayout(n, nb, p int) Layout {
+	return Layout{n: n, nb: nb, p: p, numPanels: (n + nb - 1) / nb}
+}
+
+// N returns the matrix order.
+func (l Layout) N() int { return l.n }
+
+// NB returns the panel width.
+func (l Layout) NB() int { return l.nb }
+
+// P returns the rank count.
+func (l Layout) P() int { return l.p }
+
+// NumPanels returns the number of panels.
+func (l Layout) NumPanels() int { return l.numPanels }
+
+// Owner returns the rank owning global panel j.
+func (l Layout) Owner(j int) int { return j % l.p }
+
+// Width returns the column count of panel j (only the last may be partial).
+func (l Layout) Width(j int) int {
+	w := l.n - j*l.nb
+	if w > l.nb {
+		w = l.nb
+	}
+	return w
+}
+
+// LocalCols returns the number of columns rank r owns.
+func (l Layout) LocalCols(r int) int {
+	total := 0
+	for j := r; j < l.numPanels; j += l.p {
+		total += l.Width(j)
+	}
+	return total
+}
+
+// LocalOffset returns the local column offset of global panel j on its
+// owner (all earlier owned panels are full width).
+func (l Layout) LocalOffset(j int) int { return (j / l.p) * l.nb }
+
+// TrailingLocalCols returns how many of rank r's columns lie strictly right
+// of panel j.
+func (l Layout) TrailingLocalCols(r, j int) int {
+	total := 0
+	for jj := r; jj < l.numPanels; jj += l.p {
+		if jj > j {
+			total += l.Width(jj)
+		}
+	}
+	return total
+}
+
+// panelMsg is the broadcast payload: the factored panel and its pivot rows.
+// In phantom mode both fields are nil — only the modelled byte size travels.
+type panelMsg struct {
+	// L holds the factored panel (m×nb): U in rows [0,nb), multipliers
+	// below.
+	L *matrixPayload
+	// Pivots are the global pivot rows chosen for each panel column.
+	Pivots []int
+}
+
+// Run executes HPL for the configuration on the cluster and returns the
+// detailed result. It is safe for concurrent use across distinct runs.
+func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	pl, err := cl.Place(cfg)
+	if err != nil {
+		return nil, err
+	}
+	P := pl.P()
+	lay := NewLayout(params.N, params.NB, P)
+	if params.N < P {
+		return nil, fmt.Errorf("%w: N=%d smaller than P=%d", ErrBadParams, params.N, P)
+	}
+
+	// Static compute multipliers: multiprocessing share and memory
+	// pressure (resident set is constant across the run).
+	nodeBytes := pl.NodeResidentBytes(func(rank int) float64 {
+		return 8*float64(params.N)*float64(lay.LocalCols(rank)) +
+			8*float64(params.N)*float64(params.NB) +
+			params.WorkspaceBytes
+	})
+	// mulBusy applies to phases where all co-resident processes compute
+	// (update, laswp); mulSolo to phases where one computes while siblings
+	// yield (pfact, uptrsv).
+	mulBusy := make([]float64, P)
+	mulSolo := make([]float64, P)
+	cfgKey := cfg.Key()
+	offsets := make([]float64, P)
+	for r := 0; r < P; r++ {
+		rp := pl.Ranks[r]
+		pressure := rp.Type.PressureFactor(nodeBytes[rp.NodeID], rp.Node.MemoryBytes)
+		jitter, offset := RunNoise(params.Seed, params.N, cfgKey, r, params.Noise, params.NoiseAbs)
+		mulBusy[r] = rp.Type.MultiprocFactor(rp.Resident) * pressure * jitter
+		mulSolo[r] = rp.Type.SoloFactor(rp.Resident) * pressure * jitter
+		offsets[r] = offset
+	}
+
+	// Numeric state per rank plus the pivot record (owner-written,
+	// disjoint indices, read only after the world drains).
+	var states []*numState
+	pivots := make([][]int, lay.NumPanels())
+	if params.Numeric {
+		states = make([]*numState, P)
+		for r := 0; r < P; r++ {
+			states[r] = newNumState(lay, r, params.Seed)
+		}
+	}
+
+	world, err := vmpi.NewWorld(P, pl.TransferTime)
+	if err != nil {
+		return nil, err
+	}
+	world.SetRendezvous(pl.Rendezvous)
+	world.SetTracer(params.Tracer)
+	res := NewResultShell(params, cfg.Normalize(), P)
+	chainTag := func(j int) int { return lay.NumPanels() + j }
+	barrierTag := 2*lay.NumPanels() + 16
+
+	world.Run(func(p *vmpi.Proc) {
+		rank := p.Rank()
+		rp := pl.Ranks[rank]
+		var st *numState
+		if states != nil {
+			st = states[rank]
+		}
+		var t RankTiming
+		myCols := lay.LocalCols(rank)
+		// Depth-1 lookahead state: a panel factored ahead of schedule and
+		// whose broadcast this rank (as owner) already initiated.
+		var pending *panelMsg
+		pendingJ, earlySent := -1, -1
+
+		for j := 0; j < lay.NumPanels(); j++ {
+			o := lay.Owner(j)
+			nb := lay.Width(j)
+			row0 := j * params.NB
+			m := params.N - row0
+
+			var payload *panelMsg
+			if rank == o {
+				if pendingJ == j {
+					// Factored ahead during the previous iteration.
+					payload = pending
+					pending, pendingJ = nil, -1
+				} else {
+					flops := float64(nb) * float64(nb) * (float64(m) - float64(nb)/3)
+					dt := rp.Type.KernelTime(machine.KindPanel, int(flops), m, 0) * mulSolo[rank]
+					p.Advance(dt)
+					t.Pfact += dt
+					if st != nil {
+						payload = st.factorPanel(j)
+						pivots[j] = payload.Pivots
+					} else {
+						payload = &panelMsg{}
+					}
+				}
+			}
+
+			var pm *panelMsg
+			if rank == o && earlySent == j {
+				// The owner's share of this broadcast already went out.
+				pm = payload
+				earlySent = -1
+			} else {
+				bytes := 8 * float64(m*nb+nb)
+				data, elapsed := p.Bcast(o, j, payload, bytes, params.Bcast)
+				pivFrac := 1.0 / float64(m+1)
+				t.Mxswp += elapsed * pivFrac
+				t.Bcast += elapsed * (1 - pivFrac)
+				pm, _ = data.(*panelMsg)
+			}
+
+			// Row interchanges on every local column outside the panel.
+			cOther := myCols
+			if rank == o {
+				cOther -= nb
+			}
+			if cOther > 0 {
+				elems := 2 * nb * cOther
+				dt := rp.Type.KernelTime(machine.KindRowOp, elems, cOther, 0) * mulBusy[rank]
+				p.Advance(dt)
+				t.Laswp += dt
+				if st != nil && pm != nil {
+					st.applySwaps(j, pm.Pivots)
+				}
+			}
+
+			// Trailing update: dtrsm on the U12 strip plus dgemm. With
+			// lookahead, the owner of the next panel updates and factors
+			// it first, starts its broadcast, and only then finishes the
+			// rest of the trailing update.
+			ct := lay.TrailingLocalCols(rank, j)
+			nextJ := j + 1
+			if params.Lookahead && ct > 0 && nextJ < lay.NumPanels() && lay.Owner(nextJ) == rank {
+				wNext := lay.Width(nextJ)
+				charge := func(cols int) {
+					if cols <= 0 {
+						return
+					}
+					dtTrsm := 0.5 * rp.Type.KernelTime(machine.KindGemm, nb, cols, nb)
+					dtGemm := rp.Type.KernelTime(machine.KindGemm, m-nb, cols, nb)
+					dt := (dtTrsm + dtGemm) * mulBusy[rank]
+					p.Advance(dt)
+					t.Update += dt
+				}
+				charge(wNext)
+				if st != nil && pm != nil {
+					st.updateFiltered(j, pm, func(jj int) bool { return jj == nextJ })
+				}
+				mNext := params.N - nextJ*params.NB
+				nbNext := lay.Width(nextJ)
+				flops := float64(nbNext) * float64(nbNext) * (float64(mNext) - float64(nbNext)/3)
+				dt := rp.Type.KernelTime(machine.KindPanel, int(flops), mNext, 0) * mulSolo[rank]
+				p.Advance(dt)
+				t.Pfact += dt
+				if st != nil {
+					pending = st.factorPanel(nextJ)
+					pivots[nextJ] = pending.Pivots
+				} else {
+					pending = &panelMsg{}
+				}
+				pendingJ = nextJ
+				// Initiate the next panel's broadcast early (the owner's
+				// share only; receivers pick it up at their own pace).
+				bytesNext := 8 * float64(mNext*nbNext+nbNext)
+				_, e := p.Bcast(rank, nextJ, pending, bytesNext, params.Bcast)
+				t.Bcast += e
+				earlySent = nextJ
+				charge(ct - wNext)
+				if st != nil && pm != nil {
+					st.updateFiltered(j, pm, func(jj int) bool { return jj != nextJ })
+				}
+			} else if ct > 0 {
+				dtTrsm := 0.5 * rp.Type.KernelTime(machine.KindGemm, nb, ct, nb)
+				dtGemm := rp.Type.KernelTime(machine.KindGemm, m-nb, ct, nb)
+				dt := (dtTrsm + dtGemm) * mulBusy[rank]
+				p.Advance(dt)
+				t.Update += dt
+				if st != nil && pm != nil {
+					st.update(j, pm)
+				}
+			}
+		}
+
+		// Backward substitution: a right-to-left chain over panel owners
+		// carrying the running right-hand side (N doubles per hop).
+		for j := lay.NumPanels() - 1; j >= 0; j-- {
+			if lay.Owner(j) != rank {
+				continue
+			}
+			nb := lay.Width(j)
+			row0 := j * params.NB
+			if j < lay.NumPanels()-1 && lay.Owner(j+1) != rank {
+				_, wait := p.Recv(lay.Owner(j+1), chainTag(j+1))
+				t.Uptrsv += wait
+			}
+			elems := nb*nb + 2*row0*nb
+			rowLen := row0
+			if rowLen < nb {
+				rowLen = nb
+			}
+			dt := rp.Type.KernelTime(machine.KindRowOp, elems, rowLen, 0) * mulSolo[rank]
+			p.Advance(dt)
+			t.Uptrsv += dt
+			if j > 0 && lay.Owner(j-1) != rank {
+				t.Uptrsv += p.Send(lay.Owner(j-1), chainTag(j), nil, 8*float64(params.N))
+			}
+		}
+
+		// Absolute measurement jitter lands in the dominant (update)
+		// phase.
+		if off := offsets[rank]; off > 0 {
+			p.Advance(off)
+			t.Update += off
+		}
+		t.Wall = p.Clock()
+		res.PerRank[rank] = t
+		p.Barrier(barrierTag) // drain the world; not timed
+	})
+
+	FinalizeResult(res, pl, len(cl.Classes), FlopCount(params.N))
+	if params.Numeric {
+		if err := res.validate(lay, states, pivots); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package hpl2d
+
+import "hetmodel/internal/vmpi"
+
+// comm provides group collectives over explicit member lists on the flat
+// vmpi world — the role MPI sub-communicators play in ScaLAPACK. Members
+// must be listed in the same order on every participant.
+type comm struct {
+	p *vmpi.Proc
+}
+
+// indexOf returns the caller's position in members, or -1.
+func (c comm) indexOf(members []int) int {
+	for i, m := range members {
+		if m == c.p.Rank() {
+			return i
+		}
+	}
+	return -1
+}
+
+// bcastRing forwards data from members[rootIdx] around the member ring.
+// Every member must call it. Returns the payload and elapsed virtual time.
+func (c comm) bcastRing(members []int, rootIdx, tag int, data any, bytes float64) (any, float64) {
+	n := len(members)
+	if n <= 1 {
+		return data, 0
+	}
+	me := c.indexOf(members)
+	v := (me - rootIdx + n) % n
+	next := members[(me+1)%n]
+	prev := members[(me-1+n)%n]
+	var elapsed float64
+	if v == 0 {
+		elapsed += c.p.Send(next, tag, data, bytes)
+		return data, elapsed
+	}
+	msg, wait := c.p.Recv(prev, tag)
+	elapsed += wait
+	if v < n-1 {
+		elapsed += c.p.Send(next, tag, msg.Data, bytes)
+	}
+	return msg.Data, elapsed
+}
+
+// bcastBinomial broadcasts from members[rootIdx] over a binomial tree.
+func (c comm) bcastBinomial(members []int, rootIdx, tag int, data any, bytes float64) (any, float64) {
+	n := len(members)
+	if n <= 1 {
+		return data, 0
+	}
+	me := c.indexOf(members)
+	v := (me - rootIdx + n) % n
+	toAbs := func(idx int) int { return members[(idx+rootIdx)%n] }
+	payload := data
+	var elapsed float64
+	mask := 1
+	if v != 0 {
+		for v&mask == 0 {
+			mask <<= 1
+		}
+		msg, wait := c.p.Recv(toAbs(v&^mask), tag)
+		elapsed += wait
+		payload = msg.Data
+	} else {
+		for mask < n {
+			mask <<= 1
+		}
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if v+mask < n {
+			elapsed += c.p.Send(toAbs(v+mask), tag, payload, bytes)
+		}
+	}
+	return payload, elapsed
+}
+
+// allreduce reduces with op over all members (rooted at members[0]) and
+// broadcasts the result back; every member returns the combined value.
+func (c comm) allreduce(members []int, tag int, contribution any, bytes float64, op func(a, b any) any) (any, float64) {
+	n := len(members)
+	if n <= 1 {
+		return contribution, 0
+	}
+	me := c.indexOf(members)
+	acc := contribution
+	var elapsed float64
+	// Binomial reduce toward index 0.
+	mask := 1
+	for mask < n {
+		if me&mask != 0 {
+			elapsed += c.p.Send(members[me&^mask], tag, acc, bytes)
+			break
+		}
+		if peer := me | mask; peer < n {
+			msg, wait := c.p.Recv(members[peer], tag)
+			elapsed += wait
+			acc = op(acc, msg.Data)
+		}
+		mask <<= 1
+	}
+	out, e := c.bcastBinomial(members, 0, tag+1, acc, bytes)
+	return out, elapsed + e
+}
+
+// sendrecvSwap exchanges payloads with a peer in deadlock-safe order (the
+// lower world rank sends first). Returns the peer's payload.
+func (c comm) sendrecvSwap(peer, tag int, data any, bytes float64) (any, float64) {
+	var elapsed float64
+	if c.p.Rank() < peer {
+		elapsed += c.p.Send(peer, tag, data, bytes)
+		msg, wait := c.p.Recv(peer, tag)
+		return msg.Data, elapsed + wait
+	}
+	msg, wait := c.p.Recv(peer, tag)
+	elapsed += wait
+	elapsed += c.p.Send(peer, tag, data, bytes)
+	return msg.Data, elapsed
+}

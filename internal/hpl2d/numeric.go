@@ -1,0 +1,284 @@
+package hpl2d
+
+import (
+	"fmt"
+	"math"
+
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/linalg"
+)
+
+// numState is the per-rank numeric storage: the block-cyclic (rows and
+// columns) share of the matrix. Local indices are monotone in global
+// indices, so global ranges map to contiguous local ranges.
+type numState struct {
+	g            Grid
+	myRow, myCol int
+	local        *linalg.Matrix
+}
+
+func newNumState(g Grid, row, col int, seed int64) *numState {
+	st := &numState{g: g, myRow: row, myCol: col,
+		local: linalg.NewMatrix(g.LocalRows(row), g.LocalCols(col))}
+	full := make([]float64, g.N())
+	for b := col; b < g.colPanes; b += g.pc {
+		lo := b * g.nb
+		hi := lo + g.nb
+		if hi > g.n {
+			hi = g.n
+		}
+		for gc := lo; gc < hi; gc++ {
+			hpl.GenColumn(seed, gc, full)
+			lc := g.LocalColIndex(gc)
+			for _, gr := range st.ownedRows(0) {
+				st.local.Set(g.LocalRowIndex(gr), lc, full[gr])
+			}
+		}
+	}
+	return st
+}
+
+// ownedRows lists this rank's global rows >= from, in increasing order.
+func (st *numState) ownedRows(from int) []int {
+	g := st.g
+	var out []int
+	for b := st.myRow; b < g.rowPanes; b += g.pr {
+		lo := b * g.nb
+		hi := lo + g.nb
+		if hi > g.n {
+			hi = g.n
+		}
+		for i := lo; i < hi; i++ {
+			if i >= from {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// localRowStart returns the local index of the first owned row >= from.
+func (st *numState) localRowStart(from int) int {
+	return st.g.LocalRows(st.myRow) - st.g.RowsBelow(st.myRow, from)
+}
+
+// localColStart returns the local index of the first owned column >= from.
+func (st *numState) localColStart(from int) int {
+	return st.g.LocalCols(st.myCol) - st.g.ColsRight(st.myCol, from)
+}
+
+// localPivot scans owned rows >= gr of global column gc for the largest
+// magnitude.
+func (st *numState) localPivot(gr, gc int) pivotCand {
+	lc := st.g.LocalColIndex(gc)
+	best := pivotCand{Abs: -1, Row: -1}
+	for _, i := range st.ownedRows(gr) {
+		v := math.Abs(st.local.At(st.g.LocalRowIndex(i), lc))
+		if v > best.Abs {
+			best = pivotCand{Abs: v, Row: i}
+		}
+	}
+	return best
+}
+
+// rowSegment copies global row grow's entries for global columns
+// [cLo, cHi) (all owned by this rank's grid column within the panel).
+func (st *numState) rowSegment(grow, cLo, cHi int) []float64 {
+	lr := st.g.LocalRowIndex(grow)
+	out := make([]float64, 0, cHi-cLo)
+	for gc := cLo; gc < cHi; gc++ {
+		out = append(out, st.local.At(lr, st.g.LocalColIndex(gc)))
+	}
+	return out
+}
+
+// setRowSegment writes seg into global row grow starting at column cLo.
+func (st *numState) setRowSegment(grow, cLo int, seg []float64) {
+	lr := st.g.LocalRowIndex(grow)
+	for i, v := range seg {
+		st.local.Set(lr, st.g.LocalColIndex(cLo+i), v)
+	}
+}
+
+// swapLocalRows exchanges rows gr and piv over global columns [cLo, cHi).
+func (st *numState) swapLocalRows(gr, piv, cLo, cHi int) {
+	a, b := st.g.LocalRowIndex(gr), st.g.LocalRowIndex(piv)
+	for gc := cLo; gc < cHi; gc++ {
+		lc := st.g.LocalColIndex(gc)
+		va, vb := st.local.At(a, lc), st.local.At(b, lc)
+		st.local.Set(a, lc, vb)
+		st.local.Set(b, lc, va)
+	}
+}
+
+// outsidePanelCols lists this rank's local column indices whose global
+// column lies outside [pLo, pHi).
+func (st *numState) outsidePanelCols(pLo, pHi int) []int {
+	g := st.g
+	var out []int
+	for b := st.myCol; b < g.colPanes; b += g.pc {
+		lo := b * g.nb
+		hi := lo + g.nb
+		if hi > g.n {
+			hi = g.n
+		}
+		for gc := lo; gc < hi; gc++ {
+			if gc < pLo || gc >= pHi {
+				out = append(out, g.LocalColIndex(gc))
+			}
+		}
+	}
+	return out
+}
+
+// swapLocalRowsOutsidePanel exchanges rows gr and piv over every local
+// column outside the panel range.
+func (st *numState) swapLocalRowsOutsidePanel(gr, piv, pLo, pHi int) {
+	a, b := st.g.LocalRowIndex(gr), st.g.LocalRowIndex(piv)
+	for _, lc := range st.outsidePanelCols(pLo, pHi) {
+		va, vb := st.local.At(a, lc), st.local.At(b, lc)
+		st.local.Set(a, lc, vb)
+		st.local.Set(b, lc, va)
+	}
+}
+
+// rowOutsidePanel copies global row grow over the non-panel local columns.
+func (st *numState) rowOutsidePanel(grow, pLo, pHi int) []float64 {
+	lr := st.g.LocalRowIndex(grow)
+	cols := st.outsidePanelCols(pLo, pHi)
+	out := make([]float64, len(cols))
+	for i, lc := range cols {
+		out[i] = st.local.At(lr, lc)
+	}
+	return out
+}
+
+// setRowOutsidePanel writes seg into global row grow's non-panel columns.
+func (st *numState) setRowOutsidePanel(grow, pLo, pHi int, seg []float64) {
+	lr := st.g.LocalRowIndex(grow)
+	for i, lc := range st.outsidePanelCols(pLo, pHi) {
+		st.local.Set(lr, lc, seg[i])
+	}
+}
+
+// panelEliminate applies one elimination step below pivot row gr: the pivot
+// row segment covers global columns [gcK, gcEnd) of the panel.
+func (st *numState) panelEliminate(gr, gcK, gcEnd int, pivotRow []float64) {
+	d := pivotRow[0]
+	if d == 0 {
+		return
+	}
+	inv := 1 / d
+	lcK := st.g.LocalColIndex(gcK)
+	for _, i := range st.ownedRows(gr + 1) {
+		lr := st.g.LocalRowIndex(i)
+		l := st.local.At(lr, lcK) * inv
+		st.local.Set(lr, lcK, l)
+		if l == 0 {
+			continue
+		}
+		for gc := gcK + 1; gc < gcEnd; gc++ {
+			lc := st.g.LocalColIndex(gc)
+			st.local.Set(lr, lc, st.local.At(lr, lc)-l*pivotRow[gc-gcK])
+		}
+	}
+}
+
+// extractPanel copies this rank's rows >= col0 of the panel columns into a
+// dense payload matrix (rows in increasing global order).
+func (st *numState) extractPanel(col0, nb int) *linalg.Matrix {
+	rows := st.ownedRows(col0)
+	out := linalg.NewMatrix(len(rows), nb)
+	for ri, gr := range rows {
+		lr := st.g.LocalRowIndex(gr)
+		for k := 0; k < nb; k++ {
+			out.Set(ri, k, st.local.At(lr, st.g.LocalColIndex(col0+k)))
+		}
+	}
+	return out
+}
+
+// computeU12 solves L11·U12 = A12 in place on the diagonal process row and
+// returns a copy of U12 (nb x trailing local cols).
+func (st *numState) computeU12(col0, nb int, panel *linalg.Matrix) *linalg.Matrix {
+	l11 := panel.Slice(0, nb, 0, nb)
+	r0 := st.localRowStart(col0)
+	c0 := st.localColStart(col0 + nb)
+	a12 := st.local.Slice(r0, r0+nb, c0, st.local.Cols)
+	if err := linalg.SolveLowerUnit(l11, a12); err != nil {
+		panic(fmt.Sprintf("hpl2d: trsm failed: %v", err))
+	}
+	return a12.Clone()
+}
+
+// update applies A22 -= L2·U12 on this rank's trailing block.
+func (st *numState) update(col0, nb int, panel *linalg.Matrix, u12 *linalg.Matrix) {
+	// L2: the payload rows with global index >= col0+nb.
+	skip := len(st.ownedRows(col0)) - st.g.RowsBelow(st.myRow, col0+nb)
+	if skip >= panel.Rows {
+		return
+	}
+	l2 := panel.Slice(skip, panel.Rows, 0, nb)
+	r0 := st.localRowStart(col0 + nb)
+	c0 := st.localColStart(col0 + nb)
+	a22 := st.local.Slice(r0, st.local.Rows, c0, st.local.Cols)
+	if err := linalg.MulAdd(-1, l2, u12, a22); err != nil {
+		panic(fmt.Sprintf("hpl2d: gemm failed: %v", err))
+	}
+}
+
+// validate reassembles the packed LU, solves, and records the residual.
+func validate(res *Result, g Grid, states []*numState, pivots [][]int) error {
+	n := g.N()
+	full := linalg.NewMatrix(n, n)
+	for _, st := range states {
+		for _, gr := range st.ownedRows(0) {
+			lr := g.LocalRowIndex(gr)
+			for b := st.myCol; b < g.colPanes; b += g.pc {
+				lo := b * g.nb
+				hi := lo + g.nb
+				if hi > n {
+					hi = n
+				}
+				for gc := lo; gc < hi; gc++ {
+					full.Set(gr, gc, st.local.At(lr, g.LocalColIndex(gc)))
+				}
+			}
+		}
+	}
+	b := make([]float64, n)
+	hpl.GenRHS(res.Params.Seed, b)
+	pb := append([]float64(nil), b...)
+	for J := 0; J < g.Panels(); J++ {
+		col0 := J * g.NB()
+		for k, piv := range pivots[J] {
+			gr := col0 + k
+			if piv != gr && piv >= 0 {
+				pb[gr], pb[piv] = pb[piv], pb[gr]
+			}
+		}
+	}
+	y, err := linalg.SolveLowerUnitVec(full, pb)
+	if err != nil {
+		return fmt.Errorf("hpl2d: forward substitution: %w", err)
+	}
+	x, err := linalg.SolveUpperVec(full, y)
+	if err != nil {
+		return fmt.Errorf("hpl2d: backward substitution: %w", err)
+	}
+	a := linalg.NewMatrix(n, n)
+	col := make([]float64, n)
+	for gc := 0; gc < n; gc++ {
+		hpl.GenColumn(res.Params.Seed, gc, col)
+		for i := 0; i < n; i++ {
+			a.Set(i, gc, col[i])
+		}
+	}
+	resid, err := linalg.HPLResidual(a, x, b)
+	if err != nil {
+		return fmt.Errorf("hpl2d: residual: %w", err)
+	}
+	res.Solution = x
+	res.Residual = resid
+	return nil
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor of a symmetric positive
+// definite matrix: A = L·Lᵀ.
+type Cholesky struct {
+	L *Matrix
+}
+
+// FactorizeCholesky computes the Cholesky factorization of a (copied; only
+// the lower triangle of a is read). It returns ErrSingular when a is not
+// positive definite.
+func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky requires square matrix, got %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal entry.
+		d := a.At(j, j)
+		lj := l.RowView(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: not positive definite at column %d (pivot %v)", ErrSingular, j, d)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		inv := 1 / d
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.RowView(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A·x = b using the factorization (forward then backward
+// substitution with L and Lᵀ).
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.L.Rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	copy(y, b)
+	for i := 0; i < n; i++ {
+		row := c.L.RowView(i)
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
+		}
+		y[i] = s / d
+	}
+	// Backward: Lᵀ·x = y.
+	x := y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix (∏ L_ii²).
+func (c *Cholesky) Det() float64 {
+	d := 1.0
+	for i := 0; i < c.L.Rows; i++ {
+		v := c.L.At(i, i)
+		d *= v * v
+	}
+	return d
+}
+
+// KMSMatrix returns the n×n Kac–Murdock–Szegő matrix A_ij = rho^|i-j|,
+// symmetric positive definite for |rho| < 1 — the deterministic SPD test
+// matrix used by the distributed Cholesky benchmark (any rank can generate
+// any entry without communication).
+func KMSMatrix(n int, rho float64) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		row := a.RowView(i)
+		for j := 0; j < n; j++ {
+			row[j] = math.Pow(rho, math.Abs(float64(i-j)))
+		}
+	}
+	return a
+}
+
+// KMSEntry returns one entry of the KMS matrix without materializing it.
+func KMSEntry(rho float64, i, j int) float64 {
+	return math.Pow(rho, math.Abs(float64(i-j)))
+}

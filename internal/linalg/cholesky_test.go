@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// spdMatrix builds a random SPD matrix B·Bᵀ + n·I.
+func spdMatrix(rng *rand.Rand, n int) *Matrix {
+	b := randMatrix(rng, n, n)
+	bt := b.Transpose()
+	a, _ := Mul(b, bt)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	c, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !c.L.Equal(want, 1e-12) {
+		t.Fatalf("L = %v", c.L)
+	}
+	if math.Abs(c.Det()-36) > 1e-9 {
+		t.Fatalf("det = %v, want 36", c.Det())
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if _, err := FactorizeCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatal("non-square accepted")
+	}
+	notPD, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorizeCholesky(notPD); !errors.Is(err, ErrSingular) {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := spdMatrix(rng, 12)
+	c, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HPLResidual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 16 {
+		t.Fatalf("residual = %v", res)
+	}
+	if _, err := c.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("wrong RHS length accepted")
+	}
+}
+
+func TestKMSMatrixSPD(t *testing.T) {
+	a := KMSMatrix(20, 0.9)
+	if a.At(3, 3) != 1 || math.Abs(a.At(0, 19)-math.Pow(0.9, 19)) > 1e-15 {
+		t.Fatalf("KMS entries wrong")
+	}
+	if a.At(2, 7) != a.At(7, 2) {
+		t.Fatal("KMS not symmetric")
+	}
+	if _, err := FactorizeCholesky(a); err != nil {
+		t.Fatalf("KMS(0.9) should be SPD: %v", err)
+	}
+	if got := KMSEntry(0.9, 2, 7); math.Abs(got-a.At(2, 7)) > 1e-15 {
+		t.Fatalf("KMSEntry = %v", got)
+	}
+}
+
+// Property: L·Lᵀ reconstructs A.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		a := spdMatrix(rng, n)
+		c, err := FactorizeCholesky(a)
+		if err != nil {
+			return false
+		}
+		lt := c.L.Transpose()
+		llt, _ := Mul(c.L, lt)
+		return llt.Equal(a, 1e-7*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky agrees with LU on SPD systems.
+func TestCholeskyAgreesWithLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := spdMatrix(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		c, err := FactorizeCholesky(a)
+		if err != nil {
+			return false
+		}
+		xc, err := c.Solve(b)
+		if err != nil {
+			return false
+		}
+		xl, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache-blocking factor for MulAdd. 64 keeps three
+// 64x64 float64 tiles (~96 KiB) near L2 on typical hardware.
+const gemmBlock = 64
+
+// MulAdd computes C += alpha * A * B using cache-blocked loops.
+// A is m-by-k, B is k-by-n, C is m-by-n.
+func MulAdd(alpha float64, a, b, c *Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return ErrShape
+	}
+	if alpha == 0 {
+		return nil
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i0 := 0; i0 < m; i0 += gemmBlock {
+		i1 := min(i0+gemmBlock, m)
+		for p0 := 0; p0 < k; p0 += gemmBlock {
+			p1 := min(p0+gemmBlock, k)
+			for j0 := 0; j0 < n; j0 += gemmBlock {
+				j1 := min(j0+gemmBlock, n)
+				gemmTile(alpha, a, b, c, i0, i1, p0, p1, j0, j1)
+			}
+		}
+	}
+	return nil
+}
+
+// gemmTile computes the (i0:i1, j0:j1) tile contribution from the
+// (p0:p1) panel with an ikj loop order that streams rows of B and C.
+func gemmTile(alpha float64, a, b, c *Matrix, i0, i1, p0, p1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a.Data[i*a.Stride:]
+		crow := c.Data[i*c.Stride:]
+		for p := p0; p < p1; p++ {
+			aip := alpha * arow[p]
+			if aip == 0 {
+				continue
+			}
+			brow := b.Data[p*b.Stride:]
+			cj := crow[j0:j1]
+			bj := brow[j0:j1]
+			for t := range cj {
+				cj[t] += aip * bj[t]
+			}
+		}
+	}
+}
+
+// Mul returns A*B as a new matrix.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, ErrShape
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	if err := MulAdd(1, a, b, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParallelMulAdd computes C += alpha*A*B splitting row blocks of C across
+// workers goroutines (workers <= 0 selects GOMAXPROCS). Distinct goroutines
+// write disjoint row ranges of C, so no synchronization of C is needed.
+func ParallelMulAdd(alpha float64, a, b, c *Matrix, workers int) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return ErrShape
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := a.Rows
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		return MulAdd(alpha, a, b, c)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := w * m / workers
+		r1 := (w + 1) * m / workers
+		if r0 == r1 {
+			continue
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			av := a.Slice(r0, r1, 0, a.Cols)
+			cv := c.Slice(r0, r1, 0, c.Cols)
+			_ = MulAdd(alpha, av, b, cv) // shapes verified above
+		}(r0, r1)
+	}
+	wg.Wait()
+	return nil
+}
+
+// MulVec returns A*x for a vector x of length A.Cols.
+func MulVec(a *Matrix, x []float64) ([]float64, error) {
+	if a.Cols != len(x) {
+		return nil, ErrShape
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.RowView(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an in-place LU factorization with partial (row) pivoting:
+// P*A = L*U where L is unit lower triangular and U upper triangular, both
+// packed into LU. Pivot[k] records the row swapped into position k at step k.
+type LU struct {
+	LU    *Matrix
+	Pivot []int
+	// Swaps counts the number of actual row exchanges (useful for the
+	// determinant sign and for instrumentation).
+	Swaps int
+}
+
+// Factorize computes the LU decomposition of a (copied; a is not modified).
+// It returns ErrSingular when a zero pivot column is encountered.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: LU requires square matrix, got %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	m := a.Clone()
+	n := m.Rows
+	piv := make([]int, n)
+	swaps := 0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k.
+		p := k
+		maxv := math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.At(i, k)); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		piv[k] = p
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			m.SwapRows(p, k)
+			swaps++
+		}
+		pivVal := m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := m.At(i, k) / pivVal
+			m.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri := m.RowView(i)
+			rk := m.RowView(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return &LU{LU: m, Pivot: piv, Swaps: swaps}, nil
+}
+
+// Solve solves A*x = b using the factorization. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.LU.Rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the pivot permutation.
+	for k := 0; k < n; k++ {
+		if p := f.Pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.LU.RowView(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Backward substitution with the upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		row := f.LU.RowView(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := 1.0
+	if f.Swaps%2 == 1 {
+		d = -1
+	}
+	for i := 0; i < f.LU.Rows; i++ {
+		d *= f.LU.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper: factorizes a and solves a*x = b.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

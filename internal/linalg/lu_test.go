@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorizeKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]float64{5, -2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestFactorizeSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveWrongLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}}) // det = -1, forces a swap
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()+1) > 1e-14 {
+		t.Fatalf("det = %v, want -1", f.Det())
+	}
+	if f.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", f.Swaps)
+	}
+}
+
+func TestDetIdentity(t *testing.T) {
+	f, _ := Factorize(Identity(5))
+	if math.Abs(f.Det()-1) > 1e-14 {
+		t.Fatalf("det(I) = %v", f.Det())
+	}
+}
+
+func TestFactorizeDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 5, 5)
+	orig := a.Clone()
+	if _, err := Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig, 0) {
+		t.Fatal("Factorize modified its input")
+	}
+}
+
+// Property: for random well-conditioned systems, the HPL-scaled residual of
+// the LU solve is O(1).
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := randMatrix(rng, n, n)
+		// Diagonal boost keeps the condition number moderate.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		res, err := HPLResidual(a, x, b)
+		return err == nil && res < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: P*A = L*U reconstructs A (after applying the pivots).
+func TestLUReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		f, err := Factorize(a)
+		if err != nil {
+			return false
+		}
+		// Build L and U from the packed factorization.
+		l := Identity(n)
+		u := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j < i {
+					l.Set(i, j, f.LU.At(i, j))
+				} else {
+					u.Set(i, j, f.LU.At(i, j))
+				}
+			}
+		}
+		lu, _ := Mul(l, u)
+		// Apply the same pivots to a copy of A.
+		pa := a.Clone()
+		for k := 0; k < n; k++ {
+			if p := f.Pivot[k]; p != k {
+				pa.SwapRows(k, p)
+			}
+		}
+		return lu.Equal(pa, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLinearPropagatesError(t *testing.T) {
+	if _, err := SolveLinear(NewMatrix(3, 3), []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}

@@ -1,0 +1,99 @@
+package linalg
+
+import "math"
+
+// Norm1 returns the maximum absolute column sum of a (the matrix 1-norm).
+func Norm1(a *Matrix) float64 {
+	sums := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.RowView(i)
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	var mx float64
+	for _, s := range sums {
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// NormInf returns the maximum absolute row sum of a (the matrix inf-norm).
+func NormInf(a *Matrix) float64 {
+	var mx float64
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for _, v := range a.RowView(i) {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// NormFrob returns the Frobenius norm of a.
+func NormFrob(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for _, v := range a.RowView(i) {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// VecNormInf returns max_i |x_i|.
+func VecNormInf(x []float64) float64 {
+	var mx float64
+	for _, v := range x {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecNorm1 returns sum_i |x_i|.
+func VecNorm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// HPLResidual computes the scaled residual HPL reports for a solve A*x = b:
+//
+//	||A*x - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n)
+//
+// Values of O(1) (HPL's threshold is 16) indicate a numerically correct
+// solution.
+func HPLResidual(a *Matrix, x, b []float64) (float64, error) {
+	ax, err := MulVec(a, x)
+	if err != nil {
+		return 0, err
+	}
+	for i := range ax {
+		ax[i] -= b[i]
+	}
+	n := float64(a.Rows)
+	eps := math.Nextafter(1, 2) - 1
+	denom := eps * (NormInf(a)*VecNormInf(x) + VecNormInf(b)) * n
+	if denom == 0 {
+		return 0, nil
+	}
+	return VecNormInf(ax) / denom, nil
+}

@@ -1,0 +1,224 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetValidate(t *testing.T) {
+	for _, p := range []*PEType{NewAthlon(), NewPentiumII()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, n := range []*Node{NewAthlonNode("n1"), NewPentiumIINode("n2")} {
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	var nilPE *PEType
+	if err := nilPE.Validate(); err == nil {
+		t.Fatal("nil PE must fail")
+	}
+	p := NewAthlon()
+	p.GemmPeak = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero peak must fail")
+	}
+	p = NewAthlon()
+	p.MPOverhead = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative overhead must fail")
+	}
+	n := NewAthlonNode("x")
+	n.CPUs = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("zero CPUs must fail")
+	}
+	n = NewAthlonNode("x")
+	n.MemoryBytes = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("no memory must fail")
+	}
+	var nilNode *Node
+	if err := nilNode.Validate(); err == nil {
+		t.Fatal("nil node must fail")
+	}
+}
+
+func TestAthlonFasterThanPII(t *testing.T) {
+	a, p2 := NewAthlon(), NewPentiumII()
+	ta := a.KernelTime(KindGemm, 1000, 1000, 64)
+	tp := p2.KernelTime(KindGemm, 1000, 1000, 64)
+	ratio := tp / ta
+	if ratio < 3.5 || ratio > 6 {
+		t.Fatalf("Athlon/P-II speed ratio = %.2f, want ~4-5 (paper)", ratio)
+	}
+}
+
+func TestGemmEfficiencyRampsWithSize(t *testing.T) {
+	a := NewAthlon()
+	rate := func(n int) float64 {
+		tm := a.KernelTime(KindGemm, n, n, 64)
+		return 2 * float64(n) * float64(n) * 64 / tm
+	}
+	small, mid, large := rate(100), rate(1000), rate(6000)
+	if !(small < mid && mid < large) {
+		t.Fatalf("efficiency not monotone: %v %v %v", small, mid, large)
+	}
+	if large > a.GemmPeak {
+		t.Fatalf("rate %v exceeds peak %v", large, a.GemmPeak)
+	}
+	// Large problems should reach at least 85%% of peak.
+	if large < 0.85*a.GemmPeak {
+		t.Fatalf("large-problem rate %v below 85%% of peak %v", large, a.GemmPeak)
+	}
+}
+
+func TestKernelTimeDegenerateDims(t *testing.T) {
+	a := NewAthlon()
+	if got := a.KernelTime(KindGemm, 0, 10, 10); got != a.CallOverhead {
+		t.Fatalf("zero-dim GEMM = %v, want pure overhead", got)
+	}
+	if got := a.KernelTime(KindPanel, 0, 10, 0); got != a.CallOverhead {
+		t.Fatalf("zero-flop panel = %v", got)
+	}
+	if got := a.KernelTime(KindRowOp, -5, 10, 0); got != a.CallOverhead {
+		t.Fatalf("negative rowop = %v", got)
+	}
+}
+
+func TestKernelTimeUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAthlon().KernelTime(Kind(99), 1, 1, 1)
+}
+
+func TestKindString(t *testing.T) {
+	if KindGemm.String() != "gemm" || KindPanel.String() != "panel" || KindRowOp.String() != "rowop" {
+		t.Fatal("Kind strings wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestMultiprocFactor(t *testing.T) {
+	a := NewAthlon()
+	if f := a.MultiprocFactor(1); f != 1 {
+		t.Fatalf("single process factor = %v", f)
+	}
+	if f := a.MultiprocFactor(0); f != 1 {
+		t.Fatalf("zero resident factor = %v", f)
+	}
+	f2 := a.MultiprocFactor(2)
+	if f2 <= 2 {
+		t.Fatalf("two processes must cost more than 2x, got %v", f2)
+	}
+	f4 := a.MultiprocFactor(4)
+	if f4 <= f2 {
+		t.Fatal("factor must grow with residency")
+	}
+	// Overhead should be modest (paper Fig. 1(b)): 4 processes lose less
+	// than ~25% over perfect sharing.
+	if f4 > 4*1.25 {
+		t.Fatalf("4-process overhead too harsh: %v", f4)
+	}
+}
+
+func TestPressureFactor(t *testing.T) {
+	a := NewAthlon()
+	if f := a.PressureFactor(100, 200); f != 1 {
+		t.Fatalf("under-memory factor = %v", f)
+	}
+	if f := a.PressureFactor(100, 0); f != 1 {
+		t.Fatalf("zero-memory guard = %v", f)
+	}
+	f := a.PressureFactor(240, 200) // 20% over
+	if f <= 1 {
+		t.Fatal("over-memory must slow down")
+	}
+	if f2 := a.PressureFactor(400, 200); f2 <= f {
+		t.Fatal("more pressure must slow down more")
+	}
+}
+
+// Property: kernel time is positive and monotone in each GEMM dimension.
+func TestKernelTimeMonotoneProperty(t *testing.T) {
+	pe := NewPentiumII()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(500), 1+rng.Intn(500), 1+rng.Intn(64)
+		t0 := pe.KernelTime(KindGemm, m, n, k)
+		if t0 <= 0 || math.IsNaN(t0) {
+			return false
+		}
+		return pe.KernelTime(KindGemm, m+100, n, k) >= t0 &&
+			pe.KernelTime(KindGemm, m, n+100, k) >= t0 &&
+			pe.KernelTime(KindGemm, m, n, k+8) >= t0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiprocessing factor is superlinear but bounded by
+// M·(1+MPOverhead·(M−1)).
+func TestMultiprocFactorBoundsProperty(t *testing.T) {
+	pe := NewAthlon()
+	f := func(mRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		got := pe.MultiprocFactor(m)
+		want := float64(m) * (1 + pe.MPOverhead*float64(m-1))
+		return math.Abs(got-want) < 1e-12 && got >= float64(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffBounds(t *testing.T) {
+	if eff(0, 10) != 0 {
+		t.Fatal("eff(0) != 0")
+	}
+	if eff(10, 0) != 1 {
+		t.Fatal("eff with zero half != 1")
+	}
+	if e := eff(10, 10); e != 0.5 {
+		t.Fatalf("eff at half-dim = %v", e)
+	}
+	if eff(-4, 10) != 0 {
+		t.Fatal("negative size should clamp to 0")
+	}
+}
+
+func TestExtendedPresetsValid(t *testing.T) {
+	for _, p := range []*PEType{NewPentiumIII(), NewAthlonMP()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, n := range []*Node{NewPentiumIIINode("p3"), NewAthlonMPNode("amp")} {
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+	}
+	// Speed ordering: P-II < P-III < AthlonMP <= Athlon.
+	rate := func(p *PEType) float64 {
+		return 2 * 1000 * 1000 * 64 / p.KernelTime(KindGemm, 1000, 1000, 64)
+	}
+	if !(rate(NewPentiumII()) < rate(NewPentiumIII()) &&
+		rate(NewPentiumIII()) < rate(NewAthlonMP()) &&
+		rate(NewAthlonMP()) <= rate(NewAthlon())) {
+		t.Fatal("preset speed ordering violated")
+	}
+}

@@ -1,0 +1,80 @@
+// Package netpipe reimplements the NetPIPE measurement protocol (a ping-pong
+// throughput sweep over exponentially growing block sizes) on top of the
+// simulated communication fabric. The paper uses NetPIPE to explain why
+// MPICH-1.2.1 cripples the multiprocessing approach (Figure 2).
+package netpipe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hetmodel/internal/simnet"
+)
+
+// Point is one measurement of the sweep.
+type Point struct {
+	// Bytes is the block size.
+	Bytes float64
+	// Seconds is the one-way transfer time for that block.
+	Seconds float64
+	// Gbps is the achieved throughput in gigabits per second, the unit of
+	// the paper's Figure 2.
+	Gbps float64
+}
+
+// Sweep describes a NetPIPE-style run.
+type Sweep struct {
+	// MinBytes and MaxBytes bound the block sizes (inclusive); block size
+	// doubles each step, with PerDecade > 0 selecting finer sub-steps.
+	MinBytes, MaxBytes float64
+	// StepsPerOctave controls resolution: number of sizes per doubling
+	// (1 = pure doubling).
+	StepsPerOctave int
+	// SameNode selects the intra-node path (the paper measures two
+	// processes on the same Athlon).
+	SameNode bool
+}
+
+// ErrBadSweep reports invalid sweep bounds.
+var ErrBadSweep = errors.New("netpipe: invalid sweep bounds")
+
+// Run performs the sweep on the fabric and returns the measured points in
+// ascending block-size order.
+func Run(f *simnet.Fabric, s Sweep) ([]Point, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fabric", ErrBadSweep)
+	}
+	if s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadSweep, s.MinBytes, s.MaxBytes)
+	}
+	steps := s.StepsPerOctave
+	if steps <= 0 {
+		steps = 1
+	}
+	factor := math.Exp2(1.0 / float64(steps))
+	var out []Point
+	for b := s.MinBytes; b <= s.MaxBytes*1.0000001; b *= factor {
+		t := f.TransferTime(b, s.SameNode)
+		out = append(out, Point{
+			Bytes:   b,
+			Seconds: t,
+			Gbps:    b * 8 / t / 1e9,
+		})
+	}
+	return out, nil
+}
+
+// PeakThroughput returns the maximum throughput over the sweep in Gbps and
+// the block size at which it occurs.
+func PeakThroughput(points []Point) (gbps, atBytes float64, err error) {
+	if len(points) == 0 {
+		return 0, 0, ErrBadSweep
+	}
+	for _, p := range points {
+		if p.Gbps > gbps {
+			gbps, atBytes = p.Gbps, p.Bytes
+		}
+	}
+	return gbps, atBytes, nil
+}

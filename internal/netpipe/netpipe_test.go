@@ -1,0 +1,109 @@
+package netpipe
+
+import (
+	"errors"
+	"testing"
+
+	"hetmodel/internal/simnet"
+)
+
+func fabric(t *testing.T, lib *simnet.CommLibrary) *simnet.Fabric {
+	t.Helper()
+	f, err := simnet.NewFabric(lib, simnet.NewFast100TX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunBasicSweep(t *testing.T) {
+	f := fabric(t, simnet.NewMPICH122())
+	pts, err := Run(f, Sweep{MinBytes: 1024, MaxBytes: 128 * 1024, SameNode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 { // 1K,2K,...,128K
+		t.Fatalf("points = %d, want 8", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bytes <= pts[i-1].Bytes {
+			t.Fatal("block sizes not ascending")
+		}
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.Gbps <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestRunFinerResolution(t *testing.T) {
+	f := fabric(t, simnet.NewMPICH122())
+	pts, err := Run(f, Sweep{MinBytes: 1024, MaxBytes: 4096, StepsPerOctave: 2, SameNode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 { // 1K, ~1.41K, 2K, ~2.83K, 4K
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f := fabric(t, simnet.NewMPICH122())
+	if _, err := Run(nil, Sweep{MinBytes: 1, MaxBytes: 2}); !errors.Is(err, ErrBadSweep) {
+		t.Fatal("nil fabric accepted")
+	}
+	if _, err := Run(f, Sweep{MinBytes: 0, MaxBytes: 10}); !errors.Is(err, ErrBadSweep) {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := Run(f, Sweep{MinBytes: 100, MaxBytes: 10}); !errors.Is(err, ErrBadSweep) {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	// The reproduction criterion for Figure 2: MPICH-1.2.2-like intra-node
+	// peak throughput is several times MPICH-1.2.1-like, and both curves
+	// increase with block size up to their peaks.
+	sweep := Sweep{MinBytes: 1024, MaxBytes: 256 * 1024, SameNode: true}
+	p121, err := Run(fabric(t, simnet.NewMPICH121()), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p122, err := Run(fabric(t, simnet.NewMPICH122()), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak121, _, err := PeakThroughput(p121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak122, _, err := PeakThroughput(p122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak122 < 3*peak121 {
+		t.Fatalf("Fig2 shape violated: 1.2.2 peak %.3f vs 1.2.1 peak %.3f Gbps", peak122, peak121)
+	}
+	if peak122 < 1.2 {
+		t.Fatalf("1.2.2 peak %.3f Gbps, want ~2 (paper Fig 2(b))", peak122)
+	}
+	if peak121 > 1.0 {
+		t.Fatalf("1.2.1 peak %.3f Gbps, want well under 1 (paper Fig 2(a))", peak121)
+	}
+}
+
+func TestPeakThroughputEmpty(t *testing.T) {
+	if _, _, err := PeakThroughput(nil); !errors.Is(err, ErrBadSweep) {
+		t.Fatal("empty points accepted")
+	}
+}
+
+func TestInterNodeSweepSlower(t *testing.T) {
+	f := fabric(t, simnet.NewMPICH122())
+	intra, _ := Run(f, Sweep{MinBytes: 65536, MaxBytes: 65536, SameNode: true})
+	inter, _ := Run(f, Sweep{MinBytes: 65536, MaxBytes: 65536, SameNode: false})
+	if inter[0].Gbps >= intra[0].Gbps {
+		t.Fatal("inter-node sweep should be slower than intra-node")
+	}
+}

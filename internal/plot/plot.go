@@ -1,0 +1,284 @@
+// Package plot is a small, dependency-free SVG chart writer used to render
+// the paper's figures from the regenerated data: line charts (Figures 1-3),
+// log-x throughput curves (Figure 2), and estimate-vs-measurement scatter
+// plots with the T = t diagonal (Figures 6-15).
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrNoData reports a chart rendered without any points.
+var ErrNoData = errors.New("plot: no data")
+
+// markKind selects how a series is drawn.
+type markKind int
+
+const (
+	markLine markKind = iota
+	markScatter
+)
+
+type series struct {
+	name string
+	xs   []float64
+	ys   []float64
+	kind markKind
+}
+
+// Chart accumulates series and renders them as a standalone SVG.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the SVG dimensions in pixels (defaults 720x480).
+	Width, Height int
+	// LogX plots the X axis on a log10 scale (all x must be positive).
+	LogX bool
+	// ShowDiagonal draws the y = x reference line (correlation plots).
+	ShowDiagonal bool
+
+	series []series
+}
+
+// New returns an empty chart.
+func New(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel, Width: 720, Height: 480}
+}
+
+// Line adds a polyline series. xs and ys must have equal length; extra
+// entries are ignored.
+func (c *Chart) Line(name string, xs, ys []float64) {
+	c.series = append(c.series, series{name: name, xs: xs, ys: ys, kind: markLine})
+}
+
+// Scatter adds a point series.
+func (c *Chart) Scatter(name string, xs, ys []float64) {
+	c.series = append(c.series, series{name: name, xs: xs, ys: ys, kind: markScatter})
+}
+
+// palette holds distinguishable series colors (Okabe–Ito).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 40.0
+	marginBottom = 52.0
+	legendRow    = 16.0
+)
+
+// SVG renders the chart. It fails only when no finite data points exist.
+func (c *Chart) SVG() (string, error) {
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 || h <= 0 {
+		w, h = 720, 480
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		n := len(s.xs)
+		if len(s.ys) < n {
+			n = len(s.ys)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) || (c.LogX && x <= 0) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return "", ErrNoData
+	}
+	if c.ShowDiagonal {
+		// The diagonal spans the shared range of both axes.
+		lo := math.Min(minX, minY)
+		hi := math.Max(maxX, maxY)
+		minX, maxX, minY, maxY = lo, hi, lo, hi
+	}
+	// Pad degenerate ranges; anchor linear Y at zero when close.
+	if minY > 0 && minY < maxY/3 {
+		minY = 0
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	tx := func(x float64) float64 {
+		if c.LogX {
+			return marginLeft + (math.Log10(x)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))*(w-marginLeft-marginRight)
+		}
+		return marginLeft + (x-minX)/(maxX-minX)*(w-marginLeft-marginRight)
+	}
+	ty := func(y float64) float64 {
+		return h - marginBottom - (y-minY)/(maxY-minY)*(h-marginTop-marginBottom)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		int(w), int(h), int(w), int(h))
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, h-marginBottom)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginLeft+w-marginRight)/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		(marginTop+h-marginBottom)/2, (marginTop+h-marginBottom)/2, escape(c.YLabel))
+
+	// Ticks and grid.
+	for _, t := range ticks(minY, maxY, 6) {
+		y := ty(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(t))
+	}
+	var xs []float64
+	if c.LogX {
+		xs = logTicks(minX, maxX)
+	} else {
+		xs = ticks(minX, maxX, 7)
+	}
+	for _, t := range xs {
+		x := tx(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			x, marginTop, x, h-marginBottom)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, h-marginBottom+16, formatTick(t))
+	}
+
+	// Diagonal reference.
+	if c.ShowDiagonal {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#888" stroke-dasharray="5,4"/>`+"\n",
+			tx(minX), ty(minX), tx(maxX), ty(maxX))
+	}
+
+	// Series.
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		n := len(s.xs)
+		if len(s.ys) < n {
+			n = len(s.ys)
+		}
+		switch s.kind {
+		case markLine:
+			var pts []string
+			for i := 0; i < n; i++ {
+				if !finite(s.xs[i]) || !finite(s.ys[i]) || (c.LogX && s.xs[i] <= 0) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.xs[i]), ty(s.ys[i])))
+			}
+			if len(pts) > 0 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+					color, strings.Join(pts, " "))
+			}
+		case markScatter:
+			for i := 0; i < n; i++ {
+				if !finite(s.xs[i]) || !finite(s.ys[i]) || (c.LogX && s.xs[i] <= 0) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.2" fill="%s" fill-opacity="0.75"/>`+"\n",
+					tx(s.xs[i]), ty(s.ys[i]), color)
+			}
+		}
+		// Legend entry.
+		lx := w - marginRight - 150
+		lyy := marginTop + 4 + legendRow*float64(si)
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`+"\n", lx, lyy, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+14, lyy+9, escape(s.name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ticks returns up to n "nice" tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	// Smallest "nice" step (1/2/5 ladder) not below the raw spacing.
+	var step float64
+	switch {
+	case raw/mag > 5:
+		step = 10 * mag
+	case raw/mag > 2:
+		step = 5 * mag
+	case raw/mag > 1:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// logTicks returns decade ticks covering [lo, hi] (positive).
+func logTicks(lo, hi float64) []float64 {
+	var out []float64
+	for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+		t := math.Pow(10, e)
+		if t >= lo/1.0001 && t <= hi*1.0001 {
+			out = append(out, t)
+		}
+	}
+	if len(out) < 2 {
+		return []float64{lo, hi}
+	}
+	return out
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+// escape makes text safe inside SVG elements.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

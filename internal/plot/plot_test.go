@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"encoding/xml"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmptyChartFails(t *testing.T) {
+	c := New("t", "x", "y")
+	if _, err := c.SVG(); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty chart rendered")
+	}
+	// All-NaN data is also empty.
+	c.Line("nan", []float64{math.NaN()}, []float64{math.NaN()})
+	if _, err := c.SVG(); !errors.Is(err, ErrNoData) {
+		t.Fatal("all-NaN chart rendered")
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	c := New("Figure 1", "N", "Gflops")
+	c.Line("1P/CPU", []float64{1000, 2000, 3000}, []float64{0.9, 1.0, 1.1})
+	c.Line("2P/CPU", []float64{1000, 2000, 3000}, []float64{0.5, 0.8, 0.95})
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines:\n%s", out)
+	}
+	for _, want := range []string{"Figure 1", "Gflops", "1P/CPU", "2P/CPU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestScatterWithDiagonal(t *testing.T) {
+	c := New("Figure 6", "T (est)", "t (meas)")
+	c.ShowDiagonal = true
+	c.Scatter("M1=1", []float64{100, 200, 300}, []float64{110, 190, 310})
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatal("want 3 scatter points")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("diagonal missing")
+	}
+}
+
+func TestLogXChart(t *testing.T) {
+	c := New("Figure 2", "bytes", "Gbps")
+	c.LogX = true
+	c.Line("lib", []float64{1024, 16384, 262144}, []float64{0.2, 1.5, 2.5})
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("no polyline")
+	}
+	// Nonpositive x points are dropped on a log axis, not rendered at -Inf.
+	c2 := New("t", "x", "y")
+	c2.LogX = true
+	c2.Scatter("s", []float64{0, -5, 100}, []float64{1, 2, 3})
+	out2, err := c2.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out2, "<circle") != 1 {
+		t.Fatal("nonpositive log-x points not dropped")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := New(`a < b & "c"`, "x", "y")
+	c.Line("s<1>", []float64{1, 2}, []float64{1, 2})
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a < b &`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a &lt; b &amp;") {
+		t.Fatal("escape output wrong")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 4 || ts[0] != 0 {
+		t.Fatalf("ticks(0,10) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if got := ticks(5, 5, 4); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+	lt := logTicks(1024, 262144)
+	if len(lt) < 2 {
+		t.Fatalf("logTicks = %v", lt)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2:       "2",
+		2.5:     "2.5",
+		150:     "150",
+		2000000: "2e+06",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMismatchedLengthsSafe(t *testing.T) {
+	c := New("t", "x", "y")
+	c.Line("s", []float64{1, 2, 3}, []float64{1, 2}) // ys shorter
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDimensionsDefaulted(t *testing.T) {
+	c := &Chart{Title: "t"}
+	c.Line("s", []float64{1, 2}, []float64{3, 4})
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `width="720"`) {
+		t.Fatal("default width not applied")
+	}
+}

@@ -1,0 +1,146 @@
+// Package sched plans production workloads with the estimation models: for
+// a mix of job sizes it selects the per-size optimal PE configuration and
+// totals the predicted time, with comparisons against fixed policies.
+// This is the operational wrapper around the paper's method — its stated
+// purpose is "to execute conventional parallel applications efficiently on
+// heterogeneous clusters without rewriting them" (§1), which in practice
+// means planning a queue of runs.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+)
+
+// ErrBadJobs reports an unusable job list.
+var ErrBadJobs = errors.New("sched: invalid job list")
+
+// Job is one class of work: Count runs of problem size N.
+type Job struct {
+	N     int
+	Count int
+}
+
+// ParseJobs parses a "3200x5,9600x2" style specification (NxCount pairs;
+// a bare N means one run).
+func ParseJobs(spec string) ([]Job, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("%w: empty specification", ErrBadJobs)
+	}
+	var out []Job
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nStr, cStr, found := strings.Cut(part, "x")
+		n, err := strconv.Atoi(strings.TrimSpace(nStr))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%w: bad size in %q", ErrBadJobs, part)
+		}
+		count := 1
+		if found {
+			count, err = strconv.Atoi(strings.TrimSpace(cStr))
+			if err != nil || count <= 0 {
+				return nil, fmt.Errorf("%w: bad count in %q", ErrBadJobs, part)
+			}
+		}
+		out = append(out, Job{N: n, Count: count})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no jobs in %q", ErrBadJobs, spec)
+	}
+	return out, nil
+}
+
+// Entry is the planned execution of one job class.
+type Entry struct {
+	Job    Job
+	Config cluster.Configuration
+	// Tau is the estimated time of a single run; Total of all Count runs.
+	Tau, Total float64
+}
+
+// Plan is a complete schedule with policy comparisons.
+type Plan struct {
+	Entries []Entry
+	// TotalEstimated is the predicted time of the whole schedule.
+	TotalEstimated float64
+	// PolicyTotals maps fixed-policy names to their predicted totals
+	// (only policies the model can score appear).
+	PolicyTotals map[string]float64
+}
+
+// Policy is a fixed configuration applied to every job.
+type Policy struct {
+	Name   string
+	Config cluster.Configuration
+}
+
+// Build selects the best candidate per job size and totals the schedule.
+// Policies are scored for comparison; a policy unscorable at any size is
+// dropped.
+func Build(models *core.ModelSet, candidates []cluster.Configuration, jobs []Job, policies []Policy) (*Plan, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("%w: no jobs", ErrBadJobs)
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+
+	plan := &Plan{PolicyTotals: map[string]float64{}}
+	policyOK := map[string]bool{}
+	for _, p := range policies {
+		policyOK[p.Name] = true
+	}
+	for _, job := range sorted {
+		best, tau, err := models.Optimize(candidates, job.N)
+		if err != nil {
+			return nil, fmt.Errorf("sched: N=%d: %w", job.N, err)
+		}
+		total := tau * float64(job.Count)
+		plan.Entries = append(plan.Entries, Entry{Job: job, Config: best, Tau: tau, Total: total})
+		plan.TotalEstimated += total
+		for _, p := range policies {
+			if !policyOK[p.Name] {
+				continue
+			}
+			est, err := models.Estimate(p.Config, float64(job.N))
+			if err != nil {
+				policyOK[p.Name] = false
+				delete(plan.PolicyTotals, p.Name)
+				continue
+			}
+			plan.PolicyTotals[p.Name] += est * float64(job.Count)
+		}
+	}
+	return plan, nil
+}
+
+// Render prints the schedule.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Planned schedule (%d job classes)\n", len(p.Entries))
+	fmt.Fprintf(&b, "  %8s %6s %16s %10s %12s\n", "N", "count", "config", "tau [s]", "total [s]")
+	for _, e := range p.Entries {
+		fmt.Fprintf(&b, "  %8d %6d %16s %10.1f %12.1f\n",
+			e.Job.N, e.Job.Count, e.Config, e.Tau, e.Total)
+	}
+	fmt.Fprintf(&b, "  estimated total: %.1f s (%.2f h)\n", p.TotalEstimated, p.TotalEstimated/3600)
+	names := make([]string, 0, len(p.PolicyTotals))
+	for name := range p.PolicyTotals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		total := p.PolicyTotals[name]
+		fmt.Fprintf(&b, "  vs %-16s %.1f s (%+.1f%%)\n",
+			name+":", total, 100*(p.TotalEstimated-total)/total)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+)
+
+func TestParseJobs(t *testing.T) {
+	jobs, err := ParseJobs("3200x5, 9600x2, 1600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	if jobs[0] != (Job{N: 3200, Count: 5}) || jobs[2] != (Job{N: 1600, Count: 1}) {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	for _, bad := range []string{"", "x5", "3200x", "0x3", "3200x0", "abc", ","} {
+		if _, err := ParseJobs(bad); !errors.Is(err, ErrBadJobs) {
+			t.Fatalf("ParseJobs(%q) accepted", bad)
+		}
+	}
+}
+
+// synthetic model world reused from core's tests (rebuilt here: class 1
+// measured at P = 1,2,4,8; class 0 composed).
+func testModels(t *testing.T) *core.ModelSet {
+	t.Helper()
+	var samples []core.Sample
+	for _, m := range []int{1, 2} {
+		for _, pe := range []int{1, 2, 4, 8} {
+			p := pe * m
+			for _, n := range []int{400, 800, 1600, 3200, 6400} {
+				nf := float64(n)
+				ta := 6e-10*nf*nf*nf/float64(p) + 0.2
+				tc := 1e-9 * nf * nf
+				if pe > 1 {
+					tc = 2e-9*nf*nf*float64(p) + 0.05
+				}
+				samples = append(samples, core.Sample{
+					Config: cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: pe, Procs: m}}},
+					N:      n, P: p, Class: 1, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+				})
+			}
+		}
+	}
+	for _, m := range []int{1, 2} {
+		for _, n := range []int{400, 800, 1600, 3200, 6400} {
+			nf := float64(n)
+			ta := 1.5e-10*nf*nf*nf/float64(m) + 0.1
+			tc := 0.25e-9 * nf * nf
+			samples = append(samples, core.Sample{
+				Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: m}, {}}},
+				N:      n, P: m, Class: 0, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+			})
+		}
+	}
+	ms, err := core.Build(2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ComposeClass(0, 1, 0.25, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func candidates() []cluster.Configuration {
+	space := cluster.Space{
+		PEChoices:   [][]int{{0, 1}, {0, 1, 2, 4, 8}},
+		ProcChoices: [][]int{{1, 2}, {1, 2}},
+	}
+	cfgs, _ := space.Enumerate()
+	return cfgs
+}
+
+func TestBuildPlan(t *testing.T) {
+	ms := testModels(t)
+	jobs := []Job{{N: 6400, Count: 2}, {N: 800, Count: 10}}
+	policies := []Policy{
+		{Name: "all-PEs", Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {PEs: 8, Procs: 1}}}},
+		{Name: "fast-only", Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}},
+	}
+	plan, err := Build(ms, candidates(), jobs, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 2 {
+		t.Fatalf("entries = %v", plan.Entries)
+	}
+	// Entries are sorted by N.
+	if plan.Entries[0].Job.N != 800 || plan.Entries[1].Job.N != 6400 {
+		t.Fatalf("order: %v", plan.Entries)
+	}
+	// Totals add up.
+	var sum float64
+	for _, e := range plan.Entries {
+		if math.Abs(e.Total-e.Tau*float64(e.Job.Count)) > 1e-9 {
+			t.Fatalf("entry total mismatch: %+v", e)
+		}
+		sum += e.Total
+	}
+	if math.Abs(sum-plan.TotalEstimated) > 1e-9 {
+		t.Fatalf("plan total mismatch: %v vs %v", sum, plan.TotalEstimated)
+	}
+	// The plan can never predict worse than any scorable fixed policy.
+	for name, total := range plan.PolicyTotals {
+		if plan.TotalEstimated > total+1e-9 {
+			t.Fatalf("plan (%v) worse than policy %s (%v)", plan.TotalEstimated, name, total)
+		}
+	}
+	out := plan.Render()
+	for _, want := range []string{"Planned schedule", "estimated total", "vs all-PEs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	ms := testModels(t)
+	if _, err := Build(ms, candidates(), nil, nil); !errors.Is(err, ErrBadJobs) {
+		t.Fatal("empty jobs accepted")
+	}
+}
+
+func TestBuildDropsUnscorablePolicy(t *testing.T) {
+	ms := testModels(t)
+	policies := []Policy{
+		{Name: "impossible", Config: cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 6}}}},
+	}
+	plan, err := Build(ms, candidates(), []Job{{N: 1600, Count: 1}}, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.PolicyTotals["impossible"]; ok {
+		t.Fatal("unscorable policy kept")
+	}
+}

@@ -1,0 +1,257 @@
+// Package simnet models the communication substrate of the simulated
+// cluster: physical network links (100base-TX, 1000base-SX) and the
+// messaging-library software layer (MPICH-1.2.1-like and MPICH-1.2.2-like
+// presets), including the intra-node pipe/shared-memory path whose
+// throughput difference between the two MPICH versions explains the paper's
+// Figures 1 and 2.
+//
+// The transfer-time model is the classic piecewise latency/bandwidth form
+//
+//	T(s) = overhead + latency + s / effBW(s),   effBW(s) = BW · s/(s+s_half)
+//
+// with an optional eager→rendezvous protocol switch that adds a handshake
+// latency above a threshold, producing the characteristic NetPIPE knee.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadCurve reports an invalid transfer curve.
+var ErrBadCurve = errors.New("simnet: invalid curve parameters")
+
+// Curve is a piecewise latency/bandwidth transfer-time model for one path.
+type Curve struct {
+	// Latency is the zero-byte one-way latency in seconds.
+	Latency float64
+	// Bandwidth is the asymptotic bandwidth in bytes/second.
+	Bandwidth float64
+	// HalfSize is the message size (bytes) at which half the asymptotic
+	// bandwidth is reached (n_1/2 of the path).
+	HalfSize float64
+	// EagerLimit, when positive, is the eager-protocol threshold: messages
+	// larger than this pay RendezvousLatency for the handshake.
+	EagerLimit float64
+	// RendezvousLatency is the extra handshake latency beyond EagerLimit.
+	RendezvousLatency float64
+}
+
+// Validate reports whether the curve is usable.
+func (c Curve) Validate() error {
+	switch {
+	case c.Bandwidth <= 0:
+		return fmt.Errorf("%w: bandwidth %v", ErrBadCurve, c.Bandwidth)
+	case c.Latency < 0 || c.HalfSize < 0 || c.EagerLimit < 0 || c.RendezvousLatency < 0:
+		return fmt.Errorf("%w: negative parameter", ErrBadCurve)
+	}
+	return nil
+}
+
+// Time returns the one-way transfer time in seconds of a message of the
+// given size in bytes. Zero and negative sizes cost the latency only.
+func (c Curve) Time(bytes float64) float64 {
+	t := c.Latency
+	if bytes <= 0 {
+		return t
+	}
+	if c.EagerLimit > 0 && bytes > c.EagerLimit {
+		t += c.RendezvousLatency
+	}
+	bw := c.Bandwidth
+	if c.HalfSize > 0 {
+		bw *= bytes / (bytes + c.HalfSize)
+	}
+	return t + bytes/bw
+}
+
+// Throughput returns bytes/second achieved for a message of the given size.
+func (c Curve) Throughput(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / c.Time(bytes)
+}
+
+// CommLibrary models the messaging software (MPICH version): an intra-node
+// path and a software tax applied to every inter-node message.
+type CommLibrary struct {
+	// Name identifies the library (e.g. "mpich-1.2.2").
+	Name string
+	// IntraNode is the curve for messages between processes on the same
+	// node (pipes for MPICH-1.2.1-like, shared memory for 1.2.2-like).
+	IntraNode Curve
+	// PerMessageOverhead is the software latency added to every
+	// inter-node message (matching, buffering).
+	PerMessageOverhead float64
+	// BandwidthEfficiency in (0, 1] derates the physical link bandwidth
+	// for inter-node messages (protocol and copy costs).
+	BandwidthEfficiency float64
+	// InterEagerLimit is the eager-protocol threshold for inter-node
+	// messages: larger messages use the rendezvous protocol (the sender
+	// blocks until the receiver posts). Zero means always eager.
+	InterEagerLimit float64
+	// CoResidentDelay is the extra scheduling latency per message between
+	// processes timesharing one CPU: with a busy-waiting library, the
+	// receiver holds the CPU while the sender needs it, so each exchange
+	// costs a scheduler intervention. Applied per extra resident process
+	// by the placement layer. This is the effect Sasou et al. blamed for
+	// poor multiprocessing performance; it is far larger for the
+	// pipe-based 1.2.1-like library than the shared-memory 1.2.2-like.
+	CoResidentDelay float64
+}
+
+// Validate reports whether the library model is usable.
+func (l *CommLibrary) Validate() error {
+	if l == nil {
+		return fmt.Errorf("%w: nil library", ErrBadCurve)
+	}
+	if err := l.IntraNode.Validate(); err != nil {
+		return fmt.Errorf("library %s intra-node: %w", l.Name, err)
+	}
+	if l.PerMessageOverhead < 0 || l.CoResidentDelay < 0 || l.InterEagerLimit < 0 {
+		return fmt.Errorf("%w: library %s negative overhead", ErrBadCurve, l.Name)
+	}
+	if l.BandwidthEfficiency <= 0 || l.BandwidthEfficiency > 1 {
+		return fmt.Errorf("%w: library %s efficiency %v", ErrBadCurve, l.Name, l.BandwidthEfficiency)
+	}
+	return nil
+}
+
+// Network models the physical interconnect between nodes.
+type Network struct {
+	// Name identifies the hardware (e.g. "100base-TX").
+	Name string
+	// Link is the node-to-node transfer curve at the hardware level.
+	Link Curve
+}
+
+// Validate reports whether the network model is usable.
+func (n *Network) Validate() error {
+	if n == nil {
+		return fmt.Errorf("%w: nil network", ErrBadCurve)
+	}
+	if err := n.Link.Validate(); err != nil {
+		return fmt.Errorf("network %s: %w", n.Name, err)
+	}
+	return nil
+}
+
+// Fabric combines a physical network with a messaging library into the
+// complete communication model the simulator consults.
+type Fabric struct {
+	Library *CommLibrary
+	Network *Network
+}
+
+// NewFabric validates and assembles a fabric.
+func NewFabric(lib *CommLibrary, net *Network) (*Fabric, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{Library: lib, Network: net}, nil
+}
+
+// TransferTime returns the one-way time to move `bytes` between two ranks.
+// sameNode selects the library's intra-node path; otherwise the physical
+// link derated by the library is used.
+func (f *Fabric) TransferTime(bytes float64, sameNode bool) float64 {
+	if sameNode {
+		return f.Library.IntraNode.Time(bytes)
+	}
+	c := f.Network.Link
+	c.Latency += f.Library.PerMessageOverhead
+	c.Bandwidth *= f.Library.BandwidthEfficiency
+	return c.Time(bytes)
+}
+
+// NeedsRendezvous reports whether a message of the given size on the given
+// path exceeds the library's eager threshold.
+func (f *Fabric) NeedsRendezvous(bytes float64, sameNode bool) bool {
+	limit := f.Library.InterEagerLimit
+	if sameNode {
+		limit = f.Library.IntraNode.EagerLimit
+	}
+	return limit > 0 && bytes > limit
+}
+
+// Throughput returns achieved bytes/second for a one-way transfer.
+func (f *Fabric) Throughput(bytes float64, sameNode bool) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / f.TransferTime(bytes, sameNode)
+}
+
+const (
+	kib = 1024.0
+	mib = 1024.0 * 1024.0
+)
+
+// NewMPICH121 returns an MPICH-1.2.1-like library: intra-node messages go
+// through slow pipes obstructed by process scheduling (the behaviour Sasou
+// et al. reported and paper Figure 2(a) shows).
+func NewMPICH121() *CommLibrary {
+	return &CommLibrary{
+		Name: "mpich-1.2.1",
+		IntraNode: Curve{
+			Latency:           150e-6,
+			Bandwidth:         16 * mib,
+			HalfSize:          24 * kib,
+			EagerLimit:        16 * kib,
+			RendezvousLatency: 2e-3,
+		},
+		PerMessageOverhead:  35e-6,
+		BandwidthEfficiency: 0.88,
+		InterEagerLimit:     64 * kib,
+		CoResidentDelay:     30e-3,
+	}
+}
+
+// NewMPICH122 returns an MPICH-1.2.2-like library with a fast shared-memory
+// intra-node path (paper Figure 2(b)).
+func NewMPICH122() *CommLibrary {
+	return &CommLibrary{
+		Name: "mpich-1.2.2",
+		IntraNode: Curve{
+			Latency:           20e-6,
+			Bandwidth:         330 * mib,
+			HalfSize:          6 * kib,
+			EagerLimit:        128 * kib,
+			RendezvousLatency: 30e-6,
+		},
+		PerMessageOverhead:  25e-6,
+		BandwidthEfficiency: 0.92,
+		InterEagerLimit:     128 * kib,
+		CoResidentDelay:     8e-3,
+	}
+}
+
+// NewFast100TX returns the 100base-TX network the paper's measurements use
+// (~11.7 MB/s effective).
+func NewFast100TX() *Network {
+	return &Network{
+		Name: "100base-TX",
+		Link: Curve{
+			Latency:   70e-6,
+			Bandwidth: 11.7 * mib,
+			HalfSize:  2.5 * kib,
+		},
+	}
+}
+
+// NewGigabit1000SX returns the 1000base-SX network of the paper's Table 1
+// (present in the testbed, unused in their measurements).
+func NewGigabit1000SX() *Network {
+	return &Network{
+		Name: "1000base-SX",
+		Link: Curve{
+			Latency:   45e-6,
+			Bandwidth: 88 * mib,
+			HalfSize:  14 * kib,
+		},
+	}
+}

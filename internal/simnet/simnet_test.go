@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveValidate(t *testing.T) {
+	good := Curve{Latency: 1e-6, Bandwidth: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Curve{
+		{Bandwidth: 0},
+		{Bandwidth: 1e6, Latency: -1},
+		{Bandwidth: 1e6, HalfSize: -1},
+		{Bandwidth: 1e6, EagerLimit: -1},
+		{Bandwidth: 1e6, RendezvousLatency: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad curve %d accepted", i)
+		}
+	}
+}
+
+func TestCurveTimeZeroBytes(t *testing.T) {
+	c := Curve{Latency: 5e-6, Bandwidth: 1e6}
+	if got := c.Time(0); got != 5e-6 {
+		t.Fatalf("zero-byte time = %v", got)
+	}
+	if got := c.Time(-10); got != 5e-6 {
+		t.Fatalf("negative-byte time = %v", got)
+	}
+	if c.Throughput(0) != 0 {
+		t.Fatal("zero-byte throughput should be 0")
+	}
+}
+
+func TestCurveAsymptoticBandwidth(t *testing.T) {
+	c := Curve{Latency: 1e-6, Bandwidth: 100e6, HalfSize: 1024}
+	// A huge message should approach the asymptotic bandwidth.
+	tp := c.Throughput(1e9)
+	if tp < 0.98*c.Bandwidth || tp > c.Bandwidth {
+		t.Fatalf("asymptotic throughput = %v, want ≈ %v", tp, c.Bandwidth)
+	}
+}
+
+func TestCurveRendezvousKnee(t *testing.T) {
+	c := Curve{Latency: 10e-6, Bandwidth: 100e6, EagerLimit: 1024, RendezvousLatency: 100e-6}
+	below := c.Time(1024)
+	above := c.Time(1025)
+	if above-below < 90e-6 {
+		t.Fatalf("rendezvous knee missing: below=%v above=%v", below, above)
+	}
+}
+
+func TestPresetValidation(t *testing.T) {
+	for _, lib := range []*CommLibrary{NewMPICH121(), NewMPICH122()} {
+		if err := lib.Validate(); err != nil {
+			t.Fatalf("%s: %v", lib.Name, err)
+		}
+	}
+	for _, n := range []*Network{NewFast100TX(), NewGigabit1000SX()} {
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestLibraryValidateRejects(t *testing.T) {
+	var nilLib *CommLibrary
+	if err := nilLib.Validate(); err == nil {
+		t.Fatal("nil library accepted")
+	}
+	l := NewMPICH122()
+	l.BandwidthEfficiency = 0
+	if err := l.Validate(); err == nil {
+		t.Fatal("zero efficiency accepted")
+	}
+	l = NewMPICH122()
+	l.BandwidthEfficiency = 1.5
+	if err := l.Validate(); err == nil {
+		t.Fatal("efficiency > 1 accepted")
+	}
+	l = NewMPICH122()
+	l.PerMessageOverhead = -1
+	if err := l.Validate(); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+	var nilNet *Network
+	if err := nilNet.Validate(); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestNewFabricValidates(t *testing.T) {
+	if _, err := NewFabric(NewMPICH122(), NewFast100TX()); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMPICH122()
+	bad.BandwidthEfficiency = -1
+	if _, err := NewFabric(bad, NewFast100TX()); err == nil {
+		t.Fatal("invalid library accepted")
+	}
+	badNet := NewFast100TX()
+	badNet.Link.Bandwidth = 0
+	if _, err := NewFabric(NewMPICH122(), badNet); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestMPICH122IntraNodeMuchFasterThan121(t *testing.T) {
+	// The core of paper Figure 2: at a 64 KiB block the 1.2.2-like library
+	// must be several times faster intra-node.
+	f121, _ := NewFabric(NewMPICH121(), NewFast100TX())
+	f122, _ := NewFabric(NewMPICH122(), NewFast100TX())
+	const block = 64 * 1024
+	t121 := f121.Throughput(block, true)
+	t122 := f122.Throughput(block, true)
+	if t122 < 3*t121 {
+		t.Fatalf("1.2.2 intra-node throughput %v not >> 1.2.1 %v", t122, t121)
+	}
+	// And the 1.2.2 peak should be in the ~2 Gbps regime of Figure 2(b).
+	gbps := t122 * 8 / 1e9
+	if gbps < 1.2 || gbps > 3.0 {
+		t.Fatalf("1.2.2 intra-node at 64KiB = %.2f Gbps, want ~1.5-2.5", gbps)
+	}
+}
+
+func TestInterNodeSlowerThanIntraNode(t *testing.T) {
+	f, _ := NewFabric(NewMPICH122(), NewFast100TX())
+	const block = 32 * 1024
+	if f.TransferTime(block, false) <= f.TransferTime(block, true) {
+		t.Fatal("inter-node should be slower than intra-node")
+	}
+}
+
+func TestFabricInterNodeDerating(t *testing.T) {
+	f, _ := NewFabric(NewMPICH122(), NewFast100TX())
+	raw := f.Network.Link.Time(1e6)
+	derated := f.TransferTime(1e6, false)
+	if derated <= raw {
+		t.Fatal("library must add overhead to the raw link")
+	}
+	if f.Throughput(0, false) != 0 {
+		t.Fatal("zero-byte fabric throughput")
+	}
+}
+
+// Property: transfer time is strictly increasing in message size and
+// throughput never exceeds the configured bandwidth.
+func TestCurveMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Curve{
+			Latency:   rng.Float64() * 1e-4,
+			Bandwidth: 1e6 + rng.Float64()*1e9,
+			HalfSize:  rng.Float64() * 1e5,
+		}
+		a := 1 + rng.Float64()*1e6
+		b := a + 1 + rng.Float64()*1e6
+		if c.Time(b) <= c.Time(a) {
+			return false
+		}
+		return c.Throughput(b) <= c.Bandwidth*1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: relative errors, correlation, and summary statistics
+// over measurement/estimation pairs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over no data.
+var ErrEmpty = errors.New("stats: empty input")
+
+// RelError returns (estimated - actual) / actual, the paper's error metric
+// (τ - T̂)/T̂. It returns +Inf when actual is zero and estimated is not.
+func RelError(estimated, actual float64) float64 {
+	if actual == 0 {
+		if estimated == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (estimated - actual) / actual
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+// It returns 0 for degenerate (zero-variance) inputs.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, ErrEmpty
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MaxAbs returns max_i |xs_i|.
+func MaxAbs(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var mx float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx, nil
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths). The input is not modified.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N              int
+	Mean, Median   float64
+	StdDev         float64
+	Min, Max       float64
+	MeanAbs, MaxAb float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	md, _ := Median(xs)
+	sd, _ := StdDev(xs)
+	mn, mx := xs[0], xs[0]
+	var sumAbs, maxAbs float64
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+		a := math.Abs(x)
+		sumAbs += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return Summary{
+		N: len(xs), Mean: m, Median: md, StdDev: sd,
+		Min: mn, Max: mx,
+		MeanAbs: sumAbs / float64(len(xs)), MaxAb: maxAbs,
+	}, nil
+}
+
+// LinearTransform is an affine correction t = A*x + B, the paper's
+// "adjustment by linear transformation" (§4.1).
+type LinearTransform struct {
+	A, B float64
+}
+
+// Apply evaluates the transform.
+func (lt LinearTransform) Apply(x float64) float64 { return lt.A*x + lt.B }
+
+// FitScale fits the pure scaling t ≈ A·x (B = 0) by least squares:
+// A = Σ x·t / Σ x². Unlike the affine fit it cannot go negative for
+// positive inputs, which makes it safe to extrapolate far from the
+// calibration points. Degenerate input (no pairs, all-zero x) yields the
+// identity.
+func FitScale(xs, ts []float64) (LinearTransform, error) {
+	if len(xs) != len(ts) {
+		return LinearTransform{A: 1}, ErrEmpty
+	}
+	var sxx, sxt float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxt += xs[i] * ts[i]
+	}
+	if sxx == 0 {
+		return LinearTransform{A: 1}, nil
+	}
+	return LinearTransform{A: sxt / sxx}, nil
+}
+
+// FitLinearTransform fits t ≈ A·x + B by least squares over paired samples.
+// With a single pair it returns a pure scaling (B = 0); with none, identity.
+func FitLinearTransform(xs, ts []float64) (LinearTransform, error) {
+	if len(xs) != len(ts) {
+		return LinearTransform{A: 1}, ErrEmpty
+	}
+	switch len(xs) {
+	case 0:
+		return LinearTransform{A: 1}, nil
+	case 1:
+		if xs[0] == 0 {
+			return LinearTransform{A: 1, B: ts[0]}, nil
+		}
+		return LinearTransform{A: ts[0] / xs[0]}, nil
+	}
+	mx, _ := Mean(xs)
+	mt, _ := Mean(ts)
+	var sxx, sxt float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxt += dx * (ts[i] - mt)
+	}
+	if sxx == 0 {
+		return LinearTransform{A: 1, B: mt - mx}, nil
+	}
+	a := sxt / sxx
+	return LinearTransform{A: a, B: mt - a*mx}, nil
+}

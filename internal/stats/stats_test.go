@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRelError(t *testing.T) {
+	if got := RelError(102, 100); !approx(got, 0.02, 1e-12) {
+		t.Fatalf("RelError = %v", got)
+	}
+	if got := RelError(95, 100); !approx(got, -0.05, 1e-12) {
+		t.Fatalf("RelError = %v", got)
+	}
+	if got := RelError(0, 0); got != 0 {
+		t.Fatalf("RelError(0,0) = %v", got)
+	}
+	if got := RelError(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelError(1,0) = %v", got)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("mean = %v, %v", m, err)
+	}
+	v, _ := Variance(xs)
+	if v != 4 {
+		t.Fatalf("variance = %v", v)
+	}
+	sd, _ := StdDev(xs)
+	if sd != 2 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Mean(nil) should fail")
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Variance(nil) should fail")
+	}
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Median(nil) should fail")
+	}
+	if _, err := MaxAbs(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("MaxAbs(nil) should fail")
+	}
+	if _, err := Pearson(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Pearson(nil) should fail")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Summarize(nil) should fail")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Pearson(xs, ys)
+	if err != nil || !approx(r, 1, 1e-12) {
+		t.Fatalf("r = %v, %v", r, err)
+	}
+	neg := []float64{-1, -2, -3, -4}
+	r, _ = Pearson(xs, neg)
+	if !approx(r, -1, 1e-12) {
+		t.Fatalf("r = %v", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Fatalf("degenerate r = %v, %v", r, err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+	// Input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m, _ := MaxAbs([]float64{1, -9, 4})
+	if m != 9 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{-1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Min != -1 || s.Max != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !approx(s.MeanAbs, 4.0/3, 1e-12) || s.MaxAb != 3 {
+		t.Fatalf("abs stats = %+v", s)
+	}
+}
+
+func TestLinearTransformFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ts := make([]float64, len(xs))
+	for i, x := range xs {
+		ts[i] = 2.5*x - 3
+	}
+	lt, err := FitLinearTransform(xs, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(lt.A, 2.5, 1e-12) || !approx(lt.B, -3, 1e-12) {
+		t.Fatalf("lt = %+v", lt)
+	}
+	if !approx(lt.Apply(10), 22, 1e-12) {
+		t.Fatalf("apply = %v", lt.Apply(10))
+	}
+}
+
+func TestLinearTransformEdgeCases(t *testing.T) {
+	lt, err := FitLinearTransform(nil, nil)
+	if err != nil || lt.A != 1 || lt.B != 0 {
+		t.Fatalf("empty fit = %+v, %v", lt, err)
+	}
+	lt, err = FitLinearTransform([]float64{2}, []float64{6})
+	if err != nil || !approx(lt.A, 3, 1e-12) || lt.B != 0 {
+		t.Fatalf("single fit = %+v, %v", lt, err)
+	}
+	lt, err = FitLinearTransform([]float64{0}, []float64{6})
+	if err != nil || lt.A != 1 || lt.B != 6 {
+		t.Fatalf("single zero-x fit = %+v", lt)
+	}
+	// Constant x: fall back to offset.
+	lt, err = FitLinearTransform([]float64{2, 2}, []float64{5, 7})
+	if err != nil || lt.A != 1 || !approx(lt.B, 4, 1e-12) {
+		t.Fatalf("constant-x fit = %+v", lt)
+	}
+	if _, err := FitLinearTransform([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrEmpty) {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1, err := Pearson(xs, ys)
+		if err != nil {
+			return false
+		}
+		sx := make([]float64, n)
+		for i := range xs {
+			sx[i] = 3*xs[i] + 11
+		}
+		r2, err := Pearson(sx, ys)
+		if err != nil {
+			return false
+		}
+		return approx(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fitted linear transform minimizes squared error (perturbing
+// A or B never helps).
+func TestLinearTransformOptimalityProperty(t *testing.T) {
+	sse := func(lt LinearTransform, xs, ts []float64) float64 {
+		var s float64
+		for i := range xs {
+			d := lt.Apply(xs[i]) - ts[i]
+			s += d * d
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		xs := make([]float64, n)
+		ts := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ts[i] = rng.NormFloat64() * 10
+		}
+		lt, err := FitLinearTransform(xs, ts)
+		if err != nil {
+			return false
+		}
+		base := sse(lt, xs, ts)
+		for _, d := range []float64{1e-3, -1e-3} {
+			if sse(LinearTransform{lt.A + d, lt.B}, xs, ts) < base-1e-9 {
+				return false
+			}
+			if sse(LinearTransform{lt.A, lt.B + d}, xs, ts) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package vmpi
+
+import (
+	"testing"
+)
+
+func TestBcastAlgString(t *testing.T) {
+	if BcastRing.String() != "ring" || BcastBinomial.String() != "binomial" {
+		t.Fatal("BcastAlg strings")
+	}
+	if BcastAlg(9).String() == "" {
+		t.Fatal("unknown alg string empty")
+	}
+}
+
+func testBcastDelivery(t *testing.T, alg BcastAlg, size, root int) {
+	t.Helper()
+	w, _ := NewWorld(size, constTransfer(1, 1e6))
+	payload := "panel-42"
+	w.Run(func(p *Proc) {
+		var in any
+		if p.Rank() == root {
+			in = payload
+		}
+		out, elapsed := p.Bcast(root, 5, in, 4096, alg)
+		if out.(string) != payload {
+			t.Errorf("rank %d got %v", p.Rank(), out)
+		}
+		if size > 1 && elapsed < 0 {
+			t.Errorf("rank %d negative elapsed %v", p.Rank(), elapsed)
+		}
+	})
+}
+
+func TestBcastRingDelivery(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < size; root += 2 {
+			testBcastDelivery(t, BcastRing, size, root)
+		}
+	}
+}
+
+func TestBcastBinomialDelivery(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8, 9, 16} {
+		for root := 0; root < size; root += 3 {
+			testBcastDelivery(t, BcastBinomial, size, root)
+		}
+	}
+}
+
+func TestBcastInvalidRootPanics(t *testing.T) {
+	w, _ := NewWorld(2, constTransfer(0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(p *Proc) {
+		p.Bcast(7, 0, nil, 0, BcastRing)
+	})
+}
+
+func TestBcastRingCriticalPathGrowsWithP(t *testing.T) {
+	// Ring broadcast's last receiver waits ~(P-1) transfers — the
+	// (P−1)·O(N²) behaviour the paper's model assumes.
+	lastClock := func(size int) float64 {
+		w, _ := NewWorld(size, constTransfer(0.001, 1e6))
+		clocks := w.Run(func(p *Proc) {
+			var in any
+			if p.Rank() == 0 {
+				in = 1
+			}
+			p.Bcast(0, 0, in, 1e5, BcastRing)
+		})
+		max := 0.0
+		for _, c := range clocks {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	t4, t8 := lastClock(4), lastClock(8)
+	if t8 < 1.8*t4 {
+		t.Fatalf("ring critical path: P=4 %v, P=8 %v — want roughly linear growth", t4, t8)
+	}
+}
+
+func TestBcastBinomialFasterThanRingForLargeP(t *testing.T) {
+	maxClock := func(alg BcastAlg) float64 {
+		w, _ := NewWorld(16, constTransfer(0.001, 1e6))
+		clocks := w.Run(func(p *Proc) {
+			var in any
+			if p.Rank() == 0 {
+				in = 1
+			}
+			p.Bcast(0, 0, in, 1e5, alg)
+		})
+		max := 0.0
+		for _, c := range clocks {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	ring, binom := maxClock(BcastRing), maxClock(BcastBinomial)
+	if binom >= ring {
+		t.Fatalf("binomial (%v) should beat ring (%v) at P=16", binom, ring)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w, _ := NewWorld(4, constTransfer(0.01, 1e9))
+	clocks := w.Run(func(p *Proc) {
+		p.Advance(float64(p.Rank() * 10)) // ranks wildly out of sync
+		p.Barrier(100)
+	})
+	// After a barrier all clocks must be >= the max pre-barrier clock.
+	for r, c := range clocks {
+		if c < 30 {
+			t.Fatalf("rank %d clock %v below slowest rank's 30", r, c)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	w, _ := NewWorld(5, constTransfer(0.001, 1e6))
+	w.Run(func(p *Proc) {
+		out, _ := p.Gather(2, 9, p.Rank()*11, 8)
+		if p.Rank() == 2 {
+			for r := 0; r < 5; r++ {
+				if out[r].(int) != r*11 {
+					t.Errorf("gather[%d] = %v", r, out[r])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root got %v", out)
+		}
+	})
+}
+
+func TestGatherInvalidRootPanics(t *testing.T) {
+	w, _ := NewWorld(2, constTransfer(0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(p *Proc) {
+		p.Gather(-1, 0, nil, 0)
+	})
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	w, _ := NewWorld(1, constTransfer(0, 1))
+	w.Run(func(p *Proc) {
+		out, elapsed := p.Bcast(0, 0, "x", 100, BcastRing)
+		if out.(string) != "x" || elapsed != 0 {
+			t.Errorf("single-rank bcast: %v %v", out, elapsed)
+		}
+		if p.Barrier(1) != 0 {
+			t.Error("single-rank barrier should be free")
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < size; root += 2 {
+			w, _ := NewWorld(size, constTransfer(0.001, 1e6))
+			w.Run(func(p *Proc) {
+				got, _ := p.Reduce(root, 3, p.Rank()+1, 8, sum)
+				want := size * (size + 1) / 2
+				if p.Rank() == root {
+					if got.(int) != want {
+						t.Errorf("size %d root %d: reduce = %v, want %d", size, root, got, want)
+					}
+				} else if got != nil {
+					t.Errorf("non-root got %v", got)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	max := func(a, b any) any {
+		if a.(float64) > b.(float64) {
+			return a
+		}
+		return b
+	}
+	w, _ := NewWorld(7, constTransfer(0.001, 1e6))
+	w.Run(func(p *Proc) {
+		got, elapsed := p.Allreduce(11, float64(p.Rank()*10), 8, max)
+		if got.(float64) != 60 {
+			t.Errorf("rank %d allreduce = %v, want 60", p.Rank(), got)
+		}
+		if elapsed < 0 {
+			t.Errorf("negative elapsed %v", elapsed)
+		}
+	})
+}
+
+func TestReduceInvalidArgsPanics(t *testing.T) {
+	w, _ := NewWorld(2, constTransfer(0, 1))
+	for _, tc := range []struct {
+		name string
+		body func(p *Proc)
+	}{
+		{"bad root", func(p *Proc) { p.Reduce(9, 0, 1, 0, func(a, b any) any { return a }) }},
+		{"nil op", func(p *Proc) { p.Reduce(0, 0, 1, 0, nil) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			w.Run(tc.body)
+		}()
+		w, _ = NewWorld(2, constTransfer(0, 1))
+	}
+}

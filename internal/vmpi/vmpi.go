@@ -1,0 +1,284 @@
+// Package vmpi implements a virtual-time message-passing runtime: the MPI
+// substitute on which the HPL reproduction runs.
+//
+// Each rank executes as a goroutine with its own virtual clock. Sends are
+// eager and buffered: the sender pays the transfer time on its clock and the
+// message records when its data is available; a receiver blocks (in real
+// time) until a matching message exists, then advances its virtual clock to
+// max(own clock, availability). This yields a deterministic, deadlock-free
+// simulation of blocking MPI semantics without a global event queue, while
+// still moving real payload data (used by the numeric HPL mode).
+//
+// Timing is injected via a TransferTime function, typically backed by
+// internal/simnet, so intra-node and inter-node paths and library software
+// costs are modelled by the fabric, not here.
+package vmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// TransferTime returns the one-way virtual seconds needed to move `bytes`
+// from rank src to rank dst.
+type TransferTime func(bytes float64, src, dst int) float64
+
+// RendezvousFn decides whether a message uses the rendezvous protocol
+// (sender blocks until the receiver posts the receive, as MPICH does above
+// its eager threshold) instead of eager buffered delivery. nil means all
+// messages are eager.
+type RendezvousFn func(bytes float64, src, dst int) bool
+
+// message kinds for protocol matching.
+const (
+	kindEager = 1 << iota
+	kindRTS
+	kindAck
+	kindData
+)
+
+// Message is a delivered point-to-point payload.
+type Message struct {
+	Src, Tag int
+	// Data is the payload; nil in timing-only (phantom) runs.
+	Data any
+	// Bytes is the modelled payload size used for timing.
+	Bytes float64
+	// availAt is the sender's virtual time at which the data exists.
+	availAt float64
+	// kind distinguishes eager payloads from rendezvous protocol steps.
+	kind int
+}
+
+// World is one communicator: a fixed set of ranks and a transfer model.
+type World struct {
+	size       int
+	transfer   TransferTime
+	rendezvous RendezvousFn
+	boxes      []*mailbox
+	tracer     *Tracer
+}
+
+// ErrBadWorld reports invalid world construction parameters.
+var ErrBadWorld = errors.New("vmpi: invalid world")
+
+// NewWorld creates a communicator of `size` ranks with the given transfer
+// model.
+func NewWorld(size int, transfer TransferTime) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadWorld, size)
+	}
+	if transfer == nil {
+		return nil, fmt.Errorf("%w: nil transfer model", ErrBadWorld)
+	}
+	w := &World{size: size, transfer: transfer, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// SetRendezvous installs the protocol-selection predicate. Call before Run.
+func (w *World) SetRendezvous(fn RendezvousFn) { w.rendezvous = fn }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body once per rank concurrently and returns each rank's
+// final virtual clock. It blocks until every rank returns. A panic in any
+// rank is re-raised on the caller after all other ranks finish or block
+// permanently; bodies must therefore not panic in normal operation.
+func (w *World) Run(body func(p *Proc)) []float64 {
+	clocks := make([]float64, w.size)
+	var wg sync.WaitGroup
+	panics := make(chan any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics <- v
+					// Unblock any rank waiting on us forever.
+					for _, b := range w.boxes {
+						b.poison()
+					}
+				}
+			}()
+			p := &Proc{world: w, rank: rank}
+			body(p)
+			clocks[rank] = p.clock
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case v := <-panics:
+		panic(v)
+	default:
+	}
+	return clocks
+}
+
+// Proc is the per-rank handle passed to the Run body.
+type Proc struct {
+	world *World
+	rank  int
+	clock float64
+
+	// SentBytes and RecvBytes accumulate modelled traffic volume.
+	SentBytes, RecvBytes float64
+	// Sends and Recvs count point-to-point operations.
+	Sends, Recvs int
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the communicator size.
+func (p *Proc) Size() int { return p.world.size }
+
+// Clock returns the current virtual time of this rank.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Advance adds dt virtual seconds of local work to this rank's clock and
+// returns dt for accounting convenience. Negative or NaN dt is ignored.
+func (p *Proc) Advance(dt float64) float64 {
+	if dt <= 0 || math.IsNaN(dt) {
+		return 0
+	}
+	if tr := p.world.tracer; tr != nil {
+		tr.record(TraceEvent{Rank: p.rank, Name: "compute", Start: p.clock, Dur: dt, Peer: -1})
+	}
+	p.clock += dt
+	return dt
+}
+
+// Send transmits data to dst with the given tag, paying the modelled
+// transfer time on the sender's clock (blocking-send semantics: no
+// computation/communication overlap, matching the paper's assumption).
+//
+// Messages above the world's rendezvous threshold additionally block the
+// sender until the receiver posts the matching receive (MPICH's rendezvous
+// protocol), which couples sender progress to receiver scheduling — the
+// effect that makes superfluous processes expensive.
+//
+// It returns the virtual seconds spent sending.
+func (p *Proc) Send(dst, tag int, data any, bytes float64) float64 {
+	if dst < 0 || dst >= p.world.size {
+		panic(fmt.Sprintf("vmpi: send to invalid rank %d (size %d)", dst, p.world.size))
+	}
+	if dst == p.rank {
+		panic("vmpi: send to self is not supported; use local state")
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	start := p.clock
+	if p.world.rendezvous != nil && p.world.rendezvous(bytes, p.rank, dst) {
+		// Request-to-send, wait for the receiver's clear-to-send, then
+		// move the data.
+		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, availAt: p.clock, kind: kindRTS})
+		ack := p.world.boxes[p.rank].take(dst, tag, kindAck)
+		if ack.availAt > p.clock {
+			p.clock = ack.availAt
+		}
+		dt := p.world.transfer(bytes, p.rank, dst)
+		if dt < 0 || math.IsNaN(dt) {
+			dt = 0
+		}
+		p.clock += dt
+		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, availAt: p.clock, kind: kindData})
+	} else {
+		dt := p.world.transfer(bytes, p.rank, dst)
+		if dt < 0 || math.IsNaN(dt) {
+			dt = 0
+		}
+		p.clock += dt
+		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, availAt: p.clock, kind: kindEager})
+	}
+	p.SentBytes += bytes
+	p.Sends++
+	if tr := p.world.tracer; tr != nil {
+		tr.record(TraceEvent{Rank: p.rank, Name: "send", Start: start, Dur: p.clock - start, Peer: dst, Tag: tag, Bytes: bytes})
+	}
+	return p.clock - start
+}
+
+// Recv blocks until a message with the given source and tag arrives,
+// advances the virtual clock to the availability time, and returns the
+// message along with the virtual seconds that elapsed on this rank
+// (waiting time; zero if the data was already available).
+func (p *Proc) Recv(src, tag int) (*Message, float64) {
+	if src < 0 || src >= p.world.size {
+		panic(fmt.Sprintf("vmpi: recv from invalid rank %d (size %d)", src, p.world.size))
+	}
+	start := p.clock
+	msg := p.world.boxes[p.rank].take(src, tag, kindEager|kindRTS)
+	if msg.kind == kindRTS {
+		// Rendezvous: grant the clear-to-send stamped with our readiness,
+		// then wait for the data.
+		if msg.availAt > p.clock {
+			p.clock = msg.availAt
+		}
+		p.world.boxes[src].put(&Message{Src: p.rank, Tag: tag, availAt: p.clock, kind: kindAck})
+		msg = p.world.boxes[p.rank].take(src, tag, kindData)
+	}
+	if msg.availAt > p.clock {
+		p.clock = msg.availAt
+	}
+	p.RecvBytes += msg.Bytes
+	p.Recvs++
+	if tr := p.world.tracer; tr != nil {
+		tr.record(TraceEvent{Rank: p.rank, Name: "recv", Start: start, Dur: p.clock - start, Peer: src, Tag: tag, Bytes: msg.Bytes})
+	}
+	return msg, p.clock - start
+}
+
+// mailbox is an unbounded buffered queue with (src, tag) matching.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	msgs     []*Message
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m *Message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// poison wakes all waiters permanently (used when a sibling rank panics so
+// Run can terminate instead of deadlocking).
+func (b *mailbox) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) take(src, tag, kindMask int) *Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if m.Src == src && m.Tag == tag && m.kind&kindMask != 0 {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		if b.poisoned {
+			panic("vmpi: world poisoned by sibling rank failure")
+		}
+		b.cond.Wait()
+	}
+}
