@@ -1,0 +1,38 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml) so local runs
+# match what the gates enforce.
+
+GO ?= go
+
+.PHONY: all build vet fmt test race bench cover ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs reformatting (same gate as CI).
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile and run every benchmark once (smoke), as CI does. For real
+# numbers use e.g.: go test -bench 'Campaign|Sweep' -benchtime=10x .
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out
+
+ci: build vet fmt test race bench

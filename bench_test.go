@@ -6,6 +6,7 @@
 package hetmodel_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -421,5 +422,80 @@ func BenchmarkHPL2DNumeric(b *testing.B) {
 		if res.Residual > 16 {
 			b.Fatalf("residual %v", res.Residual)
 		}
+	}
+}
+
+// --- Parallel execution engine benchmarks (internal/parallel) ---
+//
+// These measure the tentpole speedups: the model-construction campaign and
+// the exhaustive candidate sweep fanned out over worker goroutines versus
+// the sequential baseline. Run e.g.:
+//
+//	go test -bench 'Campaign|Sweep' -benchtime=2x .
+
+// benchCampaign is the NL campaign restricted to its two smaller sizes so
+// a benchmark iteration stays in the hundreds of milliseconds.
+func benchCampaign(workers int) measure.Campaign {
+	camp := measure.NLCampaign()
+	camp.Ns = camp.Ns[:2]
+	camp.Workers = workers
+	return camp
+}
+
+func benchmarkCampaign(b *testing.B, workers int) {
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	camp := benchCampaign(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.Run(cl, camp, hpl.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B)   { benchmarkCampaign(b, 1) }
+func BenchmarkCampaignWorkers2(b *testing.B)   { benchmarkCampaign(b, 2) }
+func BenchmarkCampaignWorkers4(b *testing.B)   { benchmarkCampaign(b, 4) }
+func BenchmarkCampaignWorkersMax(b *testing.B) { benchmarkCampaign(b, 0) }
+
+// benchmarkSweep measures the hetopt -verify path: simulating all 62
+// evaluation candidates at one size. Each iteration uses a fresh context so
+// the memoized cache cannot hide the simulation cost.
+func benchmarkSweep(b *testing.B, workers int) {
+	candidates := experiments.EvalConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx, err := experiments.NewPaperContext()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.Workers = workers
+		b.StartTimer()
+		if _, _, err := ctx.ActualBest(candidates, 2400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepWorkers4(b *testing.B)   { benchmarkSweep(b, 4) }
+func BenchmarkSweepWorkersMax(b *testing.B) { benchmarkSweep(b, 0) }
+
+// BenchmarkEstimateAllWorkers measures the pure model-evaluation sweep
+// (no simulation) at several worker counts.
+func BenchmarkEstimateAllWorkers(b *testing.B) {
+	_, bms := fixtures(b)
+	candidates := experiments.EvalConfigs()
+	models := bms["Basic"].Models
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				models.EstimateAllWorkers(candidates, 6400, workers)
+			}
+		})
 	}
 }

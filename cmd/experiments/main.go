@@ -21,12 +21,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	svgDir := flag.String("svg", "", "also render every figure as SVG into this directory")
+	workers := flag.Int("workers", 0, "concurrent simulations per campaign/sweep (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	ctx, err := experiments.NewPaperContext()
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx.Workers = *workers
 	if *svgDir != "" {
 		files, err := ctx.WriteFigureSVGs(*svgDir)
 		if err != nil {

@@ -33,6 +33,7 @@ func main() {
 		n         = flag.Int("n", 6400, "problem size N to optimize for")
 		heuristic = flag.Bool("heuristic", false, "use the hill-climbing search instead of exhaustive enumeration")
 		verify    = flag.Bool("verify", false, "simulate every candidate and report the actual optimum")
+		workers   = flag.Int("workers", 0, "concurrent simulations/evaluations (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -40,16 +41,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx.Workers = *workers
 
 	var models *core.ModelSet
 	if *modelPath != "" {
-		data, err := os.ReadFile(*modelPath)
+		models, err = loadModelSet(*modelPath)
 		if err != nil {
 			log.Fatal(err)
-		}
-		models = &core.ModelSet{}
-		if err := json.Unmarshal(data, models); err != nil {
-			log.Fatalf("parse %s: %v", *modelPath, err)
 		}
 	} else {
 		var camp measure.Campaign
@@ -81,7 +79,7 @@ func main() {
 		}
 		fmt.Printf("heuristic search: %d model evaluations\n", evals)
 	} else {
-		best, tau, err = models.Optimize(candidates, *n)
+		best, tau, err = models.OptimizeWorkers(candidates, *n, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,4 +101,22 @@ func main() {
 		run.WallTime, act, tHat)
 	fmt.Printf("errors: (tau-That)/That = %+.3f, (tauHat-That)/That = %+.3f\n",
 		stats.RelError(tau, tHat), stats.RelError(run.WallTime, tHat))
+}
+
+// loadModelSet reads and decodes a modelfit JSON file, rejecting files that
+// decode cleanly but do not describe a usable estimator (e.g. an empty or
+// truncated model list).
+func loadModelSet(path string) (*core.ModelSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	models := &core.ModelSet{}
+	if err := json.Unmarshal(data, models); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if err := models.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid model file %s: %v", path, err)
+	}
+	return models, nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetmodel/internal/core"
+)
+
+// TestLoadModelSetRejectsEmptyModel covers the fixture that bit us: a file
+// that unmarshals cleanly into a ModelSet with no models must be rejected
+// instead of being handed to the optimizer.
+func TestLoadModelSetRejectsEmptyModel(t *testing.T) {
+	_, err := loadModelSet(filepath.Join("testdata", "empty_model.json"))
+	if err == nil {
+		t.Fatal("loadModelSet accepted an empty model file")
+	}
+	if !strings.Contains(err.Error(), "invalid model file") {
+		t.Errorf("error %q does not identify the file as invalid", err)
+	}
+}
+
+func TestLoadModelSetRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModelSet(path); err == nil {
+		t.Fatal("loadModelSet accepted malformed JSON")
+	}
+	if _, err := loadModelSet(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loadModelSet accepted a missing file")
+	}
+}
+
+// TestLoadModelSetRoundTrip accepts a genuinely fitted model file.
+func TestLoadModelSetRoundTrip(t *testing.T) {
+	samples := syntheticSamples()
+	ms, err := core.Build(1, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadModelSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Classes != ms.Classes || len(loaded.NT) != len(ms.NT) {
+		t.Errorf("round trip lost models: got %d classes, %d N-T bins", loaded.Classes, len(loaded.NT))
+	}
+}
+
+// syntheticSamples builds one fittable single-PE bin (four sizes, the N-T
+// minimum) with exactly cubic Ta and quadratic Tc.
+func syntheticSamples() []core.Sample {
+	var out []core.Sample
+	for _, n := range []int{400, 800, 1200, 1600} {
+		fn := float64(n)
+		out = append(out, core.Sample{
+			N: n, P: 1, M: 1, Class: 0,
+			Ta: 1e-9*fn*fn*fn + 0.5,
+			Tc: 1e-7*fn*fn + 0.1,
+		})
+	}
+	return out
+}

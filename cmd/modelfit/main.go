@@ -29,6 +29,7 @@ func main() {
 		out      = flag.String("out", "", "write the fitted models as JSON to this file")
 		diag     = flag.Bool("diag", false, "print per-bin fit diagnostics")
 		cv       = flag.Bool("cv", false, "leave-one-out cross-validation of the N-T fits")
+		workers  = flag.Int("workers", 0, "concurrent campaign simulations (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx.Workers = *workers
 	bm, err := ctx.BuildModel(camp)
 	if err != nil {
 		log.Fatal(err)
@@ -57,8 +59,10 @@ func main() {
 		camp.Name, bm.Result.Runs, bm.Result.TotalCost(), bm.Result.TotalCost()/3600)
 	fmt.Printf("models: %d N-T bins, %d P-T bins, composition Ta x%.3f Tc x%.2f\n",
 		len(bm.Models.NT), len(bm.Models.PT), bm.TaScale, experiments.TcScaleDefault)
-	for class, lt := range bm.Models.Adjust {
-		fmt.Printf("adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+	for class := 0; class < bm.Models.Classes; class++ {
+		if lt := bm.Models.Adjust[class]; lt != nil {
+			fmt.Printf("adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+		}
 	}
 	if *diag {
 		fmt.Print(bm.Models.RenderDiagnostics())

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// Edge cases of Space.Enumerate beyond the paper grids: mismatched choice
+// list lengths, empty inner lists, and duplicate-configuration collapse.
+
+func TestEnumerateMismatchedChoiceLengths(t *testing.T) {
+	s := Space{
+		PEChoices:   [][]int{{1}, {2}},
+		ProcChoices: [][]int{{1}},
+	}
+	if _, err := s.Enumerate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("mismatched lengths: got %v, want ErrBadConfig", err)
+	}
+	s = Space{
+		PEChoices:   [][]int{{1}},
+		ProcChoices: [][]int{{1}, {2}},
+	}
+	if _, err := s.Enumerate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("mismatched lengths (proc longer): got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestEnumerateEmptyInnerChoices(t *testing.T) {
+	// An empty inner list means no value for that coordinate: the grid
+	// product is empty, yielding zero configurations rather than an error.
+	s := Space{
+		PEChoices:   [][]int{{}, {1, 2}},
+		ProcChoices: [][]int{{1}, {1}},
+	}
+	cfgs, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 0 {
+		t.Errorf("empty PE choices produced %d configurations, want 0", len(cfgs))
+	}
+	s = Space{
+		PEChoices:   [][]int{{1}},
+		ProcChoices: [][]int{{}},
+	}
+	cfgs, err = s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 0 {
+		t.Errorf("empty proc choices produced %d configurations, want 0", len(cfgs))
+	}
+}
+
+func TestEnumerateAllZeroSpace(t *testing.T) {
+	// Every grid point normalizes to the empty configuration; all are
+	// dropped (TotalProcs == 0), not an error.
+	s := Space{
+		PEChoices:   [][]int{{0}},
+		ProcChoices: [][]int{{1, 2, 3}},
+	}
+	cfgs, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 0 {
+		t.Errorf("all-zero space produced %d configurations, want 0", len(cfgs))
+	}
+}
+
+func TestEnumerateCollapsesDuplicates(t *testing.T) {
+	// Class 0 is unused (PEs = 0), so its three proc choices normalize to
+	// the same configuration; class 1 has duplicate values in its choice
+	// lists. Distinct survivors: class 1 with PEs in {1, 2}.
+	s := Space{
+		PEChoices:   [][]int{{0}, {1, 2, 1}},
+		ProcChoices: [][]int{{1, 2, 3}, {1, 1}},
+	}
+	cfgs, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configurations, want 2: %v", len(cfgs), cfgs)
+	}
+	for _, cfg := range cfgs {
+		if cfg.Use[0].PEs != 0 || cfg.Use[0].Procs != 0 {
+			t.Errorf("unused class not normalized: %s", cfg)
+		}
+	}
+	if cfgs[0].Use[1].PEs != 1 || cfgs[1].Use[1].PEs != 2 {
+		t.Errorf("unexpected order or values: %v", cfgs)
+	}
+}

@@ -106,10 +106,13 @@ func (ms *ModelSet) ComposeClass(target, source int, taScale, tcScale float64) e
 func (ms *ModelSet) FitCompositionScale(target, source int) (float64, error) {
 	var num, den float64
 	matched := false
-	for key, tm := range ms.NT {
+	// Iterate bins in sorted order: the sums below are floating-point, so
+	// map-order iteration would make the fitted scale vary run to run.
+	for _, key := range ms.Keys() {
 		if key.Class != target || key.P != key.M {
 			continue
 		}
+		tm := ms.NT[key]
 		sk := Key{Class: source, P: key.P, M: key.M}
 		sm, ok := ms.NT[sk]
 		if !ok {
@@ -252,6 +255,60 @@ func (ms *ModelSet) FitAdjustment(samples []Sample) error {
 			return err
 		}
 		ms.Adjust[class] = &lt
+	}
+	return nil
+}
+
+// Validate checks that the model set is structurally usable as an
+// estimator: a positive class count, at least one N-T model, and every
+// model keyed consistently within the class range with fully-populated
+// coefficients. A decoded model file should be validated before use —
+// json.Unmarshal accepts shapes (an empty object with a version, a pruned
+// model list) that decode cleanly but cannot score any configuration.
+func (ms *ModelSet) Validate() error {
+	if ms == nil {
+		return fmt.Errorf("%w: nil model set", ErrNoModel)
+	}
+	if ms.Classes <= 0 {
+		return fmt.Errorf("%w: model set has %d classes", ErrNoModel, ms.Classes)
+	}
+	if len(ms.NT) == 0 {
+		return fmt.Errorf("%w: model set has no N-T models", ErrNoModel)
+	}
+	for k, m := range ms.NT {
+		if m == nil {
+			return fmt.Errorf("%w: nil N-T model at %v", ErrNoModel, k)
+		}
+		if k.Class < 0 || k.Class >= ms.Classes {
+			return fmt.Errorf("%w: N-T bin %v outside %d classes", ErrNoModel, k, ms.Classes)
+		}
+		if m.Key != k {
+			return fmt.Errorf("%w: N-T model keyed %v stored at %v", ErrNoModel, m.Key, k)
+		}
+		if len(m.TaCoeff) != len(taDegrees) || len(m.TcCoeff) != len(tcDegrees) {
+			return fmt.Errorf("%w: N-T model %v has %d Ta and %d Tc coefficients",
+				ErrNoModel, k, len(m.TaCoeff), len(m.TcCoeff))
+		}
+	}
+	for k, m := range ms.PT {
+		if m == nil {
+			return fmt.Errorf("%w: nil P-T model at %v", ErrNoModel, k)
+		}
+		if k.Class < 0 || k.Class >= ms.Classes {
+			return fmt.Errorf("%w: P-T bin %v outside %d classes", ErrNoModel, k, ms.Classes)
+		}
+		if m.Key != k {
+			return fmt.Errorf("%w: P-T model keyed %v stored at %v", ErrNoModel, m.Key, k)
+		}
+		if len(m.KaCoeff) != 2 || len(m.KcCoeff) != 3 {
+			return fmt.Errorf("%w: P-T model %v has %d Ka and %d Kc coefficients",
+				ErrNoModel, k, len(m.KaCoeff), len(m.KcCoeff))
+		}
+	}
+	for class := range ms.Adjust {
+		if class < 0 || class >= ms.Classes {
+			return fmt.Errorf("%w: adjustment for class %d outside %d classes", ErrNoModel, class, ms.Classes)
+		}
 	}
 	return nil
 }

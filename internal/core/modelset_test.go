@@ -360,3 +360,89 @@ func TestSerializationRejectsBadData(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestValidateAcceptsBuiltModelSet(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatalf("fitted model set rejected: %v", err)
+	}
+	// Survives a serialization round trip too.
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &ModelSet{}
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("round-tripped model set rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBrokenModelSets(t *testing.T) {
+	fresh := func() *ModelSet {
+		ms, err := Build(2, twoClassWorld())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	cases := []struct {
+		name  string
+		wreck func(*ModelSet)
+	}{
+		{"nil set", nil},
+		{"zero classes", func(ms *ModelSet) { ms.Classes = 0 }},
+		{"no NT models", func(ms *ModelSet) { ms.NT = nil }},
+		{"NT class out of range", func(ms *ModelSet) {
+			for k, m := range ms.NT {
+				bad := Key{Class: 99, P: k.P, M: k.M}
+				mm := *m
+				mm.Key = bad
+				ms.NT[bad] = &mm
+				break
+			}
+		}},
+		{"NT key mismatch", func(ms *ModelSet) {
+			for k, m := range ms.NT {
+				mm := *m
+				mm.Key.P++
+				ms.NT[k] = &mm
+				break
+			}
+		}},
+		{"NT truncated coefficients", func(ms *ModelSet) {
+			for k, m := range ms.NT {
+				mm := *m
+				mm.TaCoeff = mm.TaCoeff[:2]
+				ms.NT[k] = &mm
+				break
+			}
+		}},
+		{"PT truncated coefficients", func(ms *ModelSet) {
+			for k, m := range ms.PT {
+				mm := *m
+				mm.KcCoeff = nil
+				ms.PT[k] = &mm
+				break
+			}
+		}},
+		{"adjust class out of range", func(ms *ModelSet) {
+			ms.Adjust = map[int]*stats.LinearTransform{7: {A: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		var ms *ModelSet
+		if tc.wreck != nil {
+			ms = fresh()
+			tc.wreck(ms)
+		}
+		if err := ms.Validate(); !errors.Is(err, ErrNoModel) {
+			t.Errorf("%s: got %v, want ErrNoModel", tc.name, err)
+		}
+	}
+}

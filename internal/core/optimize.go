@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hetmodel/internal/cluster"
+	"hetmodel/internal/parallel"
 )
 
 // Estimate is one scored candidate configuration.
@@ -19,13 +20,23 @@ type Estimate struct {
 }
 
 // EstimateAll scores every candidate configuration at problem size n,
-// in the candidates' order.
+// in the candidates' order, using GOMAXPROCS workers.
 func (ms *ModelSet) EstimateAll(candidates []cluster.Configuration, n int) []Estimate {
+	return ms.EstimateAllWorkers(candidates, n, 0)
+}
+
+// EstimateAllWorkers scores every candidate on up to `workers` goroutines
+// (<= 0 selects GOMAXPROCS, 1 forces sequential evaluation). The model set
+// is read-only during estimation, each candidate fills its own slot, and
+// Estimate is deterministic — so the output is identical at any worker
+// count.
+func (ms *ModelSet) EstimateAllWorkers(candidates []cluster.Configuration, n, workers int) []Estimate {
 	out := make([]Estimate, len(candidates))
-	for i, cfg := range candidates {
-		tau, err := ms.Estimate(cfg, float64(n))
-		out[i] = Estimate{Config: cfg, Tau: tau, Err: err}
-	}
+	parallel.ForEach(len(candidates), workers, func(i int) error {
+		tau, err := ms.Estimate(candidates[i], float64(n))
+		out[i] = Estimate{Config: candidates[i], Tau: tau, Err: err}
+		return nil
+	})
 	return out
 }
 
@@ -34,10 +45,19 @@ func (ms *ModelSet) EstimateAll(candidates []cluster.Configuration, n int) []Est
 // estimated execution time. Candidates the model cannot score are skipped;
 // an error is returned only when no candidate is scorable.
 func (ms *ModelSet) Optimize(candidates []cluster.Configuration, n int) (cluster.Configuration, float64, error) {
+	return ms.OptimizeWorkers(candidates, n, 0)
+}
+
+// OptimizeWorkers is Optimize with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Candidates are scored concurrently, but the winner is picked
+// by a sequential scan over the candidate order — a strictly smaller tau
+// wins, so ties keep the earliest candidate — making the selected
+// configuration identical to the sequential search at any worker count.
+func (ms *ModelSet) OptimizeWorkers(candidates []cluster.Configuration, n, workers int) (cluster.Configuration, float64, error) {
 	best := cluster.Configuration{}
 	bestTau := math.Inf(1)
 	found := false
-	for _, e := range ms.EstimateAll(candidates, n) {
+	for _, e := range ms.EstimateAllWorkers(candidates, n, workers) {
 		if e.Err != nil {
 			continue
 		}

@@ -183,3 +183,55 @@ func TestEstimateMonotoneInN(t *testing.T) {
 		prev = est
 	}
 }
+
+// TestOptimizeWorkersDeterminism asserts the concurrent candidate sweep
+// picks the identical configuration and tau as the sequential scan, and
+// that the full estimate vectors match bit-for-bit.
+func TestOptimizeWorkersDeterminism(t *testing.T) {
+	ms := builtWorld(t)
+	cands := candidateSpace()
+	seqBest, seqTau, seqErr := ms.OptimizeWorkers(cands, 6400, 1)
+	seqEsts := ms.EstimateAllWorkers(cands, 6400, 1)
+	for _, workers := range []int{2, 8, 0} {
+		best, tau, err := ms.OptimizeWorkers(cands, 6400, workers)
+		if (err == nil) != (seqErr == nil) {
+			t.Fatalf("workers=%d: err %v vs sequential %v", workers, err, seqErr)
+		}
+		if best.Key() != seqBest.Key() || tau != seqTau {
+			t.Fatalf("workers=%d: picked %s (%v), sequential picked %s (%v)",
+				workers, best, tau, seqBest, seqTau)
+		}
+		ests := ms.EstimateAllWorkers(cands, 6400, workers)
+		if len(ests) != len(seqEsts) {
+			t.Fatalf("workers=%d: %d estimates vs %d", workers, len(ests), len(seqEsts))
+		}
+		for i := range ests {
+			if ests[i].Tau != seqEsts[i].Tau || (ests[i].Err == nil) != (seqEsts[i].Err == nil) {
+				t.Fatalf("workers=%d: estimate %d differs: %+v vs %+v", workers, i, ests[i], seqEsts[i])
+			}
+		}
+	}
+}
+
+// TestOptimizeWorkersTieBreak pins the tie rule: among equal taus the
+// earliest candidate wins at every worker count.
+func TestOptimizeWorkersTieBreak(t *testing.T) {
+	ms := builtWorld(t)
+	cands := candidateSpace()
+	// Duplicate the full list: every candidate now has an equal-tau twin
+	// later in the order; the winner must come from the first half.
+	doubled := append(append([]cluster.Configuration(nil), cands...), cands...)
+	seqBest, _, err := ms.OptimizeWorkers(doubled, 6400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		best, _, err := ms.OptimizeWorkers(doubled, 6400, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Key() != seqBest.Key() {
+			t.Fatalf("workers=%d: tie broke to %s, sequential picked %s", workers, best, seqBest)
+		}
+	}
+}

@@ -14,17 +14,33 @@ import (
 	"hetmodel/internal/core"
 	"hetmodel/internal/hpl"
 	"hetmodel/internal/measure"
+	"hetmodel/internal/parallel"
 	"hetmodel/internal/simnet"
 )
 
 // Context carries the simulated testbed and a memoized run cache so tables
 // and figures that revisit the same configurations don't resimulate them.
+// All methods are safe for concurrent callers: the cache deduplicates
+// in-flight simulations, so two goroutines asking for the same
+// (configuration, N) share one run instead of racing to compute it twice.
 type Context struct {
 	Cluster *cluster.Cluster
 	Params  hpl.Params
+	// Workers bounds the concurrency of campaign measurements (BuildModel)
+	// and candidate sweeps (ActualBest): <= 0 selects GOMAXPROCS, 1 forces
+	// sequential execution. Results are identical at any setting.
+	Workers int
 
 	mu    sync.Mutex
-	cache map[string]*hpl.Result
+	cache map[string]*runEntry
+}
+
+// runEntry is one memoized simulation; ready closes when res/err are set,
+// so concurrent requests for the same key wait instead of resimulating.
+type runEntry struct {
+	ready chan struct{}
+	res   *hpl.Result
+	err   error
 }
 
 // NewPaperContext returns the paper's evaluation platform: the Table 1
@@ -35,33 +51,38 @@ func NewPaperContext() (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{Cluster: cl, cache: make(map[string]*hpl.Result)}, nil
+	return &Context{Cluster: cl, cache: make(map[string]*runEntry)}, nil
 }
 
 // NewContext builds a context over an arbitrary cluster.
 func NewContext(cl *cluster.Cluster, params hpl.Params) *Context {
-	return &Context{Cluster: cl, Params: params, cache: make(map[string]*hpl.Result)}
+	return &Context{Cluster: cl, Params: params, cache: make(map[string]*runEntry)}
 }
 
-// Run simulates one configuration at one size, memoized.
+// Run simulates one configuration at one size, memoized. Concurrent calls
+// with the same key block on one shared simulation; failed runs are not
+// cached (waiters receive the error, later callers retry).
 func (c *Context) Run(cfg cluster.Configuration, n int) (*hpl.Result, error) {
 	key := fmt.Sprintf("%s@%d", cfg.Normalize().Key(), n)
 	c.mu.Lock()
-	if r, ok := c.cache[key]; ok {
+	if e, ok := c.cache[key]; ok {
 		c.mu.Unlock()
-		return r, nil
+		<-e.ready
+		return e.res, e.err
 	}
+	e := &runEntry{ready: make(chan struct{})}
+	c.cache[key] = e
 	c.mu.Unlock()
 	p := c.Params
 	p.N = n
-	r, err := hpl.Run(c.Cluster, cfg, p)
-	if err != nil {
-		return nil, err
+	e.res, e.err = hpl.Run(c.Cluster, cfg, p)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.cache, key)
+		c.mu.Unlock()
 	}
-	c.mu.Lock()
-	c.cache[key] = r
-	c.mu.Unlock()
-	return r, nil
+	close(e.ready)
+	return e.res, e.err
 }
 
 // BuiltModel bundles one campaign's models with their training data.
@@ -83,6 +104,9 @@ const TcScaleDefault = 0.85
 // paper uses N = 6400, P2 = 8; see core.ModelSet.Adjust for why the sweep
 // starts at M1 = 1 here).
 func (c *Context) BuildModel(camp measure.Campaign) (*BuiltModel, error) {
+	if camp.Workers == 0 {
+		camp.Workers = c.Workers
+	}
 	res, err := measure.Run(c.Cluster, camp, c.Params)
 	if err != nil {
 		return nil, err
@@ -99,13 +123,15 @@ func (c *Context) BuildModel(camp measure.Campaign) (*BuiltModel, error) {
 		return nil, err
 	}
 	adjN := camp.Ns[len(camp.Ns)-1]
+	calibRuns, err := parallel.Map(6, camp.Workers, func(i int) (*hpl.Result, error) {
+		cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: i + 1}, {PEs: 8, Procs: 1}}}
+		return c.Run(cfg, adjN)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var calib []core.Sample
-	for m1 := 1; m1 <= 6; m1++ {
-		cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: m1}, {PEs: 8, Procs: 1}}}
-		r, err := c.Run(cfg, adjN)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range calibRuns {
 		calib = append(calib, measure.SamplesFromResult(r)...)
 	}
 	if err := ms.FitAdjustment(calib); err != nil {
@@ -139,16 +165,22 @@ func EvalConfigs() []cluster.Configuration {
 }
 
 // ActualBest simulates every candidate and returns the measured optimum.
+// Candidates are simulated on c.Workers goroutines; the winner is chosen by
+// a sequential scan over the candidate order (strictly smaller wall time
+// wins, ties keep the earliest candidate), so the result is identical to
+// the sequential sweep at any worker count.
 func (c *Context) ActualBest(candidates []cluster.Configuration, n int) (cluster.Configuration, float64, error) {
+	runs, err := parallel.Map(len(candidates), c.Workers, func(i int) (*hpl.Result, error) {
+		return c.Run(candidates[i], n)
+	})
+	if err != nil {
+		return cluster.Configuration{}, 0, err
+	}
 	best := cluster.Configuration{}
 	bestT := 0.0
-	for i, cfg := range candidates {
-		r, err := c.Run(cfg, n)
-		if err != nil {
-			return best, 0, err
-		}
+	for i, r := range runs {
 		if i == 0 || r.WallTime < bestT {
-			best, bestT = cfg, r.WallTime
+			best, bestT = candidates[i], r.WallTime
 		}
 	}
 	return best, bestT, nil

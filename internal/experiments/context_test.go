@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/measure"
+)
+
+// TestRunConcurrentSingleFlight hammers the memoized cache from many
+// goroutines: every caller must get the same *hpl.Result for the same key
+// (one shared simulation, not a race of duplicates). Run under -race this
+// is also the audit of the Context cache locking.
+func TestRunConcurrentSingleFlight(t *testing.T) {
+	ctx, err := NewPaperContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 1}, {}}}
+	const callers = 16
+	results := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := ctx.Run(cfg, 800)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer: duplicate simulation", i)
+		}
+	}
+	ctx.mu.Lock()
+	entries := len(ctx.cache)
+	ctx.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries, want 1", entries)
+	}
+}
+
+// TestActualBestWorkersDeterminism asserts the parallel candidate sweep
+// returns the identical winner and wall time as the sequential sweep.
+func TestActualBestWorkersDeterminism(t *testing.T) {
+	candidates := EvalConfigs()[:10]
+	seqCtx, err := NewPaperContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCtx.Workers = 1
+	seqBest, seqT, err := seqCtx.ActualBest(candidates, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		parCtx, err := NewPaperContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parCtx.Workers = workers
+		best, tHat, err := parCtx.ActualBest(candidates, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Key() != seqBest.Key() || tHat != seqT {
+			t.Fatalf("workers=%d: got %s (%v), sequential %s (%v)", workers, best, tHat, seqBest, seqT)
+		}
+	}
+}
+
+// TestBuildModelWorkersDeterminism builds the same model on fresh contexts
+// at different worker counts and requires identical fitted estimators.
+func TestBuildModelWorkersDeterminism(t *testing.T) {
+	build := func(workers int) *BuiltModel {
+		t.Helper()
+		ctx, err := NewPaperContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Workers = workers
+		bm, err := ctx.BuildModel(tinyBuildCampaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bm
+	}
+	seq := build(1)
+	par := build(4)
+	if par.TaScale != seq.TaScale {
+		t.Fatalf("TaScale %v != %v", par.TaScale, seq.TaScale)
+	}
+	if par.Result.Runs != seq.Result.Runs || par.Result.TotalCost() != seq.Result.TotalCost() {
+		t.Fatalf("campaign accounting differs: %d/%v vs %d/%v",
+			par.Result.Runs, par.Result.TotalCost(), seq.Result.Runs, seq.Result.TotalCost())
+	}
+	for _, k := range seq.Models.Keys() {
+		a, b := seq.Models.NT[k], par.Models.NT[k]
+		if b == nil {
+			t.Fatalf("parallel build lost N-T bin %v", k)
+		}
+		for i := range a.TaCoeff {
+			if a.TaCoeff[i] != b.TaCoeff[i] {
+				t.Fatalf("N-T %v TaCoeff[%d]: %v != %v", k, i, a.TaCoeff[i], b.TaCoeff[i])
+			}
+		}
+	}
+}
+
+// tinyBuildCampaign is the smallest campaign BuildModel accepts: both
+// classes measured at four sizes (the N-T fit minimum).
+func tinyBuildCampaign() measure.Campaign {
+	athlon, pii := cluster.PaperConstructionSpace([]int{1, 2, 4, 8})
+	return measure.Campaign{
+		Name: "tinybuild",
+		Ns:   []int{400, 800, 1200, 1600},
+		Groups: []measure.Group{
+			{Label: "Athlon", Space: athlon},
+			{Label: "PentiumII", Space: pii},
+		},
+	}
+}

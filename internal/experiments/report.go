@@ -78,8 +78,10 @@ func (c *Context) WriteFullReport(w io.Writer) error {
 		}
 		p("%s model: %d N-T bins, %d P-T bins, composition Ta x%.3f Tc x%.2f\n",
 			camp.Name, len(bm.Models.NT), len(bm.Models.PT), bm.TaScale, TcScaleDefault)
-		for class, lt := range bm.Models.Adjust {
-			p("  adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+		for class := 0; class < bm.Models.Classes; class++ {
+			if lt := bm.Models.Adjust[class]; lt != nil {
+				p("  adjustment class %d: Tc' = %.3f*Tc %+.3f\n", class, lt.A, lt.B)
+			}
 		}
 		p("\n%s\n", costTableFromResult(bm.Result).Render())
 

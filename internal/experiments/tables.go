@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"hetmodel/internal/cluster"
@@ -65,8 +66,13 @@ func GridFor(camp measure.Campaign) (*GridTable, error) {
 func (g *GridTable) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Campaign %s: sizes %v\n", g.Campaign, g.Ns)
-	for label, n := range g.GroupConfigs {
-		fmt.Fprintf(&b, "  %-10s %d configurations\n", label, n)
+	labels := make([]string, 0, len(g.GroupConfigs))
+	for label := range g.GroupConfigs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(&b, "  %-10s %d configurations\n", label, g.GroupConfigs[label])
 	}
 	fmt.Fprintf(&b, "  total measurement runs: %d\n", g.TotalRuns)
 	fmt.Fprintf(&b, "  evaluation: sizes %v over %d configurations\n", g.EvaluationNs, g.EvalConfigs)
@@ -89,6 +95,9 @@ type CostTable struct {
 
 // CostTableFor runs the campaign and produces its cost table.
 func (c *Context) CostTableFor(camp measure.Campaign) (*CostTable, error) {
+	if camp.Workers == 0 {
+		camp.Workers = c.Workers
+	}
 	res, err := measure.Run(c.Cluster, camp, c.Params)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"hetmodel/internal/cluster"
 	"hetmodel/internal/core"
 	"hetmodel/internal/hpl"
+	"hetmodel/internal/parallel"
 )
 
 // ErrBadCampaign reports an invalid campaign description.
@@ -39,6 +40,11 @@ type Campaign struct {
 	Groups []Group
 	// Runner executes each measurement; nil selects hpl.Run.
 	Runner Runner
+	// Workers bounds the concurrent measurements (<= 0 selects GOMAXPROCS,
+	// 1 forces sequential execution). Each measurement is an independent
+	// simulation, and results are accumulated in the campaign's enumeration
+	// order either way, so the output is byte-identical at any setting.
+	Workers int
 }
 
 // Result carries the campaign's samples and cost accounting.
@@ -86,8 +92,21 @@ func (r *Result) GroupCost(label string) ([]int, []float64) {
 	return ns, costs
 }
 
+// cell is one campaign measurement: a (group, N, configuration) grid point.
+type cell struct {
+	label string
+	n     int
+	cfg   cluster.Configuration
+}
+
 // Run executes the campaign on the cluster. Params supplies the HPL
 // settings shared by all runs (N is overridden per measurement).
+//
+// The campaign cells are independent simulations, so Run fans them out
+// across c.Workers goroutines; samples, costs, and the run count are then
+// accumulated in the sequential enumeration order (groups, then Ns, then
+// configurations), making the result byte-identical to a sequential run —
+// including the floating-point summation order of the cost tables.
 func Run(cl *cluster.Cluster, c Campaign, params hpl.Params) (*Result, error) {
 	if len(c.Ns) == 0 || len(c.Groups) == 0 {
 		return nil, fmt.Errorf("%w: %s has no sizes or groups", ErrBadCampaign, c.Name)
@@ -97,26 +116,35 @@ func Run(cl *cluster.Cluster, c Campaign, params hpl.Params) (*Result, error) {
 		runner = hpl.Run
 	}
 	res := &Result{Campaign: c, Cost: make(map[string]map[int]float64)}
+	var cells []cell
 	for _, g := range c.Groups {
 		cfgs, err := g.Space.Enumerate()
 		if err != nil {
 			return nil, fmt.Errorf("measure: %s/%s: %w", c.Name, g.Label, err)
 		}
-		byN := make(map[int]float64, len(c.Ns))
-		res.Cost[g.Label] = byN
+		res.Cost[g.Label] = make(map[int]float64, len(c.Ns))
 		for _, n := range c.Ns {
 			for _, cfg := range cfgs {
-				p := params
-				p.N = n
-				run, err := runner(cl, cfg, p)
-				if err != nil {
-					return nil, fmt.Errorf("measure: %s/%s %s N=%d: %w", c.Name, g.Label, cfg, n, err)
-				}
-				res.Runs++
-				byN[n] += run.WallTime
-				res.Samples = append(res.Samples, SamplesFromResult(run)...)
+				cells = append(cells, cell{label: g.Label, n: n, cfg: cfg})
 			}
 		}
+	}
+	runs, err := parallel.Map(len(cells), c.Workers, func(i int) (*hpl.Result, error) {
+		p := params
+		p.N = cells[i].n
+		run, err := runner(cl, cells[i].cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("measure: %s/%s %s N=%d: %w", c.Name, cells[i].label, cells[i].cfg, cells[i].n, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, run := range runs {
+		res.Runs++
+		res.Cost[cells[i].label][cells[i].n] += run.WallTime
+		res.Samples = append(res.Samples, SamplesFromResult(run)...)
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"hetmodel/internal/chol"
@@ -188,5 +189,66 @@ func TestCampaignWithCholeskyRunner(t *testing.T) {
 		if s.Tc < 0 {
 			t.Fatalf("negative Tc: %+v", s)
 		}
+	}
+}
+
+// TestRunParallelDeterminism asserts the tentpole contract: a campaign run
+// with concurrent workers produces byte-identical samples, costs, and run
+// counts to the sequential execution.
+func TestRunParallelDeterminism(t *testing.T) {
+	cl := paperCluster(t)
+	seqCamp := tinyCampaign()
+	seqCamp.Workers = 1
+	seq, err := Run(cl, seqCamp, hpl.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		parCamp := tinyCampaign()
+		parCamp.Workers = workers
+		par, err := Run(cl, parCamp, hpl.Params{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Runs != seq.Runs {
+			t.Fatalf("workers=%d: runs %d != %d", workers, par.Runs, seq.Runs)
+		}
+		if !reflect.DeepEqual(par.Samples, seq.Samples) {
+			t.Fatalf("workers=%d: sample streams differ", workers)
+		}
+		// Costs must match to the bit (same float summation order).
+		if !reflect.DeepEqual(par.Cost, seq.Cost) {
+			t.Fatalf("workers=%d: cost tables differ: %v vs %v", workers, par.Cost, seq.Cost)
+		}
+		if par.TotalCost() != seq.TotalCost() {
+			t.Fatalf("workers=%d: total cost %v != %v", workers, par.TotalCost(), seq.TotalCost())
+		}
+	}
+}
+
+// TestRunParallelErrorMatchesSequential asserts the failing cell reported
+// by a concurrent campaign is the same one the sequential loop stops on.
+func TestRunParallelErrorMatchesSequential(t *testing.T) {
+	cl := paperCluster(t)
+	boom := errors.New("boom")
+	failingRunner := func(c *cluster.Cluster, cfg cluster.Configuration, p hpl.Params) (*hpl.Result, error) {
+		if p.N == 512 && cfg.Use[0].Procs == 2 {
+			return nil, boom
+		}
+		return hpl.Run(c, cfg, p)
+	}
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		camp := tinyCampaign()
+		camp.Workers = workers
+		camp.Runner = failingRunner
+		_, err := Run(cl, camp, hpl.Params{})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("parallel error %q != sequential error %q", msgs[1], msgs[0])
 	}
 }

@@ -1,0 +1,106 @@
+// Package parallel is the shared worker-pool execution engine behind the
+// concurrent hot paths: measurement campaigns (internal/measure), candidate
+// sweeps (internal/core, internal/experiments), and any future fan-out over
+// an indexed work list.
+//
+// The design contract is determinism: work items are identified by index,
+// results are delivered by index, and error selection is by lowest index —
+// so a parallel execution is observationally identical to the sequential
+// loop it replaces, regardless of scheduling. Worker counts follow the
+// linalg.ParallelMulAdd convention: <= 0 selects GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), and the result never exceeds n work items.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes fn(i) for i in [0, n) using up to `workers` concurrent
+// goroutines (workers <= 0 selects GOMAXPROCS). Indices are claimed in
+// ascending order. On failure no new indices are started, and the returned
+// error is the one with the lowest index — because indices are claimed in
+// order, every index below the first failing one also ran, so the error
+// returned is exactly the error a sequential loop would have stopped on
+// (for deterministic fn). ForEach returns only after all started fn calls
+// finished.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, firstEr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Map invokes fn(i) for i in [0, n) on up to `workers` goroutines and
+// returns the results in index order. Error semantics match ForEach: the
+// lowest-index error is returned (with a nil slice), identical to what a
+// sequential loop would report.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

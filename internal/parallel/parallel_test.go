@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Workers(4, 0); got != 1 {
+		t.Errorf("Workers(4, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		var hits [100]atomic.Int32
+		err := ForEach(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Indices 30 and 60 fail; the sequential loop would stop on 30, so the
+	// parallel run must report 30 too, at every worker count.
+	for _, workers := range []int{1, 3, 16} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 30" {
+			t.Errorf("workers=%d: got %v, want fail at 30", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsIssuingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1_000_000, 2, func(i int) error {
+		ran.Add(1)
+		return errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("ran %d items after an immediate error; early stop is broken", n)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		out, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}
