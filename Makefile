@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench cover ci
+.PHONY: all build vet fmt test race bench bench-json cover ci
 
 all: build test
 
@@ -30,6 +30,12 @@ race:
 # numbers use e.g.: go test -bench 'Campaign|Sweep' -benchtime=10x .
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Run the tracked suite (internal/bench) and write a JSON report with
+# speedups against the committed baseline. See EXPERIMENTS.md for the
+# recipe used to regenerate the committed BENCH_2.json.
+bench-json:
+	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_2.json -baseline-ref BENCH_2.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -1,0 +1,269 @@
+// Command benchrun executes the tracked benchmark suite (internal/bench)
+// outside the go-test harness and writes the results as JSON, so the
+// repository can commit a machine-readable performance baseline
+// (BENCH_2.json) and CI can archive one per build.
+//
+// Usage:
+//
+//	benchrun -out BENCH_2.json -benchtime 10x -rounds 5
+//	benchrun -baseline old.json -baseline-ref cec594e   # merge speedups
+//	benchrun -filter 'HPL' -rounds 1                    # quick subset
+//
+// The baseline file may be a previous benchrun JSON or the text output of
+// `go test -bench .`, so a commit that predates this command can still be
+// measured (with plain go test in a worktree) and merged as the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hetmodel/internal/bench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Desc        string  `json:"desc,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Populated when -baseline is given and names a matching benchmark.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBytesPerOp  int64   `json:"baseline_bytes_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Schema      string   `json:"schema"`
+	GoVersion   string   `json:"go"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CPU         string   `json:"cpu,omitempty"`
+	Benchtime   string   `json:"benchtime"`
+	Rounds      int      `json:"rounds"`
+	BaselineRef string   `json:"baseline_ref,omitempty"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+	testing.Init() // register test.* flags so testing.Benchmark honors benchtime
+	var (
+		out         = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		benchtime   = flag.String("benchtime", "5x", "per-round benchmark duration, as for go test -benchtime")
+		rounds      = flag.Int("rounds", 3, "rounds per benchmark; the median ns/op round is reported")
+		filter      = flag.String("filter", "", "only run benchmarks matching this regexp")
+		baseline    = flag.String("baseline", "", "baseline file to merge: a benchrun JSON or `go test -bench` text output")
+		baselineRef = flag.String("baseline-ref", "", "label for the baseline (e.g. the commit it was measured at)")
+		list        = flag.Bool("list", false, "list the tracked benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, c := range bench.Suite() {
+			fmt.Printf("%-18s %s\n", c.Name, c.Desc)
+		}
+		return
+	}
+	if *rounds < 1 {
+		log.Fatalf("-rounds must be >= 1, got %d", *rounds)
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		log.Fatalf("bad -benchtime %q: %v", *benchtime, err)
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			log.Fatalf("bad -filter: %v", err)
+		}
+	}
+
+	base := map[string]result{}
+	if *baseline != "" {
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := report{
+		Schema:      "hetmodel-bench/1",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPU:         cpuModel(),
+		Benchtime:   *benchtime,
+		Rounds:      *rounds,
+		BaselineRef: *baselineRef,
+	}
+	for _, c := range bench.Suite() {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		r := runCase(c, *rounds)
+		if b, ok := base[c.Name]; ok {
+			r.BaselineNsPerOp = b.NsPerOp
+			r.BaselineBytesPerOp = b.BytesPerOp
+			r.BaselineAllocsPerOp = b.AllocsPerOp
+			if r.NsPerOp > 0 {
+				r.Speedup = round3(b.NsPerOp / r.NsPerOp)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %12d B/op %8d allocs/op",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.Speedup != 0 {
+			fmt.Fprintf(os.Stderr, "   %.2fx vs baseline", r.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+		rep.Results = append(rep.Results, r)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Results))
+}
+
+// runCase runs one benchmark for the requested number of rounds and keeps
+// the median-ns/op round, which is robust against scheduling noise on
+// shared machines without averaging away cache effects.
+func runCase(c bench.Case, rounds int) result {
+	type round struct{ ns, bytes, allocs float64 }
+	rs := make([]round, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		br := testing.Benchmark(c.F)
+		if br.N == 0 {
+			log.Fatalf("%s: benchmark failed (0 iterations)", c.Name)
+		}
+		rs = append(rs, round{
+			ns:     float64(br.T.Nanoseconds()) / float64(br.N),
+			bytes:  float64(br.AllocedBytesPerOp()),
+			allocs: float64(br.AllocsPerOp()),
+		})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ns < rs[j].ns })
+	m := rs[len(rs)/2]
+	return result{
+		Name:        c.Name,
+		Desc:        c.Desc,
+		NsPerOp:     round3(m.ns),
+		BytesPerOp:  int64(m.bytes),
+		AllocsPerOp: int64(m.allocs),
+	}
+}
+
+func round3(v float64) float64 {
+	s, err := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 6, 64), 64)
+	if err != nil {
+		return v
+	}
+	return s
+}
+
+// loadBaseline reads either a benchrun JSON report or `go test -bench` text
+// output, keyed by benchmark name with any Benchmark prefix and -N GOMAXPROCS
+// suffix stripped.
+func loadBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]result{}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		for _, r := range rep.Results {
+			byName[r.Name] = r
+		}
+		return byName, nil
+	}
+	perName := map[string][]result{}
+	for _, line := range strings.Split(trimmed, "\n") {
+		r, ok := parseGoBenchLine(line)
+		if !ok {
+			continue
+		}
+		perName[r.Name] = append(perName[r.Name], r)
+	}
+	// With `go test -count N` the same benchmark appears N times; keep the
+	// median-ns/op line, matching runCase's noise handling.
+	for name, rs := range perName {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].NsPerOp < rs[j].NsPerOp })
+		byName[name] = rs[len(rs)/2]
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return byName, nil
+}
+
+// parseGoBenchLine parses one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkHPLPhantom-4   10   2922440 ns/op   404920 B/op   5341 allocs/op
+func parseGoBenchLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, seen
+}
+
+// cpuModel best-effort identifies the host CPU for the report header.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

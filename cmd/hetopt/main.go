@@ -21,6 +21,7 @@ import (
 	"hetmodel/internal/core"
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/measure"
+	"hetmodel/internal/profiling"
 	"hetmodel/internal/stats"
 )
 
@@ -35,7 +36,13 @@ func main() {
 		verify    = flag.Bool("verify", false, "simulate every candidate and report the actual optimum")
 		workers   = flag.Int("workers", 0, "concurrent simulations/evaluations (0 = GOMAXPROCS, 1 = sequential)")
 	)
+	prof := profiling.AddFlags(nil)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	ctx, err := experiments.NewPaperContext()
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"hetmodel/internal/core"
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/measure"
+	"hetmodel/internal/profiling"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func main() {
 		cv       = flag.Bool("cv", false, "leave-one-out cross-validation of the N-T fits")
 		workers  = flag.Int("workers", 0, "concurrent campaign simulations (0 = GOMAXPROCS, 1 = sequential)")
 	)
+	prof := profiling.AddFlags(nil)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	var camp measure.Campaign
 	switch strings.ToLower(*campaign) {

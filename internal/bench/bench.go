@@ -1,0 +1,180 @@
+// Package bench defines the tracked benchmark suite behind cmd/benchrun:
+// the simulator and kernel workloads whose regressions the repository
+// watches via the committed BENCH_2.json baseline. The parameters mirror
+// the go-test benchmarks in bench_test.go at the module root, so numbers
+// from `go test -bench` at any commit are directly comparable.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetmodel"
+	"hetmodel/internal/chol"
+	"hetmodel/internal/experiments"
+	"hetmodel/internal/hpl"
+	"hetmodel/internal/hpl2d"
+	"hetmodel/internal/linalg"
+	"hetmodel/internal/measure"
+)
+
+// Case is one tracked benchmark.
+type Case struct {
+	Name string
+	// What the number means, for report readers.
+	Desc string
+	F    func(b *testing.B)
+}
+
+// Suite returns the tracked benchmarks in reporting order.
+func Suite() []Case {
+	return []Case{
+		{"HPLPhantom", "timing-only HPL, N=9600, (1,4,8,1)", hplPhantom},
+		{"HPLNumeric", "real-arithmetic HPL, N=192, NB=32", hplNumeric},
+		{"HPL2DPhantom", "timing-only 2D-grid HPL, N=4096, 2x4", hpl2dPhantom},
+		{"HPL2DNumeric", "real-arithmetic 2D-grid HPL, N=128, NB=16, 2x2", hpl2dNumeric},
+		{"CholeskyPhantom", "timing-only Cholesky, N=6400", cholPhantom},
+		{"CholeskyNumeric", "real-arithmetic Cholesky, N=160, NB=32", cholNumeric},
+		{"GEMMSerial", "blocked MulAdd, 256x256x256", gemmSerial},
+		{"CampaignWorkers1", "NL campaign (2 sizes), sequential", campaignW1},
+		{"SweepWorkers1", "62-candidate sweep at N=2400, sequential", sweepW1},
+	}
+}
+
+func paperCluster(b *testing.B) *hetmodel.Cluster {
+	b.Helper()
+	cl, err := hetmodel.NewPaperCluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+func hplPhantom(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 1, Procs: 4}, {PEs: 8, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetmodel.RunHPL(cl, cfg, hetmodel.HPLParams{N: 9600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func hplNumeric(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 1, Procs: 1}, {PEs: 3, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hetmodel.RunHPL(cl, cfg, hetmodel.HPLParams{N: 192, NB: 32, Numeric: true, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Residual > 16 {
+			b.Fatalf("residual %v", res.Residual)
+		}
+	}
+}
+
+func hpl2dPhantom(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{}, {PEs: 8, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hpl2d.Run(cl, cfg, hpl2d.Params{Params: hetmodel.HPLParams{N: 4096}, Pr: 2, Pc: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func hpl2dNumeric(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{}, {PEs: 4, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hpl2d.Run(cl, cfg, hpl2d.Params{
+			Params: hetmodel.HPLParams{N: 128, NB: 16, Numeric: true, Seed: int64(i)},
+			Pr:     2, Pc: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Residual > 16 {
+			b.Fatalf("residual %v", res.Residual)
+		}
+	}
+}
+
+func cholPhantom(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 1, Procs: 3}, {PEs: 8, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chol.Run(cl, cfg, chol.Params{N: 6400}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func cholNumeric(b *testing.B) {
+	cl := paperCluster(b)
+	cfg := hetmodel.Configuration{Use: []hetmodel.ClassUse{{PEs: 1, Procs: 1}, {PEs: 3, Procs: 1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chol.Run(cl, cfg, chol.Params{N: 160, NB: 32, Numeric: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Residual > 16 {
+			b.Fatalf("residual %v", res.Residual)
+		}
+	}
+}
+
+func gemmSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 256
+	a := linalg.NewMatrix(n, n)
+	c := linalg.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		c.Data[i] = rng.NormFloat64()
+	}
+	out := linalg.NewMatrix(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := linalg.MulAdd(1, a, c, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func campaignW1(b *testing.B) {
+	cl := paperCluster(b)
+	camp := measure.NLCampaign()
+	camp.Ns = camp.Ns[:2]
+	camp.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.Run(cl, camp, hpl.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sweepW1(b *testing.B) {
+	candidates := experiments.EvalConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx, err := experiments.NewPaperContext()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.Workers = 1
+		b.StartTimer()
+		if _, _, err := ctx.ActualBest(candidates, 2400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

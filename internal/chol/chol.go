@@ -213,12 +213,15 @@ type numState struct {
 func newNumState(lay hpl.Layout, rank int) *numState {
 	n := lay.N()
 	st := &numState{lay: lay, rank: rank, local: linalg.NewMatrix(n, lay.LocalCols(rank))}
+	data, stride := st.local.Data, st.local.Stride
+	col := make([]float64, n)
 	for j := rank; j < lay.NumPanels(); j += lay.P() {
 		off := lay.LocalOffset(j)
 		for c := 0; c < lay.Width(j); c++ {
 			gc := j*lay.NB() + c
-			for i := 0; i < n; i++ {
-				st.local.Set(i, off+c, linalg.KMSEntry(KMSRho, i, gc))
+			linalg.KMSColumn(KMSRho, gc, col)
+			for i, v := range col {
+				data[i*stride+off+c] = v
 			}
 		}
 	}
@@ -235,33 +238,28 @@ func (st *numState) factorPanel(j int) *linalg.Matrix {
 	row0 := j * lay.NB()
 	n := lay.N()
 
+	data, stride := st.local.Data, st.local.Stride
+	panelRow := func(i int) []float64 {
+		return data[i*stride+off : i*stride+off+nb]
+	}
 	for k := 0; k < nb; k++ {
 		gk := row0 + k
-		lc := off + k
-		d := st.local.At(gk, lc)
-		for c := 0; c < k; c++ {
-			v := st.local.At(gk, off+c)
-			d -= v * v
-		}
+		rg := panelRow(gk)
+		d := rg[k] - linalg.Dot(rg[:k], rg[:k])
 		if d <= 0 {
 			panic(fmt.Sprintf("chol: matrix not positive definite at column %d", gk))
 		}
 		d = math.Sqrt(d)
-		st.local.Set(gk, lc, d)
+		rg[k] = d
 		inv := 1 / d
 		for i := gk + 1; i < n; i++ {
-			s := st.local.At(i, lc)
-			for c := 0; c < k; c++ {
-				s -= st.local.At(i, off+c) * st.local.At(gk, off+c)
-			}
-			st.local.Set(i, lc, s*inv)
+			ri := panelRow(i)
+			ri[k] = (ri[k] - linalg.Dot(ri[:k], rg[:k])) * inv
 		}
 	}
 	panel := linalg.NewMatrix(n-row0, nb)
 	for i := 0; i < n-row0; i++ {
-		for c := 0; c < nb; c++ {
-			panel.Set(i, c, st.local.At(row0+i, off+c))
-		}
+		copy(panel.RowView(i), panelRow(row0+i))
 	}
 	return panel
 }
@@ -296,12 +294,13 @@ func validate(res *Result, lay hpl.Layout, states []*numState) error {
 	n := lay.N()
 	l := linalg.NewMatrix(n, n)
 	for rank, st := range states {
+		data, stride := st.local.Data, st.local.Stride
 		for j := rank; j < lay.NumPanels(); j += lay.P() {
 			off := lay.LocalOffset(j)
 			for c := 0; c < lay.Width(j); c++ {
 				gc := j*lay.NB() + c
 				for i := gc; i < n; i++ {
-					l.Set(i, gc, st.local.At(i, off+c))
+					l.Data[i*n+gc] = data[i*stride+off+c]
 				}
 			}
 		}

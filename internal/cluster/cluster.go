@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"hetmodel/internal/machine"
@@ -132,17 +133,25 @@ func (c Configuration) Normalize() Configuration {
 }
 
 // Key returns a canonical string identity (after normalization), usable as
-// a map key.
+// a map key. It normalizes inline and builds the string with strconv, so
+// the only allocation is the returned string — it is called once per
+// simulated rank and per cache probe in the sweep loops.
 func (c Configuration) Key() string {
-	n := c.Normalize()
-	var b strings.Builder
-	for i, u := range n.Use {
+	var buf [64]byte
+	b := buf[:0]
+	for i, u := range c.Use {
 		if i > 0 {
-			b.WriteByte(';')
+			b = append(b, ';')
 		}
-		fmt.Fprintf(&b, "%d,%d", u.PEs, u.Procs)
+		pes, procs := u.PEs, u.Procs
+		if pes <= 0 || procs <= 0 {
+			pes, procs = 0, 0
+		}
+		b = strconv.AppendInt(b, int64(pes), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(procs), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // String renders the paper's (P1, M1, P2, M2, ...) notation.

@@ -10,7 +10,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -25,7 +24,7 @@ type Event struct {
 	Action func()
 
 	seq   uint64
-	index int
+	index int // position in the heap; -1 once executed or rescinded
 }
 
 // Simulation is a discrete-event simulation. The zero value is ready to use.
@@ -45,19 +44,46 @@ func (s *Simulation) Now() float64 { return s.now }
 // the past (at < Now) are clamped to Now. Events at identical times run in
 // scheduling order (FIFO), which keeps runs deterministic.
 func (s *Simulation) Schedule(at float64, action func()) error {
+	_, err := s.ScheduleEvent(at, action)
+	return err
+}
+
+// ScheduleEvent is Schedule returning the event handle, which can later be
+// moved in time with Reschedule.
+func (s *Simulation) ScheduleEvent(at float64, action func()) (*Event, error) {
 	if s.stopped {
-		return ErrStopped
+		return nil, ErrStopped
 	}
 	if action == nil {
-		return errors.New("des: nil action")
+		return nil, errors.New("des: nil action")
 	}
 	if at < s.now || math.IsNaN(at) {
 		at = s.now
 	}
 	ev := &Event{At: at, Action: action, seq: s.seq}
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return nil
+	s.queue.push(ev)
+	return ev, nil
+}
+
+// Reschedule moves a pending event to absolute time at (clamped to Now),
+// sifting it to its new heap position in place — no pop/push pair, no
+// reallocation. It reports whether the event was still pending; executed or
+// stopped-out events are left untouched.
+func (s *Simulation) Reschedule(ev *Event, at float64) bool {
+	if s.stopped || ev == nil || ev.index < 0 || ev.index >= len(s.queue.evs) || s.queue.evs[ev.index] != ev {
+		return false
+	}
+	if at < s.now || math.IsNaN(at) {
+		at = s.now
+	}
+	ev.At = at
+	// Keep FIFO fairness among equal timestamps: a moved event counts as
+	// newly scheduled.
+	ev.seq = s.seq
+	s.seq++
+	s.queue.fix(ev.index)
+	return true
 }
 
 // After schedules action delay units after the current time.
@@ -70,10 +96,10 @@ func (s *Simulation) After(delay float64, action func()) error {
 
 // Step executes the next event, returning false when the queue is empty.
 func (s *Simulation) Step() bool {
-	if s.stopped || s.queue.Len() == 0 {
+	if s.stopped || s.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*Event)
+	ev := s.queue.pop()
 	s.now = ev.At
 	s.Processed++
 	ev.Action()
@@ -91,7 +117,7 @@ func (s *Simulation) Run() float64 {
 // passes the deadline. It returns the number of events executed.
 func (s *Simulation) RunUntil(deadline float64) uint64 {
 	var n uint64
-	for !s.stopped && s.queue.Len() > 0 && s.queue[0].At <= deadline {
+	for !s.stopped && s.queue.len() > 0 && s.queue.evs[0].At <= deadline {
 		s.Step()
 		n++
 	}
@@ -105,36 +131,92 @@ func (s *Simulation) RunUntil(deadline float64) uint64 {
 // scheduling fails with ErrStopped.
 func (s *Simulation) Stop() {
 	s.stopped = true
-	s.queue = nil
+	s.queue.evs = nil
 }
 
 // Pending returns the number of queued events.
-func (s *Simulation) Pending() int { return s.queue.Len() }
+func (s *Simulation) Pending() int { return s.queue.len() }
 
-type eventQueue []*Event
+// eventQueue is a hand-rolled binary min-heap over (At, seq) with index
+// tracking, replacing container/heap to avoid its interface boxing and to
+// allow in-place sifting for Reschedule.
+type eventQueue struct {
+	evs []*Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+func (q *eventQueue) len() int { return len(q.evs) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.evs[i], q.evs[j]
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(q.evs)
+	q.evs = append(q.evs, ev)
+	q.siftUp(ev.index)
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+
+// pop removes and returns the minimum: the last leaf replaces the root and
+// sifts down in place.
+func (q *eventQueue) pop() *Event {
+	root := q.evs[0]
+	last := len(q.evs) - 1
+	q.evs[0] = q.evs[last]
+	q.evs[0].index = 0
+	q.evs[last] = nil
+	q.evs = q.evs[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	root.index = -1
+	return root
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+// fix restores heap order after the element at i changed priority.
+func (q *eventQueue) fix(i int) {
+	if !q.siftDown(i) {
+		q.siftUp(i)
+	}
+}
+
+func (q *eventQueue) siftUp(i int) {
+	ev := q.evs[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		q.evs[i].index = i
+		ev.index = parent
+		i = parent
+	}
+}
+
+// siftDown reports whether the element moved.
+func (q *eventQueue) siftDown(i int) bool {
+	start := i
+	n := len(q.evs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		m := left
+		if right := left + 1; right < n && q.less(right, left) {
+			m = right
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q.evs[i], q.evs[m] = q.evs[m], q.evs[i]
+		q.evs[i].index = i
+		q.evs[m].index = m
+		i = m
+	}
+	return i > start
 }

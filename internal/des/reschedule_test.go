@@ -1,0 +1,143 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRescheduleReorders(t *testing.T) {
+	var s Simulation
+	var order []string
+	mk := func(name string) func() {
+		return func() { order = append(order, name) }
+	}
+	a, err := s.ScheduleEvent(10, mk("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScheduleEvent(20, mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.ScheduleEvent(30, mk("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reschedule(a, 25) { // a: 10 -> 25
+		t.Fatal("Reschedule(a) reported not pending")
+	}
+	if !s.Reschedule(c, 5) { // c: 30 -> 5
+		t.Fatal("Reschedule(c) reported not pending")
+	}
+	if got := s.Run(); got != 25 {
+		t.Fatalf("final time = %v, want 25", got)
+	}
+	want := []string{"c", "b", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRescheduleExecutedEventRefused(t *testing.T) {
+	var s Simulation
+	ev, err := s.ScheduleEvent(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Reschedule(ev, 5) {
+		t.Fatal("Reschedule of an executed event reported pending")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after refused reschedule", s.Pending())
+	}
+}
+
+func TestReschedulePastClampsToNow(t *testing.T) {
+	var s Simulation
+	if err := s.Schedule(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	var fired float64
+	ev, err := s.ScheduleEvent(50, func() { fired = s.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Step() { // now = 10
+		t.Fatal("Step had no event")
+	}
+	if !s.Reschedule(ev, 3) {
+		t.Fatal("Reschedule reported not pending")
+	}
+	s.Run()
+	if fired != 10 {
+		t.Fatalf("clamped event fired at %v, want 10 (= Now at reschedule)", fired)
+	}
+}
+
+func TestRescheduleTieBreaksAsNewlyScheduled(t *testing.T) {
+	var s Simulation
+	var order []int
+	ev, err := s.ScheduleEvent(5, func() { order = append(order, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		i := i
+		if err := s.Schedule(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Moving ev (even to its own time) demotes it behind the existing
+	// time-5 events: a moved event counts as newly scheduled.
+	if !s.Reschedule(ev, 5) {
+		t.Fatal("Reschedule reported not pending")
+	}
+	s.Run()
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHeapStressAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var s Simulation
+	const n = 500
+	evs := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev, err := s.ScheduleEvent(rng.Float64()*100, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	// Randomly move a third of the events, then verify pop order equals a
+	// stable sort on (At, seq).
+	for i := 0; i < n/3; i++ {
+		if !s.Reschedule(evs[rng.Intn(n)], rng.Float64()*100) {
+			t.Fatal("Reschedule reported not pending")
+		}
+	}
+	pending := append([]*Event(nil), s.queue.evs...)
+	sort.SliceStable(pending, func(i, j int) bool {
+		if pending[i].At != pending[j].At {
+			return pending[i].At < pending[j].At
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	for i, want := range pending {
+		got := s.queue.pop()
+		if got != want {
+			t.Fatalf("pop %d: got event at %v seq %d, want at %v seq %d",
+				i, got.At, got.seq, want.At, want.seq)
+		}
+	}
+}

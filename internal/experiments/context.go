@@ -7,7 +7,6 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"hetmodel/internal/cluster"
@@ -32,7 +31,15 @@ type Context struct {
 	Workers int
 
 	mu    sync.Mutex
-	cache map[string]*runEntry
+	cache map[runKey]*runEntry
+}
+
+// runKey identifies one memoized simulation: the configuration's canonical
+// key plus the problem size. A comparable struct, so cache probes don't
+// build a formatted string per lookup.
+type runKey struct {
+	cfg string
+	n   int
 }
 
 // runEntry is one memoized simulation; ready closes when res/err are set,
@@ -51,19 +58,19 @@ func NewPaperContext() (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{Cluster: cl, cache: make(map[string]*runEntry)}, nil
+	return &Context{Cluster: cl, cache: make(map[runKey]*runEntry)}, nil
 }
 
 // NewContext builds a context over an arbitrary cluster.
 func NewContext(cl *cluster.Cluster, params hpl.Params) *Context {
-	return &Context{Cluster: cl, Params: params, cache: make(map[string]*runEntry)}
+	return &Context{Cluster: cl, Params: params, cache: make(map[runKey]*runEntry)}
 }
 
 // Run simulates one configuration at one size, memoized. Concurrent calls
 // with the same key block on one shared simulation; failed runs are not
 // cached (waiters receive the error, later callers retry).
 func (c *Context) Run(cfg cluster.Configuration, n int) (*hpl.Result, error) {
-	key := fmt.Sprintf("%s@%d", cfg.Normalize().Key(), n)
+	key := runKey{cfg: cfg.Key(), n: n}
 	c.mu.Lock()
 	if e, ok := c.cache[key]; ok {
 		c.mu.Unlock()

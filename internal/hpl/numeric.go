@@ -3,6 +3,7 @@ package hpl
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hetmodel/internal/linalg"
 )
@@ -18,19 +19,50 @@ type numState struct {
 	rank  int
 	seed  int64
 	local *linalg.Matrix
+	// bufs, when set, is the run-shared pool panel payload buffers are
+	// drawn from (and returned to by panelMsg.release).
+	bufs *sync.Pool
+}
+
+// newPanelMsg returns a panel payload whose m×nb matrix is drawn from the
+// run's buffer pool when one is installed. The caller overwrites every
+// element, so stale pooled contents never leak.
+func (st *numState) newPanelMsg(m, nb int) *panelMsg {
+	pm := &panelMsg{}
+	if st.bufs == nil {
+		pm.L = linalg.NewMatrix(m, nb)
+		return pm
+	}
+	pm.bufs = st.bufs
+	pm.refs.Store(int32(st.lay.P()))
+	if v := st.bufs.Get(); v != nil {
+		p := v.(*[]float64)
+		if cap(*p) >= m*nb {
+			*p = (*p)[:m*nb]
+			pm.bufPtr = p
+		}
+	}
+	if pm.bufPtr == nil {
+		buf := make([]float64, m*nb)
+		pm.bufPtr = &buf
+	}
+	pm.L = &linalg.Matrix{Rows: m, Cols: nb, Stride: nb, Data: *pm.bufPtr}
+	return pm
 }
 
 func newNumState(lay Layout, rank int, seed int64) *numState {
 	cols := lay.LocalCols(rank)
 	st := &numState{lay: lay, rank: rank, seed: seed, local: linalg.NewMatrix(lay.N(), cols)}
 	// Generate owned columns deterministically (HPL's pdmatgen role).
-	col := make([]float64, lay.N())
+	n := lay.N()
+	data, stride := st.local.Data, st.local.Stride
+	col := make([]float64, n)
 	for j := rank; j < lay.NumPanels(); j += lay.P() {
 		off := lay.LocalOffset(j)
 		for c := 0; c < lay.Width(j); c++ {
 			genColumn(seed, j*lay.NB()+c, col)
-			for i := 0; i < lay.N(); i++ {
-				st.local.Set(i, off+c, col[i])
+			for i, v := range col {
+				data[i*stride+off+c] = v
 			}
 		}
 	}
@@ -46,59 +78,63 @@ func (st *numState) factorPanel(j int) *panelMsg {
 	nb := lay.Width(j)
 	off := lay.LocalOffset(j)
 	row0 := j * lay.NB()
-	m := lay.N() - row0
+	n := lay.N()
+	m := n - row0
 	pivots := make([]int, nb)
+	data, stride := st.local.Data, st.local.Stride
 
+	// panelRow returns the panel's nb-wide slice of local row i.
+	panelRow := func(i int) []float64 {
+		return data[i*stride+off : i*stride+off+nb]
+	}
 	for k := 0; k < nb; k++ {
 		gr := row0 + k
 		lc := off + k
 		// Partial pivoting over rows gr..N-1 of this column.
 		piv := gr
-		maxv := math.Abs(st.local.At(gr, lc))
-		for i := gr + 1; i < lay.N(); i++ {
-			if v := math.Abs(st.local.At(i, lc)); v > maxv {
+		maxv := math.Abs(data[gr*stride+lc])
+		for i := gr + 1; i < n; i++ {
+			if v := math.Abs(data[i*stride+lc]); v > maxv {
 				maxv, piv = v, i
 			}
 		}
 		pivots[k] = piv
 		if piv != gr {
 			// Swap within the panel block only.
-			for c := off; c < off+nb; c++ {
-				a, b := st.local.At(gr, c), st.local.At(piv, c)
-				st.local.Set(gr, c, b)
-				st.local.Set(piv, c, a)
+			rg, rp := panelRow(gr), panelRow(piv)
+			for c, v := range rg {
+				rg[c], rp[c] = rp[c], v
 			}
 		}
-		d := st.local.At(gr, lc)
+		d := data[gr*stride+lc]
 		if d == 0 {
 			// Singular column: keep zeros (multipliers stay zero), as
 			// HPL would produce a failed residual rather than crash.
 			continue
 		}
 		inv := 1 / d
-		for i := gr + 1; i < lay.N(); i++ {
-			st.local.Set(i, lc, st.local.At(i, lc)*inv)
+		for i := gr + 1; i < n; i++ {
+			data[i*stride+lc] *= inv
 		}
-		// Rank-1 update of the remaining panel columns.
-		for c := k + 1; c < nb; c++ {
-			ucv := st.local.At(gr, off+c)
-			if ucv == 0 {
+		// Rank-1 update of the remaining panel columns, one row at a time.
+		urow := panelRow(gr)
+		for i := gr + 1; i < n; i++ {
+			ri := panelRow(i)
+			lik := ri[k]
+			if lik == 0 {
 				continue
 			}
-			for i := gr + 1; i < lay.N(); i++ {
-				st.local.Set(i, off+c, st.local.At(i, off+c)-st.local.At(i, lc)*ucv)
-			}
+			linalg.Axpy(-lik, ri[k+1:], urow[k+1:])
 		}
 	}
 
 	// Copy the factored panel (rows row0.., panel columns) for broadcast.
-	l := linalg.NewMatrix(m, nb)
+	pm := st.newPanelMsg(m, nb)
+	pm.Pivots = pivots
 	for i := 0; i < m; i++ {
-		for c := 0; c < nb; c++ {
-			l.Set(i, c, st.local.At(row0+i, off+c))
-		}
+		copy(pm.L.RowView(i), panelRow(row0+i))
 	}
-	return &panelMsg{L: l, Pivots: pivots}
+	return pm
 }
 
 // applySwaps applies panel j's pivots to every local column block except
@@ -106,6 +142,7 @@ func (st *numState) factorPanel(j int) *panelMsg {
 func (st *numState) applySwaps(j int, pivots []int) {
 	lay := st.lay
 	row0 := j * lay.NB()
+	data, stride := st.local.Data, st.local.Stride
 	for jj := st.rank; jj < lay.NumPanels(); jj += lay.P() {
 		if jj == j {
 			continue
@@ -117,10 +154,10 @@ func (st *numState) applySwaps(j int, pivots []int) {
 			if piv == gr {
 				continue
 			}
-			for c := off; c < off+w; c++ {
-				a, b := st.local.At(gr, c), st.local.At(piv, c)
-				st.local.Set(gr, c, b)
-				st.local.Set(piv, c, a)
+			rg := data[gr*stride+off : gr*stride+off+w]
+			rp := data[piv*stride+off : piv*stride+off+w]
+			for c, v := range rg {
+				rg[c], rp[c] = rp[c], v
 			}
 		}
 	}
@@ -170,12 +207,13 @@ func (r *Result) validate(lay Layout, states []*numState, pivots [][]int) error 
 	n := lay.N()
 	full := linalg.NewMatrix(n, n)
 	for rank, st := range states {
+		data, stride := st.local.Data, st.local.Stride
 		for j := rank; j < lay.NumPanels(); j += lay.P() {
 			off := lay.LocalOffset(j)
 			for c := 0; c < lay.Width(j); c++ {
 				gc := j*lay.NB() + c
 				for i := 0; i < n; i++ {
-					full.Set(i, gc, st.local.At(i, off+c))
+					full.Data[i*n+gc] = data[i*stride+off+c]
 				}
 			}
 		}
@@ -206,8 +244,8 @@ func (r *Result) validate(lay Layout, states []*numState, pivots [][]int) error 
 	col := make([]float64, n)
 	for gc := 0; gc < n; gc++ {
 		genColumn(r.Params.Seed, gc, col)
-		for i := 0; i < n; i++ {
-			a.Set(i, gc, col[i])
+		for i, v := range col {
+			a.Data[i*n+gc] = v
 		}
 	}
 	resid, err := linalg.HPLResidual(a, x, b)

@@ -2,6 +2,8 @@ package hpl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hetmodel/internal/cluster"
 	"hetmodel/internal/machine"
@@ -79,6 +81,27 @@ type panelMsg struct {
 	L *matrixPayload
 	// Pivots are the global pivot rows chosen for each panel column.
 	Pivots []int
+
+	// refs counts the ranks still reading L; the last release returns the
+	// backing buffer to bufs so the next panel reuses it instead of
+	// allocating. Panel sizes shrink monotonically, so recycled buffers
+	// always fit. nil bufs (phantom mode) makes release a no-op.
+	refs   atomic.Int32
+	bufs   *sync.Pool
+	bufPtr *[]float64
+}
+
+// release signals that this rank is done with the panel's matrix. Safe to
+// call once per receiving rank; the atomic decrement plus sync.Pool give
+// the happens-before edges reuse needs under the race detector.
+func (pm *panelMsg) release() {
+	if pm == nil || pm.bufs == nil {
+		return
+	}
+	if pm.refs.Add(-1) == 0 {
+		pm.bufs.Put(pm.bufPtr)
+		pm.bufs = nil
+	}
 }
 
 // Run executes HPL for the configuration on the cluster and returns the
@@ -127,8 +150,10 @@ func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result
 	pivots := make([][]int, lay.NumPanels())
 	if params.Numeric {
 		states = make([]*numState, P)
+		panelBufs := new(sync.Pool)
 		for r := 0; r < P; r++ {
 			states[r] = newNumState(lay, r, params.Seed)
+			states[r].bufs = panelBufs
 		}
 	}
 
@@ -266,6 +291,10 @@ func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result
 					st.update(j, pm)
 				}
 			}
+
+			// This rank is done reading the panel; the last releaser hands
+			// the matrix buffer back for the next panel.
+			pm.release()
 		}
 
 		// Backward substitution: a right-to-left chain over panel owners

@@ -103,6 +103,70 @@ func (c comm) allreduce(members []int, tag int, contribution any, bytes float64,
 	return out, elapsed + e
 }
 
+// allreduceMaxPivot is the scalar-specialized counterpart of allreduce for
+// pivot selection: the candidate travels inline in the message envelope
+// (SendScalars/RecvScalars), so the per-column reduction allocates nothing.
+// The combine order matches allreduce(..., maxCand) exactly.
+func (c comm) allreduceMaxPivot(members []int, tag int, cand pivotCand, bytes float64) (pivotCand, float64) {
+	n := len(members)
+	if n <= 1 {
+		return cand, 0
+	}
+	me := c.indexOf(members)
+	acc := cand
+	var elapsed float64
+	// Binomial reduce toward index 0.
+	mask := 1
+	for mask < n {
+		if me&mask != 0 {
+			elapsed += c.p.SendScalars(members[me&^mask], tag, acc.Abs, acc.Row, bytes)
+			break
+		}
+		if peer := me | mask; peer < n {
+			f, r, wait := c.p.RecvScalars(members[peer], tag)
+			elapsed += wait
+			if f > acc.Abs || (f == acc.Abs && r < acc.Row) {
+				acc = pivotCand{Abs: f, Row: r}
+			}
+		}
+		mask <<= 1
+	}
+	out, e := c.bcastBinomialPivot(members, 0, tag+1, acc, bytes)
+	return out, elapsed + e
+}
+
+// bcastBinomialPivot broadcasts a pivotCand from members[rootIdx] over a
+// binomial tree, carrying it inline in the envelope.
+func (c comm) bcastBinomialPivot(members []int, rootIdx, tag int, cand pivotCand, bytes float64) (pivotCand, float64) {
+	n := len(members)
+	if n <= 1 {
+		return cand, 0
+	}
+	me := c.indexOf(members)
+	v := (me - rootIdx + n) % n
+	toAbs := func(idx int) int { return members[(idx+rootIdx)%n] }
+	var elapsed float64
+	mask := 1
+	if v != 0 {
+		for v&mask == 0 {
+			mask <<= 1
+		}
+		f, r, wait := c.p.RecvScalars(toAbs(v&^mask), tag)
+		elapsed += wait
+		cand = pivotCand{Abs: f, Row: r}
+	} else {
+		for mask < n {
+			mask <<= 1
+		}
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if v+mask < n {
+			elapsed += c.p.SendScalars(toAbs(v+mask), tag, cand.Abs, cand.Row, bytes)
+		}
+	}
+	return cand, elapsed
+}
+
 // sendrecvSwap exchanges payloads with a peer in deadlock-safe order (the
 // lower world rank sends first). Returns the peer's payload.
 func (c comm) sendrecvSwap(peer, tag int, data any, bytes float64) (any, float64) {

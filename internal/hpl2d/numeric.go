@@ -10,7 +10,8 @@ import (
 
 // numState is the per-rank numeric storage: the block-cyclic (rows and
 // columns) share of the matrix. Local indices are monotone in global
-// indices, so global ranges map to contiguous local ranges.
+// indices, so global ranges map to contiguous local ranges — the hot paths
+// below lean on that to work on row slices instead of per-element At/Set.
 type numState struct {
 	g            Grid
 	myRow, myCol int
@@ -21,6 +22,7 @@ func newNumState(g Grid, row, col int, seed int64) *numState {
 	st := &numState{g: g, myRow: row, myCol: col,
 		local: linalg.NewMatrix(g.LocalRows(row), g.LocalCols(col))}
 	full := make([]float64, g.N())
+	data, stride := st.local.Data, st.local.Stride
 	for b := col; b < g.colPanes; b += g.pc {
 		lo := b * g.nb
 		hi := lo + g.nb
@@ -30,31 +32,19 @@ func newNumState(g Grid, row, col int, seed int64) *numState {
 		for gc := lo; gc < hi; gc++ {
 			hpl.GenColumn(seed, gc, full)
 			lc := g.LocalColIndex(gc)
-			for _, gr := range st.ownedRows(0) {
-				st.local.Set(g.LocalRowIndex(gr), lc, full[gr])
+			for lr := 0; lr < st.local.Rows; lr++ {
+				data[lr*stride+lc] = full[st.globalRow(lr)]
 			}
 		}
 	}
 	return st
 }
 
-// ownedRows lists this rank's global rows >= from, in increasing order.
-func (st *numState) ownedRows(from int) []int {
+// globalRow maps a local row index back to its global row (the inverse of
+// Grid.LocalRowIndex for rows this rank owns).
+func (st *numState) globalRow(lr int) int {
 	g := st.g
-	var out []int
-	for b := st.myRow; b < g.rowPanes; b += g.pr {
-		lo := b * g.nb
-		hi := lo + g.nb
-		if hi > g.n {
-			hi = g.n
-		}
-		for i := lo; i < hi; i++ {
-			if i >= from {
-				out = append(out, i)
-			}
-		}
-	}
-	return out
+	return (st.myRow+(lr/g.nb)*g.pr)*g.nb + lr%g.nb
 }
 
 // localRowStart returns the local index of the first owned row >= from.
@@ -67,98 +57,95 @@ func (st *numState) localColStart(from int) int {
 	return st.g.LocalCols(st.myCol) - st.g.ColsRight(st.myCol, from)
 }
 
+// panelLocalCols returns the contiguous local column range [lo, hi)
+// covering the panel's global columns [pLo, pHi) on this rank; lo == hi
+// when this rank's grid column does not own the panel block.
+func (st *numState) panelLocalCols(pLo, pHi int) (int, int) {
+	g := st.g
+	if (pLo/g.nb)%g.pc != st.myCol {
+		return 0, 0
+	}
+	lo := g.LocalColIndex(pLo)
+	return lo, lo + (pHi - pLo)
+}
+
 // localPivot scans owned rows >= gr of global column gc for the largest
 // magnitude.
 func (st *numState) localPivot(gr, gc int) pivotCand {
 	lc := st.g.LocalColIndex(gc)
-	best := pivotCand{Abs: -1, Row: -1}
-	for _, i := range st.ownedRows(gr) {
-		v := math.Abs(st.local.At(st.g.LocalRowIndex(i), lc))
-		if v > best.Abs {
-			best = pivotCand{Abs: v, Row: i}
+	data, stride := st.local.Data, st.local.Stride
+	bestAbs, bestLr := -1.0, -1
+	for lr := st.localRowStart(gr); lr < st.local.Rows; lr++ {
+		if v := math.Abs(data[lr*stride+lc]); v > bestAbs {
+			bestAbs, bestLr = v, lr
 		}
 	}
-	return best
+	if bestLr < 0 {
+		return pivotCand{Abs: -1, Row: -1}
+	}
+	return pivotCand{Abs: bestAbs, Row: st.globalRow(bestLr)}
 }
 
 // rowSegment copies global row grow's entries for global columns
-// [cLo, cHi) (all owned by this rank's grid column within the panel).
+// [cLo, cHi) (all owned by this rank's grid column within one panel block,
+// hence locally contiguous).
 func (st *numState) rowSegment(grow, cLo, cHi int) []float64 {
 	lr := st.g.LocalRowIndex(grow)
-	out := make([]float64, 0, cHi-cLo)
-	for gc := cLo; gc < cHi; gc++ {
-		out = append(out, st.local.At(lr, st.g.LocalColIndex(gc)))
-	}
+	lc := st.g.LocalColIndex(cLo)
+	out := make([]float64, cHi-cLo)
+	copy(out, st.local.RowView(lr)[lc:])
 	return out
 }
 
 // setRowSegment writes seg into global row grow starting at column cLo.
 func (st *numState) setRowSegment(grow, cLo int, seg []float64) {
 	lr := st.g.LocalRowIndex(grow)
-	for i, v := range seg {
-		st.local.Set(lr, st.g.LocalColIndex(cLo+i), v)
-	}
+	lc := st.g.LocalColIndex(cLo)
+	copy(st.local.RowView(lr)[lc:lc+len(seg)], seg)
 }
 
 // swapLocalRows exchanges rows gr and piv over global columns [cLo, cHi).
 func (st *numState) swapLocalRows(gr, piv, cLo, cHi int) {
-	a, b := st.g.LocalRowIndex(gr), st.g.LocalRowIndex(piv)
-	for gc := cLo; gc < cHi; gc++ {
-		lc := st.g.LocalColIndex(gc)
-		va, vb := st.local.At(a, lc), st.local.At(b, lc)
-		st.local.Set(a, lc, vb)
-		st.local.Set(b, lc, va)
+	lc := st.g.LocalColIndex(cLo)
+	w := cHi - cLo
+	ra := st.local.RowView(st.g.LocalRowIndex(gr))[lc : lc+w]
+	rb := st.local.RowView(st.g.LocalRowIndex(piv))[lc : lc+w]
+	for c, v := range ra {
+		ra[c], rb[c] = rb[c], v
 	}
-}
-
-// outsidePanelCols lists this rank's local column indices whose global
-// column lies outside [pLo, pHi).
-func (st *numState) outsidePanelCols(pLo, pHi int) []int {
-	g := st.g
-	var out []int
-	for b := st.myCol; b < g.colPanes; b += g.pc {
-		lo := b * g.nb
-		hi := lo + g.nb
-		if hi > g.n {
-			hi = g.n
-		}
-		for gc := lo; gc < hi; gc++ {
-			if gc < pLo || gc >= pHi {
-				out = append(out, g.LocalColIndex(gc))
-			}
-		}
-	}
-	return out
 }
 
 // swapLocalRowsOutsidePanel exchanges rows gr and piv over every local
-// column outside the panel range.
+// column outside the panel range [pLo, pHi).
 func (st *numState) swapLocalRowsOutsidePanel(gr, piv, pLo, pHi int) {
-	a, b := st.g.LocalRowIndex(gr), st.g.LocalRowIndex(piv)
-	for _, lc := range st.outsidePanelCols(pLo, pHi) {
-		va, vb := st.local.At(a, lc), st.local.At(b, lc)
-		st.local.Set(a, lc, vb)
-		st.local.Set(b, lc, va)
+	ra := st.local.RowView(st.g.LocalRowIndex(gr))
+	rb := st.local.RowView(st.g.LocalRowIndex(piv))
+	lo, hi := st.panelLocalCols(pLo, pHi)
+	for c := 0; c < lo; c++ {
+		ra[c], rb[c] = rb[c], ra[c]
+	}
+	for c := hi; c < len(ra); c++ {
+		ra[c], rb[c] = rb[c], ra[c]
 	}
 }
 
-// rowOutsidePanel copies global row grow over the non-panel local columns.
+// rowOutsidePanel copies global row grow over the non-panel local columns
+// (in increasing local column order).
 func (st *numState) rowOutsidePanel(grow, pLo, pHi int) []float64 {
-	lr := st.g.LocalRowIndex(grow)
-	cols := st.outsidePanelCols(pLo, pHi)
-	out := make([]float64, len(cols))
-	for i, lc := range cols {
-		out[i] = st.local.At(lr, lc)
-	}
+	row := st.local.RowView(st.g.LocalRowIndex(grow))
+	lo, hi := st.panelLocalCols(pLo, pHi)
+	out := make([]float64, len(row)-(hi-lo))
+	n := copy(out, row[:lo])
+	copy(out[n:], row[hi:])
 	return out
 }
 
 // setRowOutsidePanel writes seg into global row grow's non-panel columns.
 func (st *numState) setRowOutsidePanel(grow, pLo, pHi int, seg []float64) {
-	lr := st.g.LocalRowIndex(grow)
-	for i, lc := range st.outsidePanelCols(pLo, pHi) {
-		st.local.Set(lr, lc, seg[i])
-	}
+	row := st.local.RowView(st.g.LocalRowIndex(grow))
+	lo, hi := st.panelLocalCols(pLo, pHi)
+	n := copy(row[:lo], seg)
+	copy(row[hi:], seg[n:])
 }
 
 // panelEliminate applies one elimination step below pivot row gr: the pivot
@@ -170,30 +157,28 @@ func (st *numState) panelEliminate(gr, gcK, gcEnd int, pivotRow []float64) {
 	}
 	inv := 1 / d
 	lcK := st.g.LocalColIndex(gcK)
-	for _, i := range st.ownedRows(gr + 1) {
-		lr := st.g.LocalRowIndex(i)
-		l := st.local.At(lr, lcK) * inv
-		st.local.Set(lr, lcK, l)
+	w := gcEnd - gcK
+	data, stride := st.local.Data, st.local.Stride
+	for lr := st.localRowStart(gr + 1); lr < st.local.Rows; lr++ {
+		row := data[lr*stride+lcK : lr*stride+lcK+w]
+		l := row[0] * inv
+		row[0] = l
 		if l == 0 {
 			continue
 		}
-		for gc := gcK + 1; gc < gcEnd; gc++ {
-			lc := st.g.LocalColIndex(gc)
-			st.local.Set(lr, lc, st.local.At(lr, lc)-l*pivotRow[gc-gcK])
-		}
+		linalg.Axpy(-l, row[1:], pivotRow[1:w])
 	}
 }
 
 // extractPanel copies this rank's rows >= col0 of the panel columns into a
 // dense payload matrix (rows in increasing global order).
 func (st *numState) extractPanel(col0, nb int) *linalg.Matrix {
-	rows := st.ownedRows(col0)
-	out := linalg.NewMatrix(len(rows), nb)
-	for ri, gr := range rows {
-		lr := st.g.LocalRowIndex(gr)
-		for k := 0; k < nb; k++ {
-			out.Set(ri, k, st.local.At(lr, st.g.LocalColIndex(col0+k)))
-		}
+	r0 := st.localRowStart(col0)
+	lc0 := st.g.LocalColIndex(col0)
+	m := st.local.Rows - r0
+	out := linalg.NewMatrix(m, nb)
+	for i := 0; i < m; i++ {
+		copy(out.RowView(i), st.local.RowView(r0 + i)[lc0:lc0+nb])
 	}
 	return out
 }
@@ -214,7 +199,7 @@ func (st *numState) computeU12(col0, nb int, panel *linalg.Matrix) *linalg.Matri
 // update applies A22 -= L2·U12 on this rank's trailing block.
 func (st *numState) update(col0, nb int, panel *linalg.Matrix, u12 *linalg.Matrix) {
 	// L2: the payload rows with global index >= col0+nb.
-	skip := len(st.ownedRows(col0)) - st.g.RowsBelow(st.myRow, col0+nb)
+	skip := st.localRowStart(col0+nb) - st.localRowStart(col0)
 	if skip >= panel.Rows {
 		return
 	}
@@ -232,17 +217,17 @@ func validate(res *Result, g Grid, states []*numState, pivots [][]int) error {
 	n := g.N()
 	full := linalg.NewMatrix(n, n)
 	for _, st := range states {
-		for _, gr := range st.ownedRows(0) {
-			lr := g.LocalRowIndex(gr)
+		data, stride := st.local.Data, st.local.Stride
+		for lr := 0; lr < st.local.Rows; lr++ {
+			gr := st.globalRow(lr)
 			for b := st.myCol; b < g.colPanes; b += g.pc {
 				lo := b * g.nb
 				hi := lo + g.nb
 				if hi > n {
 					hi = n
 				}
-				for gc := lo; gc < hi; gc++ {
-					full.Set(gr, gc, st.local.At(lr, g.LocalColIndex(gc)))
-				}
+				lc := g.LocalColIndex(lo)
+				copy(full.Data[gr*n+lo:gr*n+hi], data[lr*stride+lc:lr*stride+lc+(hi-lo)])
 			}
 		}
 	}
@@ -270,8 +255,8 @@ func validate(res *Result, g Grid, states []*numState, pivots [][]int) error {
 	col := make([]float64, n)
 	for gc := 0; gc < n; gc++ {
 		hpl.GenColumn(res.Params.Seed, gc, col)
-		for i := 0; i < n; i++ {
-			a.Set(i, gc, col[i])
+		for i, v := range col {
+			a.Data[i*n+gc] = v
 		}
 	}
 	resid, err := linalg.HPLResidual(a, x, b)

@@ -34,14 +34,6 @@ type pivotCand struct {
 	Row int
 }
 
-func maxCand(a, b any) any {
-	ca, cb := a.(pivotCand), b.(pivotCand)
-	if cb.Abs > ca.Abs || (cb.Abs == ca.Abs && cb.Row < ca.Row) {
-		return cb
-	}
-	return ca
-}
-
 // Run executes the 2D-grid LU factorization for the configuration.
 func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result, error) {
 	params.Params = hpl.FillDefaults(params.Params)
@@ -149,9 +141,9 @@ func Run(cl *cluster.Cluster, cfg cluster.Configuration, params Params) (*Result
 							cand = pivotCand{Abs: f, Row: firstOwnedRow(g, myRow, gr)}
 						}
 					}
-					win, e := cm.allreduce(colMembers, tagK, cand, 16, maxCand)
+					win, e := cm.allreduceMaxPivot(colMembers, tagK, cand, 16)
 					t.Mxswp += e
-					piv := win.(pivotCand).Row
+					piv := win.Row
 					if piv < 0 {
 						piv = gr
 					}

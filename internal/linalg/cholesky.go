@@ -97,15 +97,45 @@ func (c *Cholesky) Det() float64 {
 func KMSMatrix(n int, rho float64) *Matrix {
 	a := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
-		row := a.RowView(i)
-		for j := 0; j < n; j++ {
-			row[j] = math.Pow(rho, math.Abs(float64(i-j)))
-		}
+		// Row i equals column i by symmetry.
+		KMSColumn(rho, i, a.RowView(i))
 	}
 	return a
 }
 
+// KMSColumn fills dst (length n) with column j of the KMS matrix:
+// dst[i] = rho^|i-j|, computed by the multiplicative recurrence outward
+// from the unit diagonal. The result is a pure function of (rho, j, i), so
+// distributed ranks generating disjoint columns and a validator rebuilding
+// the full matrix agree bitwise.
+func KMSColumn(rho float64, j int, dst []float64) {
+	n := len(dst)
+	if j >= 0 && j < n {
+		dst[j] = 1
+	}
+	v := 1.0
+	for i := j - 1; i >= 0; i-- {
+		v *= rho
+		dst[i] = v
+	}
+	v = 1.0
+	for i := j + 1; i < n; i++ {
+		v *= rho
+		dst[i] = v
+	}
+}
+
 // KMSEntry returns one entry of the KMS matrix without materializing it.
+// It uses the same repeated-multiplication recurrence as KMSColumn so
+// scattered lookups and bulk fills agree bitwise.
 func KMSEntry(rho float64, i, j int) float64 {
-	return math.Pow(rho, math.Abs(float64(i-j)))
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	v := 1.0
+	for ; d > 0; d-- {
+		v *= rho
+	}
+	return v
 }

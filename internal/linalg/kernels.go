@@ -1,0 +1,79 @@
+package linalg
+
+import "sync/atomic"
+
+// Kernel selects the implementation backing MulAdd, SolveLowerUnit, and
+// SolveUpper: the cache-blocked, panel-packed production kernels or the
+// naive reference loops kept for equivalence testing.
+type Kernel int32
+
+const (
+	// KernelBlocked is the production implementation: cache-blocked,
+	// panel-packed GEMM and row-sliced, unrolled triangular solves.
+	KernelBlocked Kernel = iota
+	// KernelReference is the clarity-first implementation operating
+	// per-element through At/Set. It exists so property tests can assert
+	// the blocked kernels agree with an independently simple oracle.
+	KernelReference
+)
+
+// activeKernel holds the package-wide kernel selection (atomic so tests can
+// flip it under -race).
+var activeKernel atomic.Int32
+
+// SetKernel selects the kernel implementation for subsequent calls and
+// returns the previous selection. The default is KernelBlocked.
+func SetKernel(k Kernel) Kernel {
+	return Kernel(activeKernel.Swap(int32(k)))
+}
+
+// ActiveKernel returns the current kernel selection.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// axpy computes dst[t] += a*src[t] over len(dst) elements with a 4-way
+// unrolled loop. src must be at least as long as dst. Each element is an
+// independent fused add, so the result is bit-identical to the rolled loop.
+func axpy(a float64, dst, src []float64) {
+	src = src[:len(dst)]
+	for len(dst) >= 4 {
+		d, s := dst[:4:4], src[:4:4]
+		d[0] += a * s[0]
+		d[1] += a * s[1]
+		d[2] += a * s[2]
+		d[3] += a * s[3]
+		dst, src = dst[4:], src[4:]
+	}
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// dot returns Σ a[t]·b[t] with a single accumulator in index order, so the
+// summation order (and therefore the rounding) matches the naive loop.
+// Unrolling hoists the bounds checks; the dependency chain is kept so
+// callers relying on reproducible sums across refactors stay byte-stable.
+func dot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for len(a) >= 4 {
+		x, y := a[:4:4], b[:4:4]
+		s += x[0] * y[0]
+		s += x[1] * y[1]
+		s += x[2] * y[2]
+		s += x[3] * y[3]
+		a, b = a[4:], b[4:]
+	}
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += a*src[i] over min(len(dst), len(src)) elements —
+// BLAS daxpy on raw slices, exported for the distributed kernels' panel
+// factorizations which work on row views of their local storage.
+func Axpy(a float64, dst, src []float64) { axpy(a, dst, src) }
+
+// Dot returns the inner product of a and b over min(len(a), len(b))
+// elements, accumulating in index order with a single accumulator.
+func Dot(a, b []float64) float64 { return dot(a, b) }

@@ -26,12 +26,13 @@ func Factorize(a *Matrix) (*LU, error) {
 	n := m.Rows
 	piv := make([]int, n)
 	swaps := 0
+	data, stride := m.Data, m.Stride
 	for k := 0; k < n; k++ {
 		// Partial pivoting: pick the largest magnitude in column k.
 		p := k
-		maxv := math.Abs(m.At(k, k))
+		maxv := math.Abs(data[k*stride+k])
 		for i := k + 1; i < n; i++ {
-			if v := math.Abs(m.At(i, k)); v > maxv {
+			if v := math.Abs(data[i*stride+k]); v > maxv {
 				maxv, p = v, i
 			}
 		}
@@ -43,18 +44,16 @@ func Factorize(a *Matrix) (*LU, error) {
 			m.SwapRows(p, k)
 			swaps++
 		}
-		pivVal := m.At(k, k)
+		pivVal := data[k*stride+k]
+		rk := data[k*stride+k+1 : k*stride+n]
 		for i := k + 1; i < n; i++ {
-			l := m.At(i, k) / pivVal
-			m.Set(i, k, l)
+			ri := data[i*stride : i*stride+n]
+			l := ri[k] / pivVal
+			ri[k] = l
 			if l == 0 {
 				continue
 			}
-			ri := m.RowView(i)
-			rk := m.RowView(k)
-			for j := k + 1; j < n; j++ {
-				ri[j] -= l * rk[j]
-			}
+			axpy(-l, ri[k+1:], rk)
 		}
 	}
 	return &LU{LU: m, Pivot: piv, Swaps: swaps}, nil

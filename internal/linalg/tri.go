@@ -9,6 +9,10 @@ func SolveLowerUnit(l, b *Matrix) error {
 	if l.Rows != l.Cols || l.Rows != b.Rows {
 		return fmt.Errorf("%w: trsm lower %dx%d with rhs %dx%d", ErrShape, l.Rows, l.Cols, b.Rows, b.Cols)
 	}
+	if ActiveKernel() == KernelReference {
+		refSolveLowerUnit(l, b)
+		return nil
+	}
 	n := l.Rows
 	for i := 1; i < n; i++ {
 		li := l.RowView(i)
@@ -18,10 +22,7 @@ func SolveLowerUnit(l, b *Matrix) error {
 			if lik == 0 {
 				continue
 			}
-			bk := b.RowView(k)
-			for j := range bi {
-				bi[j] -= lik * bk[j]
-			}
+			axpy(-lik, bi, b.RowView(k))
 		}
 	}
 	return nil
@@ -33,6 +34,12 @@ func SolveUpper(u, b *Matrix) error {
 	if u.Rows != u.Cols || u.Rows != b.Rows {
 		return fmt.Errorf("%w: trsm upper %dx%d with rhs %dx%d", ErrShape, u.Rows, u.Cols, b.Rows, b.Cols)
 	}
+	if ActiveKernel() == KernelReference {
+		if !refSolveUpper(u, b) {
+			return fmt.Errorf("%w: zero diagonal", ErrSingular)
+		}
+		return nil
+	}
 	n := u.Rows
 	for i := n - 1; i >= 0; i-- {
 		ui := u.RowView(i)
@@ -42,10 +49,7 @@ func SolveUpper(u, b *Matrix) error {
 			if uik == 0 {
 				continue
 			}
-			bk := b.RowView(k)
-			for j := range bi {
-				bi[j] -= uik * bk[j]
-			}
+			axpy(-uik, bi, b.RowView(k))
 		}
 		d := ui[i]
 		if d == 0 {
@@ -69,14 +73,10 @@ func SolveUpperVec(u *Matrix, b []float64) ([]float64, error) {
 	copy(x, b)
 	for i := n - 1; i >= 0; i-- {
 		row := u.RowView(i)
-		s := x[i]
-		for j := i + 1; j < n; j++ {
-			s -= row[j] * x[j]
-		}
 		if row[i] == 0 {
 			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
 		}
-		x[i] = s / row[i]
+		x[i] = (x[i] - dot(row[i+1:], x[i+1:])) / row[i]
 	}
 	return x, nil
 }
@@ -91,11 +91,7 @@ func SolveLowerUnitVec(l *Matrix, b []float64) ([]float64, error) {
 	copy(x, b)
 	for i := 1; i < n; i++ {
 		row := l.RowView(i)
-		var s float64
-		for j := 0; j < i; j++ {
-			s += row[j] * x[j]
-		}
-		x[i] -= s
+		x[i] -= dot(row[:i], x[:i])
 	}
 	return x, nil
 }

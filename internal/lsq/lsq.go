@@ -246,6 +246,11 @@ func FitPolynomial(xs, ys []float64, degrees []int) (*Fit, error) {
 }
 
 // EvalPolynomial evaluates a polynomial fit (same degrees) at x.
+//
+// Deliberately the power-sum form, term by term via math.Pow: a Horner
+// rewrite is one multiply-add per coefficient but rounds differently at
+// the last ULP, and the committed figures assert byte-identical
+// regeneration (full-precision coordinates) across releases.
 func EvalPolynomial(coeff []float64, degrees []int, x float64) float64 {
 	var s float64
 	for j, d := range degrees {

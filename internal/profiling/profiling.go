@@ -1,0 +1,76 @@
+// Package profiling wires pprof CPU and heap profiles into the CLIs with two
+// standard flags, so performance investigations of campaigns, sweeps, and
+// fits don't require a bespoke harness:
+//
+//	hetopt -campaign nl -n 9600 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the destinations registered by AddFlags.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the given FlagSet (or
+// flag.CommandLine when fs is nil). Call before flag.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. Callers must invoke
+// stop on every exit path that should produce profiles — typically:
+//
+//	stop, err := prof.Start()
+//	if err != nil { log.Fatal(err) }
+//	defer stop()
+//
+// Note that log.Fatal (os.Exit) skips deferred calls; commands that fail
+// after Start lose at most the profile of the failed run.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	memPath := *f.mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			out, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // materialize the final live set before the heap dump
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package vmpi
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops puts under -race, so alloc assertions are skipped.
+const raceEnabled = true

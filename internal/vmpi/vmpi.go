@@ -36,18 +36,27 @@ const (
 	kindEager = 1 << iota
 	kindRTS
 	kindAck
-	kindData
 )
 
-// Message is a delivered point-to-point payload.
+// Message is a delivered point-to-point payload. The pointer returned by
+// Recv aliases per-Proc scratch and is valid only until the next Recv on
+// the same Proc; the Data payload it carries is never recycled and may be
+// retained.
 type Message struct {
 	Src, Tag int
 	// Data is the payload; nil in timing-only (phantom) runs.
 	Data any
 	// Bytes is the modelled payload size used for timing.
 	Bytes float64
+	// valF and valI carry a scalar pair inline for SendScalars/RecvScalars,
+	// sparing the hot reduction paths the allocation of boxing into Data.
+	valF float64
+	valI int
 	// availAt is the sender's virtual time at which the data exists.
 	availAt float64
+	// dt is the precomputed transfer duration a rendezvous RTS carries so
+	// the receiver can stamp the completion time itself.
+	dt float64
 	// kind distinguishes eager payloads from rendezvous protocol steps.
 	kind int
 }
@@ -127,6 +136,10 @@ type Proc struct {
 	rank  int
 	clock float64
 
+	// last is the scratch the most recent receive was copied into; Recv
+	// returns &last so the pooled envelope can be recycled immediately.
+	last Message
+
 	// SentBytes and RecvBytes accumulate modelled traffic volume.
 	SentBytes, RecvBytes float64
 	// Sends and Recvs count point-to-point operations.
@@ -166,6 +179,17 @@ func (p *Proc) Advance(dt float64) float64 {
 //
 // It returns the virtual seconds spent sending.
 func (p *Proc) Send(dst, tag int, data any, bytes float64) float64 {
+	return p.send(dst, tag, data, 0, 0, bytes)
+}
+
+// SendScalars transmits a (float64, int) pair inline in the envelope —
+// no payload boxing — for scalar reductions such as pivot selection. The
+// receiver must use RecvScalars.
+func (p *Proc) SendScalars(dst, tag int, x float64, y int, bytes float64) float64 {
+	return p.send(dst, tag, nil, x, y, bytes)
+}
+
+func (p *Proc) send(dst, tag int, data any, valF float64, valI int, bytes float64) float64 {
 	if dst < 0 || dst >= p.world.size {
 		panic(fmt.Sprintf("vmpi: send to invalid rank %d (size %d)", dst, p.world.size))
 	}
@@ -175,32 +199,40 @@ func (p *Proc) Send(dst, tag int, data any, bytes float64) float64 {
 	if bytes < 0 {
 		bytes = 0
 	}
+	w := p.world
 	start := p.clock
-	if p.world.rendezvous != nil && p.world.rendezvous(bytes, p.rank, dst) {
-		// Request-to-send, wait for the receiver's clear-to-send, then
-		// move the data.
-		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, availAt: p.clock, kind: kindRTS})
-		ack := p.world.boxes[p.rank].take(dst, tag, kindAck)
+	if w.rendezvous != nil && w.rendezvous(bytes, p.rank, dst) {
+		// Rendezvous, collapsed to two envelopes: the request-to-send
+		// carries the payload and the precomputed transfer duration
+		// (transfer is a pure function, so sender and receiver agree on
+		// it); the receiver stamps the completion time
+		// max(sender, receiver) + dt — the same float operations the
+		// three-step RTS/Ack/Data exchange performed, so virtual clocks
+		// are bit-identical — and its clear-to-send releases the sender
+		// at that time. The sender still blocks until the receive is
+		// posted, the property that makes superfluous processes
+		// expensive.
+		dt := w.transfer(bytes, p.rank, dst)
+		if dt < 0 || math.IsNaN(dt) {
+			dt = 0
+		}
+		w.boxes[dst].post(Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, valF: valF, valI: valI, availAt: p.clock, dt: dt, kind: kindRTS})
+		var ack Message
+		w.boxes[p.rank].take(&ack, dst, tag, kindAck)
 		if ack.availAt > p.clock {
 			p.clock = ack.availAt
 		}
-		dt := p.world.transfer(bytes, p.rank, dst)
-		if dt < 0 || math.IsNaN(dt) {
-			dt = 0
-		}
-		p.clock += dt
-		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, availAt: p.clock, kind: kindData})
 	} else {
-		dt := p.world.transfer(bytes, p.rank, dst)
+		dt := w.transfer(bytes, p.rank, dst)
 		if dt < 0 || math.IsNaN(dt) {
 			dt = 0
 		}
 		p.clock += dt
-		p.world.boxes[dst].put(&Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, availAt: p.clock, kind: kindEager})
+		w.boxes[dst].post(Message{Src: p.rank, Tag: tag, Data: data, Bytes: bytes, valF: valF, valI: valI, availAt: p.clock, kind: kindEager})
 	}
 	p.SentBytes += bytes
 	p.Sends++
-	if tr := p.world.tracer; tr != nil {
+	if tr := w.tracer; tr != nil {
 		tr.record(TraceEvent{Rank: p.rank, Name: "send", Start: start, Dur: p.clock - start, Peer: dst, Tag: tag, Bytes: bytes})
 	}
 	return p.clock - start
@@ -209,38 +241,61 @@ func (p *Proc) Send(dst, tag int, data any, bytes float64) float64 {
 // Recv blocks until a message with the given source and tag arrives,
 // advances the virtual clock to the availability time, and returns the
 // message along with the virtual seconds that elapsed on this rank
-// (waiting time; zero if the data was already available).
+// (waiting time; zero if the data was already available). The returned
+// pointer is valid until the next Recv on this Proc.
 func (p *Proc) Recv(src, tag int) (*Message, float64) {
+	elapsed := p.recv(src, tag)
+	return &p.last, elapsed
+}
+
+// RecvScalars receives a message sent with SendScalars, returning the
+// inline scalar pair and the elapsed virtual seconds.
+func (p *Proc) RecvScalars(src, tag int) (x float64, y int, elapsed float64) {
+	elapsed = p.recv(src, tag)
+	return p.last.valF, p.last.valI, elapsed
+}
+
+// recv performs the protocol, copying the delivered envelope into p.last
+// (the envelope itself is recycled inside the mailbox).
+func (p *Proc) recv(src, tag int) float64 {
 	if src < 0 || src >= p.world.size {
 		panic(fmt.Sprintf("vmpi: recv from invalid rank %d (size %d)", src, p.world.size))
 	}
+	w := p.world
 	start := p.clock
-	msg := p.world.boxes[p.rank].take(src, tag, kindEager|kindRTS)
-	if msg.kind == kindRTS {
-		// Rendezvous: grant the clear-to-send stamped with our readiness,
-		// then wait for the data.
-		if msg.availAt > p.clock {
-			p.clock = msg.availAt
+	w.boxes[p.rank].take(&p.last, src, tag, kindEager|kindRTS)
+	if p.last.kind == kindRTS {
+		// Rendezvous: the RTS carries payload and transfer duration; stamp
+		// the completion time and release the sender with it.
+		if p.last.availAt > p.clock {
+			p.clock = p.last.availAt
 		}
-		p.world.boxes[src].put(&Message{Src: p.rank, Tag: tag, availAt: p.clock, kind: kindAck})
-		msg = p.world.boxes[p.rank].take(src, tag, kindData)
+		p.clock += p.last.dt
+		w.boxes[src].post(Message{Src: p.rank, Tag: tag, availAt: p.clock, kind: kindAck})
+	} else if p.last.availAt > p.clock {
+		p.clock = p.last.availAt
 	}
-	if msg.availAt > p.clock {
-		p.clock = msg.availAt
-	}
-	p.RecvBytes += msg.Bytes
+	p.RecvBytes += p.last.Bytes
 	p.Recvs++
-	if tr := p.world.tracer; tr != nil {
-		tr.record(TraceEvent{Rank: p.rank, Name: "recv", Start: start, Dur: p.clock - start, Peer: src, Tag: tag, Bytes: msg.Bytes})
+	if tr := w.tracer; tr != nil {
+		tr.record(TraceEvent{Rank: p.rank, Name: "recv", Start: start, Dur: p.clock - start, Peer: src, Tag: tag, Bytes: p.last.Bytes})
 	}
-	return msg, p.clock - start
+	return p.clock - start
 }
+
+// msgPool recycles Message envelopes across mailboxes and Worlds. Worlds are
+// short-lived (one per simulated run), so a package-level pool is what makes
+// the send/recv path allocation-free in the steady state of a campaign or
+// sweep (asserted by TestSendRecvSteadyStateAllocs): each run draws warm
+// envelopes left over from the previous one.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
 
 // mailbox is an unbounded buffered queue with (src, tag) matching.
 type mailbox struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	msgs     []*Message
+	waiting  bool
 	poisoned bool
 }
 
@@ -250,11 +305,19 @@ func newMailbox() *mailbox {
 	return b
 }
 
-func (b *mailbox) put(m *Message) {
+// post enqueues a copy of m in a pooled envelope.
+func (b *mailbox) post(m Message) {
+	env := msgPool.Get().(*Message)
+	*env = m
 	b.mu.Lock()
-	b.msgs = append(b.msgs, m)
+	b.msgs = append(b.msgs, env)
+	// Only pay the wakeup when the owner is actually parked; on a busy
+	// single-CPU host the receiver usually drains without ever waiting.
+	wake := b.waiting
 	b.mu.Unlock()
-	b.cond.Broadcast()
+	if wake {
+		b.cond.Broadcast()
+	}
 }
 
 // poison wakes all waiters permanently (used when a sibling rank panics so
@@ -266,19 +329,31 @@ func (b *mailbox) poison() {
 	b.cond.Broadcast()
 }
 
-func (b *mailbox) take(src, tag, kindMask int) *Message {
+// take blocks until a message matching (src, tag, kindMask) exists, copies it
+// into dst, and recycles the envelope. The payload reference is cleared from
+// the recycled envelope so the pool never keeps payloads alive.
+func (b *mailbox) take(dst *Message, src, tag, kindMask int) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	for {
 		for i, m := range b.msgs {
 			if m.Src == src && m.Tag == tag && m.kind&kindMask != 0 {
-				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-				return m
+				last := len(b.msgs) - 1
+				copy(b.msgs[i:], b.msgs[i+1:])
+				b.msgs[last] = nil // drop the stale tail reference
+				b.msgs = b.msgs[:last]
+				b.mu.Unlock()
+				*dst = *m
+				*m = Message{}
+				msgPool.Put(m)
+				return
 			}
 		}
 		if b.poisoned {
+			b.mu.Unlock()
 			panic("vmpi: world poisoned by sibling rank failure")
 		}
+		b.waiting = true
 		b.cond.Wait()
+		b.waiting = false
 	}
 }

@@ -100,10 +100,13 @@ func TestTagMatching(t *testing.T) {
 			p.Send(1, 2, "second", 0)
 		case 1:
 			// Receive in reverse tag order: matching must pick by tag.
+			// (Messages alias per-Proc scratch, so grab the payload
+			// before the next Recv.)
 			m2, _ := p.Recv(0, 2)
+			d2 := m2.Data
 			m1, _ := p.Recv(0, 1)
-			if m2.Data.(string) != "second" || m1.Data.(string) != "first" {
-				t.Errorf("tag matching broken: %v %v", m1.Data, m2.Data)
+			if d2.(string) != "second" || m1.Data.(string) != "first" {
+				t.Errorf("tag matching broken: %v %v", m1.Data, d2)
 			}
 		}
 	})
