@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-json cover ci
+.PHONY: all build vet fmt test race bench bench-json bench-compare cover ci
 
 all: build test
 
@@ -36,6 +36,12 @@ bench:
 # recipe used to regenerate the committed BENCH_2.json.
 bench-json:
 	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_2.json -baseline-ref BENCH_2.json
+
+# Regression gate: rerun the tracked suite and fail when any workload shared
+# with the committed baseline is more than 5% slower. Workloads new since the
+# baseline are reported but never fail the gate.
+bench-compare:
+	$(GO) run ./cmd/benchrun -compare BENCH_2.json -regress 5
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -8,6 +8,12 @@
 //	benchrun -out BENCH_2.json -benchtime 10x -rounds 5
 //	benchrun -baseline old.json -baseline-ref cec594e   # merge speedups
 //	benchrun -filter 'HPL' -rounds 1                    # quick subset
+//	benchrun -compare BENCH_2.json -regress 5           # regression gate
+//
+// The -compare mode runs the suite, prints a per-workload delta table
+// against the given baseline, and exits non-zero when any workload present
+// in both runs slowed down by more than -regress percent. Workloads new to
+// the suite are listed but never fail the gate.
 //
 // The baseline file may be a previous benchrun JSON or the text output of
 // `go test -bench .`, so a commit that predates this command can still be
@@ -68,6 +74,8 @@ func main() {
 		baseline    = flag.String("baseline", "", "baseline file to merge: a benchrun JSON or `go test -bench` text output")
 		baselineRef = flag.String("baseline-ref", "", "label for the baseline (e.g. the commit it was measured at)")
 		list        = flag.Bool("list", false, "list the tracked benchmarks and exit")
+		compare     = flag.String("compare", "", "baseline file to gate against: print a delta table and exit non-zero on regression")
+		regress     = flag.Float64("regress", 5, "with -compare: tolerated slowdown in percent before the gate fails")
 	)
 	flag.Parse()
 	if *list {
@@ -94,6 +102,13 @@ func main() {
 	if *baseline != "" {
 		var err error
 		if base, err = loadBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var gate map[string]result
+	if *compare != "" {
+		var err error
+		if gate, err = loadBaseline(*compare); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -135,14 +150,46 @@ func main() {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Results))
+	case gate == nil:
 		os.Stdout.Write(data)
-		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if gate != nil {
+		if regressed := compareAgainst(rep.Results, gate, *regress); len(regressed) > 0 {
+			log.Fatalf("regression gate failed (> %.1f%% slower than %s): %s",
+				*regress, *compare, strings.Join(regressed, ", "))
+		}
+		log.Printf("regression gate passed (tolerance %.1f%% vs %s)", *regress, *compare)
 	}
-	log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Results))
+}
+
+// compareAgainst prints the per-workload delta table for -compare mode and
+// returns the names of workloads that slowed down by more than tolPct
+// percent. Workloads absent from the baseline are listed as "new" and never
+// counted as regressions.
+func compareAgainst(results []result, base map[string]result, tolPct float64) []string {
+	fmt.Printf("%-18s %14s %14s %9s\n", "workload", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-18s %14s %14.0f %9s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		mark := ""
+		if delta > tolPct {
+			mark = "  REGRESSION"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Printf("%-18s %14.0f %14.0f %+8.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	return regressed
 }
 
 // runCase runs one benchmark for the requested number of rounds and keeps

@@ -7,6 +7,14 @@
 //	hetopt -model models.json -n 9600
 //	hetopt -campaign nl -n 9600 -verify    # also simulate every candidate
 //	hetopt -campaign nl -n 9600 -heuristic # hill-climb instead of exhaustive
+//	hetopt -campaign nl -n 9600 -topk 5    # ranked list instead of one winner
+//	hetopt -campaign nl -n 9600 -space     # streaming search over the full grid
+//
+// With -space the search runs over the paper's full evaluation grid through
+// the compiled-evaluator streaming search (ModelSet.OptimizeSpace) instead
+// of materializing the candidate list, and reports how many candidates the
+// monotone lower bound pruned; -noprune disables the pruning (the winners
+// are identical either way, it only costs time).
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"hetmodel/internal/core"
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/measure"
+	"hetmodel/internal/parallel"
 	"hetmodel/internal/profiling"
 	"hetmodel/internal/stats"
 )
@@ -35,6 +44,9 @@ func main() {
 		heuristic = flag.Bool("heuristic", false, "use the hill-climbing search instead of exhaustive enumeration")
 		verify    = flag.Bool("verify", false, "simulate every candidate and report the actual optimum")
 		workers   = flag.Int("workers", 0, "concurrent simulations/evaluations (0 = GOMAXPROCS, 1 = sequential)")
+		topk      = flag.Int("topk", 1, "report the K best configurations instead of only the winner")
+		space     = flag.Bool("space", false, "stream the full evaluation grid through the compiled search instead of the 62-candidate list")
+		noprune   = flag.Bool("noprune", false, "with -space: disable lower-bound pruning (same winners, more work)")
 	)
 	prof := profiling.AddFlags(nil)
 	flag.Parse()
@@ -75,23 +87,49 @@ func main() {
 		models = bm.Models
 	}
 
+	if *heuristic && (*space || *topk > 1) {
+		log.Fatal("-heuristic tracks a single incumbent; it cannot be combined with -space or -topk")
+	}
 	candidates := experiments.EvalConfigs()
 	var best cluster.Configuration
 	var tau float64
-	if *heuristic {
+	switch {
+	case *heuristic:
 		var evals int
 		best, tau, evals, err = models.OptimizeHeuristic(cluster.PaperEvaluationSpace(), *n)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("heuristic search: %d model evaluations\n", evals)
-	} else {
+	case *space:
+		res, err := models.OptimizeSpace(cluster.PaperEvaluationSpace(), *n, core.SearchOptions{
+			Workers: *workers, TopK: *topk, NoPrune: *noprune,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streaming search: %d candidates, %d scored, %d pruned\n",
+			res.Size, res.Scored, res.Pruned)
+		if *topk > 1 {
+			printRanked(res.Best, *n)
+		}
+		best, tau = res.Best[0].Config, res.Best[0].Tau
+	case *topk > 1:
+		ranked, err := rankCandidates(models, candidates, *n, *topk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRanked(ranked, *n)
+		best, tau = ranked[0].Config, ranked[0].Tau
+	default:
 		best, tau, err = models.OptimizeWorkers(candidates, *n, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("N=%d estimated best configuration %s (P1,M1,P2,M2), tau = %.1f s\n", *n, best, tau)
+	if *topk <= 1 {
+		fmt.Printf("N=%d estimated best configuration %s (P1,M1,P2,M2), tau = %.1f s\n", *n, best, tau)
+	}
 
 	if !*verify {
 		return
@@ -108,6 +146,42 @@ func main() {
 		run.WallTime, act, tHat)
 	fmt.Printf("errors: (tau-That)/That = %+.3f, (tauHat-That)/That = %+.3f\n",
 		stats.RelError(tau, tHat), stats.RelError(run.WallTime, tHat))
+}
+
+// rankCandidates scores a candidate list through a compiled evaluator and
+// keeps the k best by (tau, first-seen order); unscorable candidates are
+// skipped, and an error is returned only when nothing is scorable.
+func rankCandidates(ms *core.ModelSet, candidates []cluster.Configuration, n, k int) ([]core.Estimate, error) {
+	ev := ms.Compile(float64(n))
+	tk := parallel.NewTopK(k)
+	var lastErr error
+	for i, cfg := range candidates {
+		tau, err := ev.Estimate(cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		tk.Offer(int64(i), tau)
+	}
+	ranked := tk.Sorted()
+	if len(ranked) == 0 {
+		if lastErr == nil {
+			lastErr = core.ErrNoModel
+		}
+		return nil, fmt.Errorf("no scorable candidate among %d: %w", len(candidates), lastErr)
+	}
+	out := make([]core.Estimate, len(ranked))
+	for i, c := range ranked {
+		out[i] = core.Estimate{Config: candidates[c.Index], Tau: c.Score}
+	}
+	return out, nil
+}
+
+func printRanked(best []core.Estimate, n int) {
+	fmt.Printf("N=%d top %d configurations (P1,M1,P2,M2):\n", n, len(best))
+	for i, e := range best {
+		fmt.Printf("  %2d. %s  tau = %.1f s\n", i+1, e.Config, e.Tau)
+	}
 }
 
 // loadModelSet reads and decodes a modelfit JSON file, rejecting files that

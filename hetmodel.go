@@ -42,6 +42,19 @@ type (
 	Sample = core.Sample
 )
 
+// Compiled-evaluation types: the query-compiled fast path for scoring
+// many candidates at one problem size (see ModelSet.Compile and
+// ModelSet.OptimizeSpace).
+type (
+	// Evaluator is a ModelSet compiled for one problem size n.
+	Evaluator = core.Evaluator
+	// SearchOptions tunes the streaming configuration search
+	// (workers, top-K, pruning).
+	SearchOptions = core.SearchOptions
+	// SearchResult carries the ranked winners and search statistics.
+	SearchResult = core.SearchResult
+)
+
 // Cluster and configuration types.
 type (
 	// Cluster is a simulated heterogeneous cluster.

@@ -38,6 +38,9 @@ func Suite() []Case {
 		{"GEMMSerial", "blocked MulAdd, 256x256x256", gemmSerial},
 		{"CampaignWorkers1", "NL campaign (2 sizes), sequential", campaignW1},
 		{"SweepWorkers1", "62-candidate sweep at N=2400, sequential", sweepW1},
+		{"Sweep1MEstimate", "1M-config 6-class optimize via per-candidate ModelSet.Estimate (pre-evaluator path), sequential", sweep1MEstimate},
+		{"Sweep1MSearch", "1M-config 6-class optimize via compiled evaluator + pruned streaming search, sequential", sweep1MSearch},
+		{"EvaluatorTau", "score one 6-class candidate through a compiled evaluator", evaluatorTau},
 	}
 }
 

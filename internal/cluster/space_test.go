@@ -92,3 +92,97 @@ func TestEnumerateCollapsesDuplicates(t *testing.T) {
 		t.Errorf("unexpected order or values: %v", cfgs)
 	}
 }
+
+// TestVisitMatchesEnumerate: the streaming walk yields exactly the
+// enumerated configurations, in the same order, and the early-stop works.
+func TestVisitMatchesEnumerate(t *testing.T) {
+	spaces := []Space{
+		PaperEvaluationSpace(),
+		{PEChoices: [][]int{{0, 1, 1}, {0, 2, 4}}, ProcChoices: [][]int{{1, 2}, {3, 1, 1}}},
+		{PEChoices: [][]int{{0}}, ProcChoices: [][]int{{1, 2}}}, // all-zero
+	}
+	for si, s := range spaces {
+		want, err := s.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Configuration
+		err = s.Visit(func(cfg Configuration) bool {
+			got = append(got, Configuration{Use: append([]ClassUse(nil), cfg.Use...)})
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("space %d: visited %d, enumerated %d", si, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key() != want[i].Key() {
+				t.Fatalf("space %d position %d: visited %s, enumerated %s", si, i, got[i], want[i])
+			}
+		}
+		if len(want) > 1 {
+			seen := 0
+			if err := s.Visit(func(Configuration) bool { seen++; return seen < 2 }); err != nil {
+				t.Fatal(err)
+			}
+			if seen != 2 {
+				t.Fatalf("space %d: early stop visited %d", si, seen)
+			}
+		}
+	}
+}
+
+// TestGridRandomAccess: At(idx) decodes exactly the configuration Visit
+// yields at that index, and Size matches the walk length.
+func TestGridRandomAccess(t *testing.T) {
+	s := Space{
+		PEChoices:   [][]int{{0, 1}, {0, 1, 2, 4}, {1, 3}},
+		ProcChoices: [][]int{{1, 2, 3}, {1, 2}, {1, 0}},
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walked int64
+	buf := make([]ClassUse, g.Classes())
+	g.Visit(func(idx int64, cfg Configuration) bool {
+		if idx != walked {
+			t.Fatalf("walk index %d, expected %d", idx, walked)
+		}
+		g.At(idx, buf)
+		for ci := range buf {
+			if buf[ci] != cfg.Use[ci] {
+				t.Fatalf("At(%d) class %d = %+v, Visit saw %+v", idx, ci, buf[ci], cfg.Use[ci])
+			}
+		}
+		walked++
+		return true
+	})
+	if walked != g.Size() {
+		t.Fatalf("walked %d grid points, Size() = %d", walked, g.Size())
+	}
+	// Strides are consistent with the pair-list lengths.
+	total := int64(1)
+	for ci := g.Classes() - 1; ci >= 0; ci-- {
+		if g.Stride(ci) != total {
+			t.Fatalf("Stride(%d) = %d, want %d", ci, g.Stride(ci), total)
+		}
+		total *= int64(len(g.Pairs(ci)))
+	}
+}
+
+// TestCompileOverflow: a grid with more than 2^63 points is rejected
+// instead of silently wrapping.
+func TestCompileOverflow(t *testing.T) {
+	classes := 41 // 3^41 > 2^63
+	s := Space{PEChoices: make([][]int, classes), ProcChoices: make([][]int, classes)}
+	for i := range s.PEChoices {
+		s.PEChoices[i] = []int{1, 2, 3}
+		s.ProcChoices[i] = []int{1}
+	}
+	if _, err := s.Compile(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("2^63 overflow not rejected: %v", err)
+	}
+}

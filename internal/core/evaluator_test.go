@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/stats"
+)
+
+// richWorld builds a two-class model set exercising every estimation
+// feature: fitted P-T bins for M = 1..4, composed class-0 P-T models, a
+// §4.1 adjustment on both classes, and (optionally) a memory guard.
+func richWorld(t *testing.T, guard MemoryGuard) *ModelSet {
+	t.Helper()
+	var samples []Sample
+	for m := 1; m <= 4; m++ {
+		for _, pe := range []int{1, 2, 4, 8} {
+			p := pe * m
+			for _, n := range paperNs {
+				nf := float64(n)
+				ta := 6e-10*nf*nf*nf/float64(p) + 0.2
+				tc := 1e-9 * nf * nf
+				if pe > 1 {
+					tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+				}
+				samples = append(samples, Sample{
+					Config: cluster.Configuration{Use: []cluster.ClassUse{{}, {PEs: pe, Procs: m}}},
+					N:      n, P: p, Class: 1, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+				})
+			}
+		}
+		for _, n := range paperNs {
+			nf := float64(n)
+			ta := 6e-10*nf*nf*nf/float64(m)/4 + 0.1
+			tc := 0.25e-9 * nf * nf
+			samples = append(samples, Sample{
+				Config: cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: m}, {}}},
+				N:      n, P: m, Class: 0, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+			})
+		}
+	}
+	ms, err := Build(2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ComposeClass(0, 1, 0.25, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	ms.AdjustMinM = 2
+	ms.Adjust = map[int]*stats.LinearTransform{
+		0: {A: 0.93, B: 0.4},
+		1: {A: 1.07, B: -0.2},
+	}
+	ms.Memory = guard
+	return ms
+}
+
+// evalSpaces returns the paper evaluation space plus deterministic random
+// spaces (including zero and duplicate choices) for property tests.
+func evalSpaces() []cluster.Space {
+	spaces := []cluster.Space{cluster.PaperEvaluationSpace()}
+	rng := rand.New(rand.NewSource(7))
+	pick := func() []int {
+		vals := []int{0, 0, 1, 2, 3, 4, 6, 8}
+		out := make([]int, 1+rng.Intn(4))
+		for i := range out {
+			out[i] = vals[rng.Intn(len(vals))]
+		}
+		return out
+	}
+	for i := 0; i < 8; i++ {
+		spaces = append(spaces, cluster.Space{
+			PEChoices:   [][]int{pick(), pick()},
+			ProcChoices: [][]int{pick(), pick()},
+		})
+	}
+	return spaces
+}
+
+// TestEvaluatorBitIdenticalToModelSet is the core compilation contract:
+// the evaluator returns bit-for-bit the value ModelSet.Estimate returns,
+// and fails exactly where it fails, over the paper evaluation space and
+// randomized spaces, at several problem sizes, with and without a guard.
+func TestEvaluatorBitIdenticalToModelSet(t *testing.T) {
+	guard := func(cfg cluster.Configuration, n float64) float64 {
+		if n >= 6400 && cfg.TotalProcs() < 2 {
+			return math.Inf(1) // exclude: pretend one node cannot hold it
+		}
+		return 1
+	}
+	for name, ms := range map[string]*ModelSet{
+		"noGuard": richWorld(t, nil),
+		"guarded": richWorld(t, guard),
+	} {
+		for _, n := range []float64{400, 3200, 6400, 9600} {
+			ev := ms.Compile(n)
+			for si, space := range evalSpaces() {
+				cfgs, err := space.Enumerate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cfg := range cfgs {
+					want, wantErr := ms.Estimate(cfg, n)
+					got, gotErr := ev.Estimate(cfg)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s space %d n=%v %s: err %v vs %v", name, si, n, cfg, gotErr, wantErr)
+					}
+					if wantErr == nil && got != want {
+						t.Fatalf("%s space %d n=%v %s: evaluator %v, model set %v (diff %g)",
+							name, si, n, cfg, got, want, got-want)
+					}
+					tau, ok := ev.Tau(cfg)
+					if ok != (wantErr == nil) {
+						t.Fatalf("%s space %d n=%v %s: Tau ok=%v, Estimate err=%v", name, si, n, cfg, ok, wantErr)
+					}
+					if ok && tau != want {
+						t.Fatalf("%s space %d n=%v %s: Tau %v, Estimate %v", name, si, n, cfg, tau, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorEstimateErrors pins the error cases to the ModelSet ones.
+func TestEvaluatorEstimateErrors(t *testing.T) {
+	ms := richWorld(t, nil)
+	ev := ms.Compile(3200)
+	cases := []cluster.Configuration{
+		{},                                // class-count mismatch
+		{Use: []cluster.ClassUse{{}, {}}}, // empty
+		{Use: []cluster.ClassUse{{}, {PEs: 1, Procs: 9}}},                  // no N-T bin
+		{Use: []cluster.ClassUse{{}, {PEs: 2, Procs: 9}}},                  // no P-T bin
+		{Use: []cluster.ClassUse{{PEs: -3, Procs: 2}, {PEs: 0, Procs: 5}}}, // normalizes to empty
+	}
+	for _, cfg := range cases {
+		_, msErr := ms.Estimate(cfg, 3200)
+		_, evErr := ev.Estimate(cfg)
+		if msErr == nil || evErr == nil {
+			t.Fatalf("%s: expected errors, got %v / %v", cfg, msErr, evErr)
+		}
+		if !errors.Is(evErr, ErrNoModel) {
+			t.Fatalf("%s: evaluator error %v does not wrap ErrNoModel", cfg, evErr)
+		}
+		if evErr.Error() != msErr.Error() {
+			t.Fatalf("%s: evaluator error %q, model set %q", cfg, evErr, msErr)
+		}
+	}
+}
+
+// TestEvaluatorSnapshotsModelSet documents that Compile is a snapshot:
+// later mutations of the model set are not reflected.
+func TestEvaluatorSnapshotsModelSet(t *testing.T) {
+	ms := richWorld(t, nil)
+	// P = 18 extrapolates class 1's M = 2 bin (fitted up to P = 16), so the
+	// §4.1 adjustment participates in the estimate and removing it matters.
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 2}, {PEs: 8, Procs: 2}}}
+	ev := ms.Compile(6400)
+	before, err := ev.Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Adjust = nil // mutate after compilation
+	after, err := ev.Estimate(cfg)
+	if err != nil || after != before {
+		t.Fatalf("compiled estimate changed after model-set mutation: %v -> %v (%v)", before, after, err)
+	}
+	fresh, err := ms.Compile(6400).Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == before {
+		t.Fatal("mutation had no effect on a fresh compile; test is vacuous")
+	}
+}
+
+// TestEvaluatorZeroAlloc asserts the compiled scoring path allocates
+// nothing per candidate.
+func TestEvaluatorZeroAlloc(t *testing.T) {
+	ms := richWorld(t, nil)
+	ev := ms.Compile(6400)
+	cfg := cluster.Configuration{Use: []cluster.ClassUse{{PEs: 1, Procs: 2}, {PEs: 4, Procs: 2}}}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, ok := ev.Tau(cfg); !ok {
+			t.Fatal("unscorable")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Tau allocates %.2f per call", avg)
+	}
+}

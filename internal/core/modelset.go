@@ -149,7 +149,14 @@ func maxM(cfg cluster.Configuration) int {
 // configuration, applying the paper's binning: single-PE executions
 // (P == Mi) use the N-T model, multi-PE executions the P-T model.
 func (ms *ModelSet) EstimateClass(cfg cluster.Configuration, class int, n float64) (float64, error) {
-	cfg = cfg.Normalize()
+	return ms.estimateClassNorm(cfg.Normalize(), class, n)
+}
+
+// estimateClassNorm is EstimateClass for a configuration the caller has
+// already normalized. Estimate normalizes once and fans out through this —
+// the public path used to re-normalize per class, allocating O(classes²)
+// slices per candidate.
+func (ms *ModelSet) estimateClassNorm(cfg cluster.Configuration, class int, n float64) (float64, error) {
 	use := cfg.Use[class]
 	if use.PEs == 0 {
 		return 0, fmt.Errorf("%w: class %d unused in %s", ErrNoModel, class, cfg)
@@ -199,7 +206,7 @@ func (ms *ModelSet) Estimate(cfg cluster.Configuration, n float64) (float64, err
 			continue
 		}
 		used = true
-		ti, err := ms.EstimateClass(cfg, ci, n)
+		ti, err := ms.estimateClassNorm(cfg, ci, n)
 		if err != nil {
 			return 0, err
 		}

@@ -446,3 +446,38 @@ func TestValidateRejectsBrokenModelSets(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateClassNormalizesInput pins the public contract after the
+// single-normalize refactor: EstimateClass still canonicalizes its input
+// itself, and Estimate (which now normalizes once and fans out through the
+// internal path) returns exactly what per-class public calls compose to.
+func TestEstimateClassNormalizesInput(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := cluster.Configuration{Use: []cluster.ClassUse{{PEs: -2, Procs: 5}, {PEs: 8, Procs: 1}}}
+	norm := raw.Normalize()
+	gotRaw, err := ms.EstimateClass(raw, 1, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNorm, err := ms.EstimateClass(norm, 1, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRaw != gotNorm {
+		t.Fatalf("EstimateClass(raw) = %v, EstimateClass(normalized) = %v", gotRaw, gotNorm)
+	}
+	total, err := ms.Estimate(raw, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != gotNorm {
+		t.Fatalf("Estimate = %v, single used class estimates to %v", total, gotNorm)
+	}
+	// The unused class still errors through the public entry point.
+	if _, err := ms.EstimateClass(raw, 0, 3200); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("unused class: %v", err)
+	}
+}

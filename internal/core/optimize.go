@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"hetmodel/internal/cluster"
@@ -27,13 +26,15 @@ func (ms *ModelSet) EstimateAll(candidates []cluster.Configuration, n int) []Est
 
 // EstimateAllWorkers scores every candidate on up to `workers` goroutines
 // (<= 0 selects GOMAXPROCS, 1 forces sequential evaluation). The model set
-// is read-only during estimation, each candidate fills its own slot, and
-// Estimate is deterministic — so the output is identical at any worker
-// count.
+// is compiled once (see Compile) and the evaluator is read-only during
+// estimation, each candidate fills its own slot, and the evaluator scores
+// bit-identically to Estimate — so the output is identical at any worker
+// count and to the uncompiled path.
 func (ms *ModelSet) EstimateAllWorkers(candidates []cluster.Configuration, n, workers int) []Estimate {
+	ev := ms.Compile(float64(n))
 	out := make([]Estimate, len(candidates))
 	parallel.ForEach(len(candidates), workers, func(i int) error {
-		tau, err := ms.Estimate(candidates[i], float64(n))
+		tau, err := ev.Estimate(candidates[i])
 		out[i] = Estimate{Config: candidates[i], Tau: tau, Err: err}
 		return nil
 	})
@@ -49,26 +50,46 @@ func (ms *ModelSet) Optimize(candidates []cluster.Configuration, n int) (cluster
 }
 
 // OptimizeWorkers is Optimize with an explicit worker count (<= 0 selects
-// GOMAXPROCS). Candidates are scored concurrently, but the winner is picked
-// by a sequential scan over the candidate order — a strictly smaller tau
-// wins, so ties keep the earliest candidate — making the selected
-// configuration identical to the sequential search at any worker count.
+// GOMAXPROCS). Candidates are scored concurrently through a compiled
+// evaluator without materializing a per-candidate []Estimate: each worker
+// keeps its own best over the chunks it claims, and the per-worker bests
+// are merged by (tau, candidate index) — a strictly smaller tau wins, so
+// ties keep the earliest candidate — making the selected configuration
+// identical to the sequential scan at any worker count.
 func (ms *ModelSet) OptimizeWorkers(candidates []cluster.Configuration, n, workers int) (cluster.Configuration, float64, error) {
-	best := cluster.Configuration{}
-	bestTau := math.Inf(1)
-	found := false
-	for _, e := range ms.EstimateAllWorkers(candidates, n, workers) {
-		if e.Err != nil {
-			continue
+	return ms.Compile(float64(n)).Optimize(candidates, workers)
+}
+
+// Optimize returns the candidate with the smallest τ at the evaluator's
+// compiled size, with OptimizeWorkers' contract (skip unscorable
+// candidates, ties keep the earliest, identical at any worker count).
+func (ev *Evaluator) Optimize(candidates []cluster.Configuration, workers int) (cluster.Configuration, float64, error) {
+	w := parallel.Workers(workers, len(candidates))
+	if w < 1 {
+		w = 1
+	}
+	shards := make([]*parallel.TopK, w)
+	parallel.Chunks(int64(len(candidates)), 1024, w, func(worker int, lo, hi int64) {
+		if shards[worker] == nil {
+			shards[worker] = parallel.NewTopK(1)
 		}
-		if e.Tau < bestTau {
-			best, bestTau, found = e.Config, e.Tau, true
+		for i := lo; i < hi; i++ {
+			if tau, ok := ev.Tau(candidates[i]); ok {
+				shards[worker].Offer(i, tau)
+			}
+		}
+	})
+	lists := make([][]parallel.Candidate, 0, w)
+	for _, sh := range shards {
+		if sh != nil {
+			lists = append(lists, sh.Sorted())
 		}
 	}
-	if !found {
-		return best, 0, fmt.Errorf("%w: no scorable candidate among %d", ErrNoModel, len(candidates))
+	merged := parallel.MergeTopK(1, lists)
+	if len(merged) == 0 {
+		return cluster.Configuration{}, 0, fmt.Errorf("%w: no scorable candidate among %d", ErrNoModel, len(candidates))
 	}
-	return best, bestTau, nil
+	return candidates[merged[0].Index], merged[0].Score, nil
 }
 
 // OptimizeHeuristic implements the search-space reduction the paper lists
@@ -94,14 +115,11 @@ func (ms *ModelSet) OptimizeHeuristic(space cluster.Space, n int) (cluster.Confi
 		sort.Ints(procs)
 		cur.Use[ci] = cluster.ClassUse{PEs: pes[len(pes)-1], Procs: minPositive(procs)}
 	}
+	ev := ms.Compile(float64(n))
 	evals := 0
 	score := func(cfg cluster.Configuration) (float64, bool) {
 		evals++
-		tau, err := ms.Estimate(cfg, float64(n))
-		if err != nil {
-			return 0, false
-		}
-		return tau, true
+		return ev.Tau(cfg)
 	}
 	curTau, ok := score(cur)
 	if !ok {
@@ -166,9 +184,20 @@ func neighbours(choices []int, cur int) []int {
 	if idx == -1 && len(s) > 0 {
 		out = append(out, s[0], s[len(s)-1])
 	}
-	// Allow jumping to zero (drop the class) when available.
+	// Allow jumping to zero (drop the class) when available — unless zero is
+	// already among the adjacent choices, which would double-score the same
+	// candidate and inflate the reported eval count.
 	if len(s) > 0 && s[0] == 0 && cur != 0 {
-		out = append(out, 0)
+		dup := false
+		for _, v := range out {
+			if v == 0 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, 0)
+		}
 	}
 	return out
 }

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/parallel"
+)
+
+// SearchOptions tunes the streaming configuration search.
+type SearchOptions struct {
+	// Workers bounds the concurrency (<= 0 selects GOMAXPROCS, 1 forces a
+	// sequential scan). The winners are identical at any setting.
+	Workers int
+	// TopK selects how many best candidates to return (<= 0 means 1).
+	TopK int
+	// NoPrune disables the lower-bound subtree pruning. Pruning never
+	// changes the returned candidates — it only skips subtrees whose bound
+	// proves they rank strictly worse than results already in hand — so
+	// this switch exists for benchmarking and for the equivalence tests.
+	NoPrune bool
+}
+
+// SearchResult is the outcome of a streaming search.
+type SearchResult struct {
+	// Best holds the TopK best candidates, best first, ties broken toward
+	// the earlier enumeration position. Err is nil on every entry.
+	Best []Estimate
+	// Size is the number of distinct candidates in the space (the
+	// all-unused configuration excluded).
+	Size int64
+	// Scored counts candidates actually evaluated; Pruned counts
+	// candidates skipped by the bound. Scored+Pruned == Size on an
+	// unpruned search; with pruning and multiple workers the split between
+	// the two depends on timing (the results never do).
+	Scored, Pruned int64
+}
+
+// OptimizeSpace searches a configuration space at problem size n without
+// materializing the candidate slice: the space is compiled to a grid, the
+// model set to an evaluator, and grid indices are streamed through a
+// sharded search with deterministic lowest-index tie-breaking. The winner
+// is identical to Optimize over space.Enumerate(), at any worker count,
+// with pruning on or off.
+func (ms *ModelSet) OptimizeSpace(space cluster.Space, n int, opts SearchOptions) (*SearchResult, error) {
+	grid, err := space.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return ms.Compile(float64(n)).Search(grid, opts)
+}
+
+// maxGridTableP bounds the per-(class, pair, P) contribution tables: a
+// space whose total process count exceeds this falls back to per-candidate
+// evaluation (still streamed and sharded, but without pruning bounds).
+const maxGridTableP = 1 << 16
+
+// gridTables holds the per-grid dense precomputation: for every class,
+// canonical pair and achievable total process count P, the class's
+// contribution to τ — and per (class, pair) the minimum contribution over
+// all P, a monotone lower bound on τ for any candidate using that pair
+// (τ is the max of per-class contributions, and each contribution depends
+// only on (class, M, P)).
+type gridTables struct {
+	// pw[ci][j] is the process count the pair contributes to P.
+	pw [][]int
+	// contrib[ci][j][P] is the class contribution; NaN marks "no model".
+	// nil for unused pairs (they contribute nothing).
+	contrib [][][]float64
+	// lb[ci][j] is min over P of contrib (>= the pair's own process
+	// count); -Inf for unused pairs, +Inf when no P is scorable.
+	lb   [][]float64
+	maxP int
+}
+
+func (ev *Evaluator) compileGrid(grid *cluster.Grid) *gridTables {
+	classes := grid.Classes()
+	t := &gridTables{
+		pw:      make([][]int, classes),
+		contrib: make([][][]float64, classes),
+		lb:      make([][]float64, classes),
+	}
+	for ci := 0; ci < classes; ci++ {
+		pairs := grid.Pairs(ci)
+		t.pw[ci] = make([]int, len(pairs))
+		maxPW := 0
+		for j, u := range pairs {
+			t.pw[ci][j] = u.PEs * u.Procs
+			if t.pw[ci][j] > maxPW {
+				maxPW = t.pw[ci][j]
+			}
+		}
+		t.maxP += maxPW
+	}
+	if t.maxP > maxGridTableP {
+		return nil
+	}
+	for ci := 0; ci < classes; ci++ {
+		pairs := grid.Pairs(ci)
+		t.contrib[ci] = make([][]float64, len(pairs))
+		t.lb[ci] = make([]float64, len(pairs))
+		for j, u := range pairs {
+			if u.PEs == 0 {
+				t.lb[ci][j] = math.Inf(-1)
+				continue
+			}
+			row := make([]float64, t.maxP+1)
+			lb := math.Inf(1)
+			for p := 0; p <= t.maxP; p++ {
+				row[p] = math.NaN()
+				if p < t.pw[ci][j] {
+					continue
+				}
+				if v, ok := ev.classTau(ci, u.Procs, p); ok {
+					row[p] = v
+					if v < lb {
+						lb = v
+					}
+				}
+			}
+			t.contrib[ci][j] = row
+			t.lb[ci][j] = lb
+		}
+	}
+	return t
+}
+
+// Search streams every candidate of the grid through the evaluator and
+// returns the TopK best. See OptimizeSpace for the determinism contract.
+func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResult, error) {
+	classes := grid.Classes()
+	if classes != ev.classes {
+		return nil, fmt.Errorf("%w: space has %d classes, model set has %d", ErrNoModel, classes, ev.classes)
+	}
+	k := opts.TopK
+	if k <= 0 {
+		k = 1
+	}
+	res := &SearchResult{Size: grid.Size()}
+	// The all-unused configuration is a grid point but not a candidate.
+	emptyIdx := int64(-1)
+	if res.Size > 0 {
+		all := true
+		for ci := 0; ci < classes; ci++ {
+			pairs := grid.Pairs(ci)
+			if len(pairs) == 0 || pairs[0].PEs != 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			emptyIdx = 0 // the zero pair sorts first in every class
+			res.Size--
+		}
+	}
+	if res.Size <= 0 {
+		return nil, fmt.Errorf("%w: no scorable candidate among 0", ErrNoModel)
+	}
+
+	// A memory guard makes τ depend on the whole configuration, not just
+	// the (class, M, P) tables — guarded evaluators take the per-candidate
+	// path (which applies the guard) and never prune.
+	var tables *gridTables
+	if ev.guard == nil {
+		tables = ev.compileGrid(grid)
+	}
+	prune := !opts.NoPrune && tables != nil
+
+	n := grid.Size()
+	maxW := n
+	if maxW > int64(1<<20) {
+		maxW = 1 << 20
+	}
+	workers := parallel.Workers(opts.Workers, int(maxW))
+	// Aim for enough chunks per worker that pruning imbalance load-balances,
+	// without making chunk claiming the bottleneck.
+	chunk := n / int64(workers*64)
+	if chunk < 1024 {
+		chunk = 1024
+	}
+
+	shards := make([]*parallel.TopK, workers)
+	scored := make([]int64, workers)
+	pruned := make([]int64, workers)
+	shared := parallel.NewSharedMin()
+	parallel.Chunks(n, chunk, workers, func(w int, lo, hi int64) {
+		if shards[w] == nil {
+			shards[w] = parallel.NewTopK(k)
+		}
+		sh := shards[w]
+		bound := func() float64 {
+			if k == 1 {
+				return shared.Load()
+			}
+			return sh.Threshold()
+		}
+		offer := func(idx int64, tau float64) {
+			sh.Offer(idx, tau)
+			if k == 1 {
+				shared.Update(tau)
+			}
+		}
+		if tables != nil {
+			scoredW, prunedW := ev.searchRange(grid, tables, lo, hi, emptyIdx, prune, bound, offer)
+			scored[w] += scoredW
+			pruned[w] += prunedW
+			return
+		}
+		// Fallback for spaces too large for the dense tables: evaluate each
+		// candidate through the compiled formulas, no pruning bounds.
+		use := make([]cluster.ClassUse, classes)
+		cfg := cluster.Configuration{Use: use}
+		for idx := lo; idx < hi; idx++ {
+			if idx == emptyIdx {
+				continue
+			}
+			grid.At(idx, use)
+			scored[w]++
+			if tau, ok := ev.Tau(cfg); ok {
+				offer(idx, tau)
+			}
+		}
+	})
+
+	lists := make([][]parallel.Candidate, 0, workers)
+	for _, sh := range shards {
+		if sh != nil {
+			lists = append(lists, sh.Sorted())
+		}
+	}
+	for w := range scored {
+		res.Scored += scored[w]
+		res.Pruned += pruned[w]
+	}
+	merged := parallel.MergeTopK(k, lists)
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("%w: no scorable candidate among %d", ErrNoModel, res.Size)
+	}
+	res.Best = make([]Estimate, len(merged))
+	for i, c := range merged {
+		use := make([]cluster.ClassUse, classes)
+		grid.At(c.Index, use)
+		res.Best[i] = Estimate{Config: cluster.Configuration{Use: use}, Tau: c.Score}
+	}
+	return res, nil
+}
+
+// searchRange walks the grid indices in [lo, hi) in ascending order through
+// the dense tables, pruning subtrees whose lower bound proves every
+// candidate inside ranks strictly worse than the current bound. Pruning
+// with a strict comparison can never drop a candidate that would tie the
+// incumbent, so the surviving (tau, index) ranking — and therefore the
+// merged result — is identical with pruning on or off.
+func (ev *Evaluator) searchRange(grid *cluster.Grid, t *gridTables, lo, hi, emptyIdx int64,
+	prune bool, bound func() float64, offer func(idx int64, tau float64)) (scored, pruned int64) {
+	classes := grid.Classes()
+	digits := make([]int, classes)
+	var walk func(depth int, base int64, curMax float64)
+	walk = func(depth int, base int64, curMax float64) {
+		if depth == classes {
+			if base == emptyIdx {
+				return
+			}
+			// Leaf: P and τ from the digit contributions.
+			p := 0
+			for ci, j := range digits {
+				p += t.pw[ci][j]
+			}
+			tau := math.Inf(-1)
+			for ci, j := range digits {
+				row := t.contrib[ci][j]
+				if row == nil {
+					continue // unused class
+				}
+				v := row[p]
+				if math.IsNaN(v) {
+					scored++
+					return // unscorable candidate, skipped like Optimize does
+				}
+				if v > tau {
+					tau = v
+				}
+			}
+			scored++
+			offer(base, tau)
+			return
+		}
+		stride := grid.Stride(depth)
+		pairs := grid.Pairs(depth)
+		for j := range pairs {
+			s := base + int64(j)*stride
+			e := s + stride
+			if e <= lo || s >= hi {
+				continue
+			}
+			b := curMax
+			if v := t.lb[depth][j]; v > b {
+				b = v
+			}
+			if prune && b > bound() {
+				olo, ohi := s, e
+				if olo < lo {
+					olo = lo
+				}
+				if ohi > hi {
+					ohi = hi
+				}
+				pruned += ohi - olo
+				if olo <= emptyIdx && emptyIdx < ohi {
+					pruned-- // the empty configuration is not a candidate
+				}
+				continue
+			}
+			digits[depth] = j
+			walk(depth+1, s, b)
+		}
+	}
+	walk(0, 0, math.Inf(-1))
+	return scored, pruned
+}

@@ -99,6 +99,28 @@ type BuiltModel struct {
 	Models   *core.ModelSet
 	// TaScale is the fitted Athlon←P-II composition factor (paper: 0.27).
 	TaScale float64
+
+	evalMu sync.Mutex
+	evals  map[float64]*core.Evaluator
+}
+
+// EvaluatorAt returns Models compiled for problem size n, memoized per
+// size and safe for concurrent callers. The evaluator snapshots the model
+// set, so callers that mutate Models (the ablations) must compile their
+// own instead of going through the cache.
+func (bm *BuiltModel) EvaluatorAt(n int) *core.Evaluator {
+	nf := float64(n)
+	bm.evalMu.Lock()
+	defer bm.evalMu.Unlock()
+	if bm.evals == nil {
+		bm.evals = make(map[float64]*core.Evaluator)
+	}
+	ev, ok := bm.evals[nf]
+	if !ok {
+		ev = bm.Models.Compile(nf)
+		bm.evals[nf] = ev
+	}
+	return ev
 }
 
 // TcScaleDefault is the communication composition factor, hand-chosen as in

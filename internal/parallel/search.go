@@ -1,0 +1,208 @@
+package parallel
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the sharded streaming-search primitives: ascending chunk
+// claiming over an int64 index range, per-worker top-K selection with a
+// deterministic (score, index) order, and an atomic shared minimum for
+// cross-worker pruning bounds. The determinism contract matches ForEach:
+// the merged result of a search is a pure function of the scores, not of
+// goroutine scheduling, because candidates are ranked by (score, index) —
+// a total order — and pruning (done by callers against Threshold/SharedMin)
+// may only discard candidates that rank strictly worse than any result.
+
+// Candidate couples a score with the index that produced it; the index is
+// the deterministic tie-break.
+type Candidate struct {
+	Index int64
+	Score float64
+}
+
+// ranksAfter reports whether a ranks strictly after b: higher score loses,
+// equal scores lose to the lower index.
+func (a Candidate) ranksAfter(b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Index > b.Index
+}
+
+// TopK keeps the k best (lowest-score, then lowest-index) candidates seen
+// so far. The zero value is unusable; call NewTopK. Not safe for concurrent
+// use — each worker owns one and the owner merges them with MergeTopK.
+type TopK struct {
+	k int
+	// h is a binary max-heap by (score, index): h[0] is the candidate that
+	// the next better offer evicts.
+	h []Candidate
+}
+
+// NewTopK returns a selector for the k best candidates (k >= 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, h: make([]Candidate, 0, k)}
+}
+
+// Offer considers one candidate; scores of +Inf and NaN are never kept
+// (+Inf means "excluded" and NaN is unordered, so neither can ever win the
+// optimizer's strict-improvement scan).
+func (t *TopK) Offer(idx int64, score float64) {
+	if math.IsInf(score, 1) || math.IsNaN(score) {
+		return
+	}
+	c := Candidate{Index: idx, Score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		t.up(len(t.h) - 1)
+		return
+	}
+	if !t.h[0].ranksAfter(c) {
+		return
+	}
+	t.h[0] = c
+	t.down(0)
+}
+
+// Threshold returns the score of the current k-th best candidate, or +Inf
+// while fewer than k candidates are held. A candidate whose score is
+// strictly greater than Threshold cannot enter the selection, so it is a
+// safe pruning bound.
+func (t *TopK) Threshold() float64 {
+	if len(t.h) < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0].Score
+}
+
+// Sorted returns the held candidates best-first.
+func (t *TopK) Sorted() []Candidate {
+	out := append([]Candidate(nil), t.h...)
+	sort.Slice(out, func(i, j int) bool { return out[j].ranksAfter(out[i]) })
+	return out
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.h[i].ranksAfter(t.h[parent]) {
+			return
+		}
+		t.h[i], t.h[parent] = t.h[parent], t.h[i]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(t.h) && t.h[l].ranksAfter(t.h[worst]) {
+			worst = l
+		}
+		if r < len(t.h) && t.h[r].ranksAfter(t.h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// MergeTopK combines per-worker selections into the global k best,
+// best-first. The result is independent of the list order and of how
+// candidates were distributed across lists.
+func MergeTopK(k int, lists [][]Candidate) []Candidate {
+	if k < 1 {
+		k = 1
+	}
+	merged := NewTopK(k)
+	for _, l := range lists {
+		for _, c := range l {
+			merged.Offer(c.Index, c.Score)
+		}
+	}
+	return merged.Sorted()
+}
+
+// SharedMin is an atomic, monotonically decreasing float64, used as the
+// cross-worker incumbent bound of a pruned search. NewSharedMin starts it
+// at +Inf.
+type SharedMin struct{ bits atomic.Uint64 }
+
+// NewSharedMin returns a shared minimum initialized to +Inf.
+func NewSharedMin() *SharedMin {
+	m := &SharedMin{}
+	m.bits.Store(math.Float64bits(math.Inf(1)))
+	return m
+}
+
+// Load returns the current minimum.
+func (m *SharedMin) Load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// Update lowers the minimum to v if v is smaller. NaN is ignored.
+func (m *SharedMin) Update(v float64) {
+	for {
+		old := m.bits.Load()
+		if !(v < math.Float64frombits(old)) {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Chunks runs fn over ascending chunks of [0, n) on up to `workers`
+// goroutines (<= 0 selects GOMAXPROCS, 1 runs fn(0, 0, n) inline). Chunks
+// are claimed in ascending order; fn receives the claiming worker's index
+// in [0, workers) so callers can keep per-worker accumulators without
+// locking. Chunks returns after every fn call has finished.
+func Chunks(n, chunk int64, workers int, fn func(worker int, lo, hi int64)) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nchunks := (n + chunk - 1) / chunk
+	wmax := nchunks
+	if wmax > int64(1<<20) {
+		wmax = 1 << 20
+	}
+	w := Workers(workers, int(wmax))
+	if w == 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return w
+}

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTopKKeepsBestByScoreThenIndex(t *testing.T) {
+	tk := NewTopK(3)
+	for idx, score := range []float64{5, 1, 4, 1, 3, 2} {
+		tk.Offer(int64(idx), score)
+	}
+	got := tk.Sorted()
+	want := []Candidate{{Index: 1, Score: 1}, {Index: 3, Score: 1}, {Index: 5, Score: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKRejectsInfAndNaN(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Offer(0, math.Inf(1))
+	tk.Offer(1, math.NaN())
+	if got := tk.Sorted(); len(got) != 0 {
+		t.Fatalf("kept unrankable scores: %v", got)
+	}
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Fatal("threshold moved")
+	}
+	tk.Offer(2, math.Inf(-1)) // -Inf is an ordinary (very good) score
+	if got := tk.Sorted(); len(got) != 1 || !math.IsInf(got[0].Score, -1) {
+		t.Fatalf("-Inf not kept: %v", got)
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := NewTopK(2)
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Fatal("unfilled selector must not bound anything")
+	}
+	tk.Offer(0, 7)
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Fatal("threshold must stay +Inf until k candidates are held")
+	}
+	tk.Offer(1, 3)
+	if tk.Threshold() != 7 {
+		t.Fatalf("Threshold() = %v, want 7", tk.Threshold())
+	}
+	tk.Offer(2, 5)
+	if tk.Threshold() != 5 {
+		t.Fatalf("Threshold() = %v after eviction, want 5", tk.Threshold())
+	}
+}
+
+// TestMergeTopKMatchesGlobalSort: merging arbitrary partitions of a
+// candidate stream equals the global (score, index) sort.
+func TestMergeTopKMatchesGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, k = 500, 7
+	all := make([]Candidate, n)
+	for i := range all {
+		all[i] = Candidate{Index: int64(i), Score: float64(rng.Intn(40))} // many ties
+	}
+	ref := append([]Candidate(nil), all...)
+	sort.Slice(ref, func(i, j int) bool { return ref[j].ranksAfter(ref[i]) })
+	ref = ref[:k]
+	for trial := 0; trial < 20; trial++ {
+		nshards := 1 + rng.Intn(8)
+		shards := make([]*TopK, nshards)
+		for i := range shards {
+			shards[i] = NewTopK(k)
+		}
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			shards[rng.Intn(nshards)].Offer(all[i].Index, all[i].Score)
+		}
+		lists := make([][]Candidate, nshards)
+		for i, sh := range shards {
+			lists[i] = sh.Sorted()
+		}
+		got := MergeTopK(k, lists)
+		if len(got) != k {
+			t.Fatalf("trial %d: merged %d candidates", trial, len(got))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d rank %d: %v, want %v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSharedMin(t *testing.T) {
+	m := NewSharedMin()
+	if !math.IsInf(m.Load(), 1) {
+		t.Fatal("fresh SharedMin must be +Inf")
+	}
+	m.Update(5)
+	m.Update(9)          // larger: ignored
+	m.Update(math.NaN()) // NaN: ignored
+	if m.Load() != 5 {
+		t.Fatalf("Load() = %v, want 5", m.Load())
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				m.Update(float64(g*1000+i) / 1e6)
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if m.Load() != 0 {
+		t.Fatalf("concurrent min = %v, want 0", m.Load())
+	}
+}
+
+// TestChunksCoversRangeOnce: every index appears in exactly one chunk,
+// chunks are aligned, and worker ids are in range.
+func TestChunksCoversRangeOnce(t *testing.T) {
+	for _, tc := range []struct {
+		n, chunk int64
+		workers  int
+	}{
+		{n: 10, chunk: 3, workers: 1},
+		{n: 10, chunk: 3, workers: 4},
+		{n: 1000, chunk: 7, workers: 0},
+		{n: 5, chunk: 100, workers: 8},
+		{n: 0, chunk: 4, workers: 2},
+	} {
+		var mu atomicBitmap
+		mu.init(tc.n)
+		used := Chunks(tc.n, tc.chunk, tc.workers, func(worker int, lo, hi int64) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("bad chunk [%d, %d)", lo, hi)
+			}
+			if lo%tc.chunk != 0 {
+				t.Errorf("chunk start %d not aligned to %d", lo, tc.chunk)
+			}
+			for i := lo; i < hi; i++ {
+				if !mu.setOnce(i) {
+					t.Errorf("index %d covered twice", i)
+				}
+			}
+		})
+		if tc.n == 0 {
+			if used != 0 {
+				t.Fatalf("n=0 used %d workers", used)
+			}
+			continue
+		}
+		if used < 1 {
+			t.Fatalf("no workers used for n=%d", tc.n)
+		}
+		if miss := mu.firstUnset(tc.n); miss >= 0 {
+			t.Fatalf("index %d never covered (n=%d chunk=%d workers=%d)", miss, tc.n, tc.chunk, tc.workers)
+		}
+	}
+}
+
+func TestChunksSingleWorkerInline(t *testing.T) {
+	calls := 0
+	used := Chunks(100, 10, 1, func(worker int, lo, hi int64) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 100 {
+			t.Fatalf("inline call got (%d, %d, %d)", worker, lo, hi)
+		}
+	})
+	if used != 1 || calls != 1 {
+		t.Fatalf("used=%d calls=%d", used, calls)
+	}
+}
+
+// atomicBitmap tracks per-index coverage race-free.
+type atomicBitmap struct{ bits []atomic.Bool }
+
+func (b *atomicBitmap) init(n int64)         { b.bits = make([]atomic.Bool, n) }
+func (b *atomicBitmap) setOnce(i int64) bool { return b.bits[i].CompareAndSwap(false, true) }
+func (b *atomicBitmap) firstUnset(n int64) int64 {
+	for i := int64(0); i < n; i++ {
+		if !b.bits[i].Load() {
+			return i
+		}
+	}
+	return -1
+}
