@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-json bench-compare cover ci
+.PHONY: all build vet fmt test race bench bench-json bench-compare serve serve-smoke cover ci
 
 all: build test
 
@@ -33,15 +33,27 @@ bench:
 
 # Run the tracked suite (internal/bench) and write a JSON report with
 # speedups against the committed baseline. See EXPERIMENTS.md for the
-# recipe used to regenerate the committed BENCH_2.json.
+# recipe used to regenerate the committed BENCH_4.json.
 bench-json:
-	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_2.json -baseline-ref BENCH_2.json
+	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_4.json -baseline-ref BENCH_4.json
 
 # Regression gate: rerun the tracked suite and fail when any workload shared
-# with the committed baseline is more than 5% slower. Workloads new since the
-# baseline are reported but never fail the gate.
+# with the committed baseline is more than 5% slower, or when a zero-alloc
+# workload (EvaluatorTau) starts allocating. Workloads new since the baseline
+# are reported but never fail the gate.
 bench-compare:
-	$(GO) run ./cmd/benchrun -compare BENCH_2.json -regress 5
+	$(GO) run ./cmd/benchrun -compare BENCH_4.json -regress 5 -gate-allocs
+
+# Run the planner service against the committed model fixture (ctrl-C to
+# stop). Query it with e.g.:
+#   curl 'localhost:8080/v1/topk?n=9600&topk=3'
+serve:
+	$(GO) run ./cmd/hetserve -model cmd/hetserve/testdata/model_nl.json
+
+# End-to-end smoke test: hetserve answers must match hetopt's direct search
+# bit for bit (same gate as the CI serve-smoke job).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

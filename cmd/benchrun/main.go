@@ -8,12 +8,18 @@
 //	benchrun -out BENCH_2.json -benchtime 10x -rounds 5
 //	benchrun -baseline old.json -baseline-ref cec594e   # merge speedups
 //	benchrun -filter 'HPL' -rounds 1                    # quick subset
-//	benchrun -compare BENCH_2.json -regress 5           # regression gate
+//	benchrun -compare BENCH_4.json -regress 5           # regression gate
+//	benchrun -compare BENCH_4.json -regress -1 -gate-allocs  # allocation gate only
 //
 // The -compare mode runs the suite, prints a per-workload delta table
 // against the given baseline, and exits non-zero when any workload present
 // in both runs slowed down by more than -regress percent. Workloads new to
-// the suite are listed but never fail the gate.
+// the suite are listed but never fail the gate. A negative -regress makes
+// the timing deltas advisory (printed, never fatal) — timing on shared CI
+// runners is too noisy to block on, so CI gates on -gate-allocs instead:
+// any workload whose baseline reports 0 allocs/op and 0 B/op must still
+// report 0 allocs/op, which catches accidental allocations in the
+// zero-alloc hot paths (EvaluatorTau) deterministically.
 //
 // The baseline file may be a previous benchrun JSON or the text output of
 // `go test -bench .`, so a commit that predates this command can still be
@@ -34,6 +40,7 @@ import (
 	"testing"
 
 	"hetmodel/internal/bench"
+	"hetmodel/internal/version"
 )
 
 type result struct {
@@ -75,9 +82,12 @@ func main() {
 		baselineRef = flag.String("baseline-ref", "", "label for the baseline (e.g. the commit it was measured at)")
 		list        = flag.Bool("list", false, "list the tracked benchmarks and exit")
 		compare     = flag.String("compare", "", "baseline file to gate against: print a delta table and exit non-zero on regression")
-		regress     = flag.Float64("regress", 5, "with -compare: tolerated slowdown in percent before the gate fails")
+		regress     = flag.Float64("regress", 5, "with -compare: tolerated slowdown in percent before the gate fails (negative = timing advisory only)")
+		gateAllocs  = flag.Bool("gate-allocs", false, "with -compare: fail when a workload with 0 allocs/op and 0 B/op in the baseline now allocates")
 	)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("benchrun")
 	if *list {
 		for _, c := range bench.Suite() {
 			fmt.Printf("%-18s %s\n", c.Name, c.Desc)
@@ -160,21 +170,27 @@ func main() {
 		os.Stdout.Write(data)
 	}
 	if gate != nil {
-		if regressed := compareAgainst(rep.Results, gate, *regress); len(regressed) > 0 {
+		regressed, allocFail := compareAgainst(rep.Results, gate, *regress, *gateAllocs)
+		if len(regressed) > 0 {
 			log.Fatalf("regression gate failed (> %.1f%% slower than %s): %s",
 				*regress, *compare, strings.Join(regressed, ", "))
 		}
-		log.Printf("regression gate passed (tolerance %.1f%% vs %s)", *regress, *compare)
+		if len(allocFail) > 0 {
+			log.Fatalf("allocation gate failed (0 allocs/op in %s, now allocating): %s",
+				*compare, strings.Join(allocFail, ", "))
+		}
+		log.Printf("gate passed vs %s", *compare)
 	}
 }
 
 // compareAgainst prints the per-workload delta table for -compare mode and
 // returns the names of workloads that slowed down by more than tolPct
-// percent. Workloads absent from the baseline are listed as "new" and never
-// counted as regressions.
-func compareAgainst(results []result, base map[string]result, tolPct float64) []string {
+// percent (none when tolPct is negative: timing advisory), plus the
+// workloads that fail the allocation gate (baseline 0 allocs/op, now
+// allocating). Workloads absent from the baseline are listed as "new" and
+// never counted as regressions.
+func compareAgainst(results []result, base map[string]result, tolPct float64, gateAllocs bool) (regressed, allocFail []string) {
 	fmt.Printf("%-18s %14s %14s %9s\n", "workload", "old ns/op", "new ns/op", "delta")
-	var regressed []string
 	for _, r := range results {
 		b, ok := base[r.Name]
 		if !ok || b.NsPerOp <= 0 {
@@ -183,13 +199,21 @@ func compareAgainst(results []result, base map[string]result, tolPct float64) []
 		}
 		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 		mark := ""
-		if delta > tolPct {
+		if tolPct >= 0 && delta > tolPct {
 			mark = "  REGRESSION"
 			regressed = append(regressed, r.Name)
 		}
+		// Arm the gate only for workloads that are truly allocation-free in
+		// the baseline (0 allocs AND 0 bytes): a workload with one-time
+		// setup allocations amortized below 1 alloc/op at the baseline's
+		// benchtime would flicker at shorter ones.
+		if gateAllocs && b.AllocsPerOp == 0 && b.BytesPerOp == 0 && r.AllocsPerOp > 0 {
+			mark += "  ALLOCS"
+			allocFail = append(allocFail, fmt.Sprintf("%s (%d allocs/op)", r.Name, r.AllocsPerOp))
+		}
 		fmt.Printf("%-18s %14.0f %14.0f %+8.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta, mark)
 	}
-	return regressed
+	return regressed, allocFail
 }
 
 // runCase runs one benchmark for the requested number of rounds and keeps

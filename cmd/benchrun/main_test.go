@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestCompareAgainstGates(t *testing.T) {
+	base := map[string]result{
+		"Fast":  {Name: "Fast", NsPerOp: 100},
+		"Slow":  {Name: "Slow", NsPerOp: 100, AllocsPerOp: 7},
+		"Clean": {Name: "Clean", NsPerOp: 100},
+		// Amortized one-time setup: 0 allocs/op but nonzero B/op, so the
+		// allocation gate must not arm for it.
+		"Setup": {Name: "Setup", NsPerOp: 100, BytesPerOp: 13},
+	}
+	results := []result{
+		{Name: "Fast", NsPerOp: 103, AllocsPerOp: 0},                  // within tolerance
+		{Name: "Slow", NsPerOp: 120, AllocsPerOp: 7},                  // 20% slower
+		{Name: "Clean", NsPerOp: 90, AllocsPerOp: 2},                  // faster but now allocates
+		{Name: "Setup", NsPerOp: 100, BytesPerOp: 60, AllocsPerOp: 1}, // amortization artifact
+		{Name: "Fresh", NsPerOp: 999, AllocsPerOp: 9},                 // not in baseline
+	}
+
+	regressed, allocFail := compareAgainst(results, base, 5, true)
+	if len(regressed) != 1 || regressed[0] != "Slow" {
+		t.Errorf("regressed = %v, want [Slow]", regressed)
+	}
+	if len(allocFail) != 1 || allocFail[0] != "Clean (2 allocs/op)" {
+		t.Errorf("allocFail = %v, want [Clean (2 allocs/op)]", allocFail)
+	}
+
+	// Negative tolerance: timing is advisory, allocation gate still bites.
+	regressed, allocFail = compareAgainst(results, base, -1, true)
+	if len(regressed) != 0 {
+		t.Errorf("advisory mode flagged timing regressions: %v", regressed)
+	}
+	if len(allocFail) != 1 {
+		t.Errorf("advisory mode dropped the allocation gate: %v", allocFail)
+	}
+
+	// Gate off: allocations ignored.
+	if _, allocFail = compareAgainst(results, base, 5, false); len(allocFail) != 0 {
+		t.Errorf("alloc gate ran while disabled: %v", allocFail)
+	}
+}
+
+func TestParseGoBenchLine(t *testing.T) {
+	r, ok := parseGoBenchLine("BenchmarkEvaluatorTau-4   1000000   52.1 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "EvaluatorTau" || r.NsPerOp != 52.1 || r.AllocsPerOp != 0 {
+		t.Errorf("parsed %+v", r)
+	}
+	if _, ok := parseGoBenchLine("ok  \thetmodel\t1.2s"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+}

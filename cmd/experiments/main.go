@@ -15,6 +15,7 @@ import (
 
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/profiling"
+	"hetmodel/internal/version"
 )
 
 func main() {
@@ -24,7 +25,9 @@ func main() {
 	svgDir := flag.String("svg", "", "also render every figure as SVG into this directory")
 	workers := flag.Int("workers", 0, "concurrent simulations per campaign/sweep (0 = GOMAXPROCS, 1 = sequential)")
 	prof := profiling.AddFlags(nil)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("experiments")
 	stopProf, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)

@@ -18,11 +18,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 
 	"hetmodel/internal/cluster"
@@ -32,6 +30,7 @@ import (
 	"hetmodel/internal/parallel"
 	"hetmodel/internal/profiling"
 	"hetmodel/internal/stats"
+	"hetmodel/internal/version"
 )
 
 func main() {
@@ -49,7 +48,9 @@ func main() {
 		noprune   = flag.Bool("noprune", false, "with -space: disable lower-bound pruning (same winners, more work)")
 	)
 	prof := profiling.AddFlags(nil)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("hetopt")
 	stopProf, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)
@@ -188,16 +189,5 @@ func printRanked(best []core.Estimate, n int) {
 // decode cleanly but do not describe a usable estimator (e.g. an empty or
 // truncated model list).
 func loadModelSet(path string) (*core.ModelSet, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	models := &core.ModelSet{}
-	if err := json.Unmarshal(data, models); err != nil {
-		return nil, fmt.Errorf("parse %s: %v", path, err)
-	}
-	if err := models.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid model file %s: %v", path, err)
-	}
-	return models, nil
+	return core.LoadModelSetFile(path)
 }

@@ -22,6 +22,7 @@ import (
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/measure"
 	"hetmodel/internal/sched"
+	"hetmodel/internal/version"
 )
 
 func main() {
@@ -32,7 +33,9 @@ func main() {
 		modelPath = flag.String("model", "", "JSON model file written by modelfit (default: train the NL model)")
 		campaign  = flag.String("campaign", "nl", "campaign to train when -model is not given")
 	)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("hetsched")
 
 	jobs, err := sched.ParseJobs(*jobsSpec)
 	if err != nil {

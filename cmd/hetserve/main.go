@@ -1,0 +1,92 @@
+// Command hetserve runs the long-lived planner service: it loads a model
+// file once, compiles the configuration grid, and answers "best
+// configuration for size N" queries over HTTP/JSON until told to stop.
+//
+// Usage:
+//
+//	hetserve -model models.json -addr :8080
+//
+// Endpoints (see internal/serve):
+//
+//	POST|GET /v1/query   best configuration for a size under constraints
+//	POST|GET /v1/topk    ranked K best
+//	POST     /v1/reload  swap in a new model file without downtime
+//	GET      /v1/healthz liveness + current model version
+//	GET      /v1/stats   cache/batch/admission counters
+//
+// Answers are bit-identical to `hetopt -model models.json -space` at any
+// concurrency; the server only adds caching, batching, and admission
+// control around the same compiled search.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/serve"
+	"hetmodel/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelPath   = flag.String("model", "", "JSON model file written by modelfit (required)")
+		cacheSize   = flag.Int("cache", 64, "evaluator cache capacity, (version, N) entries")
+		maxInFlight = flag.Int("maxinflight", 0, "concurrent grid passes (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("maxqueue", -1, "admission queue length (-1 = 4x maxinflight, 0 = reject when saturated)")
+		timeout     = flag.Duration("timeout", 5*time.Second, "default per-query deadline (0 = none)")
+		workers     = flag.Int("workers", 0, "search workers per grid pass (0 = GOMAXPROCS)")
+	)
+	version.AddFlag()
+	flag.Parse()
+	version.MaybePrint("hetserve")
+	if *modelPath == "" {
+		log.Fatal("-model is required (write one with: modelfit -campaign nl -out models.json)")
+	}
+
+	models, err := core.LoadModelSetFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := serve.New(models, cluster.PaperEvaluationSpace(), serve.Options{
+		CacheSize:      *cacheSize,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		Workers:        *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: planner.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d-class model (version %d) on %s", models.Classes, planner.Version(), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight queries finish.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

@@ -19,6 +19,7 @@ import (
 	"hetmodel/internal/hpl"
 	"hetmodel/internal/hpl2d"
 	"hetmodel/internal/simnet"
+	"hetmodel/internal/version"
 	"hetmodel/internal/vmpi"
 )
 
@@ -41,7 +42,9 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file")
 		look    = flag.Bool("lookahead", false, "enable depth-1 panel lookahead (1D grid only)")
 	)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("hplsim")
 
 	library, err := libraryByName(*lib)
 	if err != nil {

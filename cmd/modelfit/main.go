@@ -20,6 +20,7 @@ import (
 	"hetmodel/internal/experiments"
 	"hetmodel/internal/measure"
 	"hetmodel/internal/profiling"
+	"hetmodel/internal/version"
 )
 
 func main() {
@@ -33,7 +34,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent campaign simulations (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	prof := profiling.AddFlags(nil)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("modelfit")
 	stopProf, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)

@@ -14,6 +14,7 @@ import (
 
 	"hetmodel/internal/netpipe"
 	"hetmodel/internal/simnet"
+	"hetmodel/internal/version"
 )
 
 func main() {
@@ -25,7 +26,9 @@ func main() {
 		minKB     = flag.Float64("min", 1, "smallest block size in KiB")
 		maxKB     = flag.Float64("max", 256, "largest block size in KiB")
 	)
+	version.AddFlag()
 	flag.Parse()
+	version.MaybePrint("netpipesim")
 
 	var libs []*simnet.CommLibrary
 	switch *lib {

@@ -41,6 +41,9 @@ func Suite() []Case {
 		{"Sweep1MEstimate", "1M-config 6-class optimize via per-candidate ModelSet.Estimate (pre-evaluator path), sequential", sweep1MEstimate},
 		{"Sweep1MSearch", "1M-config 6-class optimize via compiled evaluator + pruned streaming search, sequential", sweep1MSearch},
 		{"EvaluatorTau", "score one 6-class candidate through a compiled evaluator", evaluatorTau},
+		{"ServeCachedQuery", "warm planner query, 1M-config space, evaluator cache hit", serveCachedQuery},
+		{"ServeColdCompile", "planner query after a model reload: compile + grid pass", serveColdCompile},
+		{"ServeSustainedQPS", "concurrent planner queries over 5 sizes (batching + admission)", serveSustainedQPS},
 	}
 }
 

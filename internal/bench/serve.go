@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hetmodel/internal/serve"
+)
+
+// This file holds the serving-layer workloads: the planner's steady state
+// (cache hit: snapshot + LRU lookup + pruned grid pass), its worst case
+// (cold compile after a model reload), and sustained concurrent QPS through
+// batching and admission control. All three run over the six-class
+// million-configuration space so the numbers share a scale with
+// Sweep1MSearch; the planner's overhead is the delta against it.
+
+// servePlanner builds a warm planner over the sweep space. Queries run with
+// one search worker, matching the sequential sweeps.
+var servePlanner = sync.OnceValue(func() *serve.Planner {
+	p, err := serve.New(sixClassModel(), sweepSpace(), serve.Options{
+		CacheSize:   8,
+		MaxInFlight: 64,
+		Workers:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+})
+
+func serveCachedQuery(b *testing.B) {
+	p := servePlanner()
+	ctx := context.Background()
+	// Warm the (version, N) evaluator entry so the loop measures the
+	// steady-state path.
+	if _, err := p.Query(ctx, serve.Query{N: 3200}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Query(ctx, serve.Query{N: 3200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Best) == 0 {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+func serveColdCompile(b *testing.B) {
+	ms := sixClassModel()
+	p, err := serve.New(ms, sweepSpace(), serve.Options{CacheSize: 8, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each reload bumps the version and invalidates the cache, so every
+		// query pays the full cold path: compile + grid pass.
+		b.StopTimer()
+		if _, err := p.Reload(ms); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := p.Query(ctx, serve.Query{N: 3200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheHit {
+			b.Fatal("cold query hit the cache")
+		}
+	}
+}
+
+func serveSustainedQPS(b *testing.B) {
+	p := servePlanner()
+	ctx := context.Background()
+	// Rotate over a few sizes so the run exercises cache hits, batching,
+	// and admission together rather than one degenerate key.
+	sizes := []int{400, 800, 1600, 2400, 3200}
+	for _, n := range sizes {
+		if _, err := p.Query(ctx, serve.Query{N: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			res, err := p.Query(ctx, serve.Query{N: sizes[i%len(sizes)]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Best) == 0 {
+				b.Fatal("no winner")
+			}
+			i++
+		}
+	})
+}

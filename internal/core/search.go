@@ -20,6 +20,17 @@ type SearchOptions struct {
 	// proves they rank strictly worse than results already in hand — so
 	// this switch exists for benchmarking and for the equivalence tests.
 	NoPrune bool
+	// Filter, when non-nil, restricts the search to candidates for which it
+	// returns true (the serving layer compiles query constraints — PE-class
+	// subsets, total-process caps, per-PE memory bounds — into one). The
+	// filter must be a pure function of the configuration: it runs
+	// concurrently from every worker and its verdict, like τ, must not
+	// depend on scheduling. Filtering composes soundly with pruning because
+	// both only remove candidates — a pruned subtree holds no candidate that
+	// could outrank an already-offered (filter-passing) one. The
+	// configuration passed in shares a per-worker buffer; the filter must
+	// not retain it.
+	Filter func(cfg cluster.Configuration) bool
 }
 
 // SearchResult is the outcome of a streaming search.
@@ -202,7 +213,7 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 			}
 		}
 		if tables != nil {
-			scoredW, prunedW := ev.searchRange(grid, tables, lo, hi, emptyIdx, prune, bound, offer)
+			scoredW, prunedW := ev.searchRange(grid, tables, lo, hi, emptyIdx, prune, opts.Filter, bound, offer)
 			scored[w] += scoredW
 			pruned[w] += prunedW
 			return
@@ -217,6 +228,9 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 			}
 			grid.At(idx, use)
 			scored[w]++
+			if opts.Filter != nil && !opts.Filter(cfg) {
+				continue
+			}
 			if tau, ok := ev.Tau(cfg); ok {
 				offer(idx, tau)
 			}
@@ -251,16 +265,32 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 // candidate inside ranks strictly worse than the current bound. Pruning
 // with a strict comparison can never drop a candidate that would tie the
 // incumbent, so the surviving (tau, index) ranking — and therefore the
-// merged result — is identical with pruning on or off.
+// merged result — is identical with pruning on or off. A non-nil filter
+// excludes candidates before scoring; filtered candidates still count as
+// scored (they were visited, not proven redundant by a bound).
 func (ev *Evaluator) searchRange(grid *cluster.Grid, t *gridTables, lo, hi, emptyIdx int64,
-	prune bool, bound func() float64, offer func(idx int64, tau float64)) (scored, pruned int64) {
+	prune bool, filter func(cfg cluster.Configuration) bool,
+	bound func() float64, offer func(idx int64, tau float64)) (scored, pruned int64) {
 	classes := grid.Classes()
 	digits := make([]int, classes)
+	var fcfg cluster.Configuration
+	if filter != nil {
+		fcfg = cluster.Configuration{Use: make([]cluster.ClassUse, classes)}
+	}
 	var walk func(depth int, base int64, curMax float64)
 	walk = func(depth int, base int64, curMax float64) {
 		if depth == classes {
 			if base == emptyIdx {
 				return
+			}
+			if filter != nil {
+				for ci, j := range digits {
+					fcfg.Use[ci] = grid.Pairs(ci)[j]
+				}
+				if !filter(fcfg) {
+					scored++
+					return
+				}
 			}
 			// Leaf: P and τ from the digit contributions.
 			p := 0

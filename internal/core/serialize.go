@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 
 	"hetmodel/internal/stats"
 )
@@ -67,4 +68,23 @@ func (ms *ModelSet) UnmarshalJSON(data []byte) error {
 		ms.PT[m.Key] = m
 	}
 	return nil
+}
+
+// LoadModelSetFile reads and decodes a model file written by modelfit,
+// rejecting files that decode cleanly but do not describe a usable estimator
+// (e.g. an empty or truncated model list) via Validate. It is the shared
+// loading path of hetopt, hetserve and the serving layer's reload endpoint.
+func LoadModelSetFile(path string) (*ModelSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ms := &ModelSet{}
+	if err := json.Unmarshal(data, ms); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid model file %s: %v", path, err)
+	}
+	return ms, nil
 }

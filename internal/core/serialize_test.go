@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSerializeRoundTrip: save → load → Validate → save again is byte-stable
+// and the reloaded model answers estimates identically. Byte stability is
+// what lets the committed model fixtures diff cleanly across regenerations.
+func TestSerializeRoundTrip(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := &ModelSet{}
+	if err := json.Unmarshal(first, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("round-tripped model invalid: %v", err)
+	}
+	second, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("serialization is not byte-stable across a round trip")
+	}
+
+	for _, n := range []float64{400, 1600, 3200} {
+		for _, cfg := range []int{0, 1} {
+			use := twoClassWorld()[cfg].Config
+			want, errW := ms.Estimate(use, n)
+			got, errG := loaded.Estimate(use, n)
+			if (errW == nil) != (errG == nil) || want != got {
+				t.Errorf("N=%v cfg=%v: loaded model estimates %v (%v), want %v (%v)",
+					n, use, got, errG, want, errW)
+			}
+		}
+	}
+}
+
+// TestLoadModelSetFile: the shared loading path of hetopt/hetserve accepts a
+// valid file and rejects every corruption class with a useful error.
+func TestLoadModelSetFile(t *testing.T) {
+	ms, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	loaded, err := LoadModelSetFile(write("good.json", good))
+	if err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	if loaded.Classes != ms.Classes {
+		t.Errorf("loaded %d classes, want %d", loaded.Classes, ms.Classes)
+	}
+
+	if _, err := LoadModelSetFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	corrupt := func(mutate func(m map[string]json.RawMessage)) []byte {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"truncated", good[:len(good)/2], "parse"},
+		{"not json", []byte("pe classes go brrr"), "parse"},
+		{"wrong version", corrupt(func(m map[string]json.RawMessage) {
+			m["version"] = json.RawMessage("99")
+		}), "version"},
+		{"zero classes", corrupt(func(m map[string]json.RawMessage) {
+			m["classes"] = json.RawMessage("0")
+		}), "classes"},
+		{"no models", corrupt(func(m map[string]json.RawMessage) {
+			m["nt"] = json.RawMessage("[]")
+			m["pt"] = json.RawMessage("[]")
+		}), "invalid"},
+		{"truncated coefficients", corrupt(func(m map[string]json.RawMessage) {
+			var nt []map[string]json.RawMessage
+			if err := json.Unmarshal(m["nt"], &nt); err != nil {
+				t.Fatal(err)
+			}
+			nt[0]["TaCoeff"] = json.RawMessage("[1.0]")
+			data, err := json.Marshal(nt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m["nt"] = data
+		}), "malformed"},
+		{"null model entry", corrupt(func(m map[string]json.RawMessage) {
+			var nt []json.RawMessage
+			if err := json.Unmarshal(m["nt"], &nt); err != nil {
+				t.Fatal(err)
+			}
+			nt[0] = json.RawMessage("null")
+			data, err := json.Marshal(nt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m["nt"] = data
+		}), "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadModelSetFile(write(tc.name+".json", tc.data))
+			if err == nil {
+				t.Fatal("corrupt file accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnmarshalRejectsBadSamplesKind: decode errors carry ErrBadSamples so
+// callers can distinguish malformed models from I/O failures.
+func TestUnmarshalRejectsBadSamplesKind(t *testing.T) {
+	ms := &ModelSet{}
+	err := ms.UnmarshalJSON([]byte(`{"version":1,"classes":-3}`))
+	if !errors.Is(err, ErrBadSamples) {
+		t.Errorf("got %v, want ErrBadSamples", err)
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports a query rejected because the admission queue was
+// full: the planner sheds load immediately instead of letting latency grow
+// without bound. Callers should retry with backoff.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+// admission bounds the number of concurrently executing grid passes and the
+// number of queries allowed to wait for a slot. Beyond both bounds queries
+// are rejected immediately; queued queries are rejected when their deadline
+// expires before a slot frees up. Either way, overload degrades into fast
+// bounded rejection instead of unbounded queueing.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	queued           atomic.Int64
+	rejectedQueue    atomic.Int64
+	rejectedDeadline atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims an execution slot, queueing up to the queue bound while
+// none is free. It returns ErrOverloaded when the queue is full and a
+// wrapped ctx.Err() when the context ends first. A nil return must be paired
+// with exactly one release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.rejectedQueue.Add(1)
+		return ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.rejectedDeadline.Add(1)
+		return fmt.Errorf("serve: admission: %w", ctx.Err())
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the number of currently held slots.
+func (a *admission) inFlight() int { return len(a.slots) }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// batchKey identifies queries that one grid pass can answer: same model
+// version, same problem size, same canonical constraint signature. TopK is
+// deliberately absent — the top-K ranking is a total order on (τ, index),
+// so the K-best list of any member is a prefix of the batch's max-K list.
+type batchKey struct {
+	version int64
+	n       int
+	sig     string
+}
+
+// batch collects queries for one grid pass. A batch is open from creation
+// until its leader is admitted: joiners arriving while it is open raise maxK
+// and wait; once the leader closes it (just before executing, or on
+// admission failure) later arrivals start a fresh batch. members, res and
+// err are written before done is closed and only read after.
+type batch struct {
+	key     batchKey
+	maxK    int
+	members int
+	done    chan struct{}
+	res     *Result
+	err     error
+}
+
+// batcher coalesces same-key queries: while a batch leader waits for an
+// admission slot, identical queries pile into its batch instead of the
+// queue, so a burst of same-(version, N) load costs one grid pass.
+type batcher struct {
+	mu   sync.Mutex
+	open map[batchKey]*batch
+
+	passes    atomic.Int64 // batches executed (grid passes)
+	coalesced atomic.Int64 // queries served by another member's pass
+}
+
+func newBatcher() *batcher {
+	return &batcher{open: make(map[batchKey]*batch)}
+}
+
+// join returns the open batch for key, creating one when absent. leader
+// reports whether the caller created the batch and must run it; joiners wait
+// on batch.done.
+func (bt *batcher) join(key batchKey, k int) (b *batch, leader bool) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	if b, ok := bt.open[key]; ok {
+		b.members++
+		if k > b.maxK {
+			b.maxK = k
+		}
+		bt.coalesced.Add(1)
+		return b, false
+	}
+	b = &batch{key: key, maxK: k, members: 1, done: make(chan struct{})}
+	bt.open[key] = b
+	return b, true
+}
+
+// close removes the batch from the open set, freezing maxK and members: no
+// later query can join. The leader calls it once admitted (before searching)
+// or on admission failure (before broadcasting the error).
+func (bt *batcher) close(b *batch) {
+	bt.mu.Lock()
+	delete(bt.open, b.key)
+	bt.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"hetmodel/internal/core"
+)
+
+// evalKey identifies one compiled evaluator: a model version and the problem
+// size it was compiled for. Everything else an evaluator depends on is
+// derived from the versioned model, so the pair is a complete cache key.
+type evalKey struct {
+	version int64
+	n       int
+}
+
+// evalEntry is one cache slot. ready is closed once ev is populated; waiters
+// hold the entry pointer directly, so an entry evicted while its compile is
+// still in flight completes normally for everyone already waiting on it.
+type evalEntry struct {
+	key   evalKey
+	elem  *list.Element
+	ready chan struct{}
+	ev    *core.Evaluator
+}
+
+// evalCache is the LRU-bounded evaluator cache with singleflight
+// compilation: concurrent first requests for the same (version, N) compile
+// exactly once — the first arrival becomes the compile leader, later
+// arrivals wait on the entry's ready channel.
+type evalCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[evalKey]*evalEntry
+	lru     *list.List // front = most recently used, values *evalEntry
+
+	compiles  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+func newEvalCache(capacity int) *evalCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &evalCache{
+		cap:     capacity,
+		entries: make(map[evalKey]*evalEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the evaluator for key, compiling it through compile when
+// absent. hit reports whether the call avoided a compile of its own (a
+// resident evaluator, or one whose in-flight compile it joined). compile
+// runs outside the cache lock, so a slow compile never blocks hits on other
+// keys.
+func (c *evalCache) Get(key evalKey, compile func() *core.Evaluator) (ev *core.Evaluator, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.ev, true
+	}
+	e := &evalEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for c.lru.Len() > c.cap {
+		c.evictLocked(c.lru.Back())
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.compiles.Add(1)
+	e.ev = compile()
+	close(e.ready)
+	return e.ev, false
+}
+
+// evictLocked removes one entry from the map and the LRU list. Waiters that
+// already hold the entry pointer are unaffected: an in-flight compile still
+// completes and wakes them, the entry is just no longer findable.
+func (c *evalCache) evictLocked(elem *list.Element) {
+	if elem == nil {
+		return
+	}
+	e := c.lru.Remove(elem).(*evalEntry)
+	delete(c.entries, e.key)
+	c.evictions.Add(1)
+}
+
+// InvalidateExcept drops every cached evaluator compiled from a model
+// version other than keep, returning how many were dropped. It is the cache
+// side of a model swap — stale versions are unreachable by construction
+// (keys carry the version), but evicting them eagerly returns their tables
+// to the allocator instead of waiting for LRU pressure. An incremental
+// refit that recompiles only changed sizes would call this per (version, N)
+// instead; the key granularity already supports that.
+func (c *evalCache) InvalidateExcept(keep int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		if e := elem.Value.(*evalEntry); e.key.version != keep {
+			c.evictLocked(elem)
+			dropped++
+		}
+		elem = next
+	}
+	return dropped
+}
+
+// Len returns the number of resident entries (including in-flight compiles).
+func (c *evalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

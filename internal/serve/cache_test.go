@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hetmodel/internal/core"
+)
+
+// TestCacheSingleflight proves the compile-once guarantee under real
+// concurrency: K goroutines released by a barrier all ask for the same cold
+// key, the leader's compile blocks until every goroutine has arrived, and
+// exactly one compile runs.
+func TestCacheSingleflight(t *testing.T) {
+	ms := testModel(t, 2)
+	c := newEvalCache(4)
+	const k = 16
+
+	var compiles atomic.Int64
+	arrived := make(chan struct{}, k)
+	proceed := make(chan struct{})
+	compile := func() *core.Evaluator {
+		compiles.Add(1)
+		<-proceed // hold the compile until every goroutine has asked
+		return ms.Compile(2400)
+	}
+
+	var wg sync.WaitGroup
+	evs := make([]*core.Evaluator, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived <- struct{}{}
+			ev, _ := c.Get(evalKey{version: 1, n: 2400}, compile)
+			evs[i] = ev
+		}(i)
+	}
+	for i := 0; i < k; i++ {
+		<-arrived
+	}
+	close(proceed)
+	wg.Wait()
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("%d compiles for %d concurrent first requests, want 1", got, k)
+	}
+	for i := 1; i < k; i++ {
+		if evs[i] != evs[0] {
+			t.Fatalf("goroutine %d got a different evaluator", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheLRUBound: the cache never exceeds its capacity, evicts least
+// recently used first, and recompiles evicted keys.
+func TestCacheLRUBound(t *testing.T) {
+	ms := testModel(t, 2)
+	c := newEvalCache(2)
+	compileN := func(n int) func() *core.Evaluator {
+		return func() *core.Evaluator { return ms.Compile(float64(n)) }
+	}
+	get := func(n int) bool {
+		_, hit := c.Get(evalKey{version: 1, n: n}, compileN(n))
+		return hit
+	}
+
+	get(100) // {100}
+	get(200) // {200, 100}
+	if !get(100) {
+		t.Error("resident key missed") // {100, 200}
+	}
+	get(300) // {300, 100} — 200 is the LRU entry and must go
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.Len())
+	}
+	if get(200) {
+		t.Error("evicted key hit without recompiling")
+	}
+	if !get(300) {
+		t.Error("recently used key was evicted instead of the LRU one")
+	}
+	if got := c.compiles.Load(); got != 4 {
+		t.Errorf("%d compiles, want 4 (100, 200, 300, 200 again)", got)
+	}
+	if got := c.evictions.Load(); got != 2 {
+		t.Errorf("%d evictions, want 2", got)
+	}
+}
+
+// TestCacheInvalidateExcept drops exactly the stale versions.
+func TestCacheInvalidateExcept(t *testing.T) {
+	ms := testModel(t, 2)
+	c := newEvalCache(8)
+	for _, key := range []evalKey{{1, 100}, {1, 200}, {2, 100}, {2, 300}} {
+		c.Get(key, func() *core.Evaluator { return ms.Compile(float64(key.n)) })
+	}
+	if dropped := c.InvalidateExcept(2); dropped != 2 {
+		t.Fatalf("dropped %d entries, want 2", dropped)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("%d entries left, want 2", c.Len())
+	}
+	if _, hit := c.Get(evalKey{2, 100}, func() *core.Evaluator { return ms.Compile(100) }); !hit {
+		t.Error("current-version entry was invalidated")
+	}
+	if _, hit := c.Get(evalKey{1, 100}, func() *core.Evaluator { return ms.Compile(100) }); hit {
+		t.Error("stale-version entry survived invalidation")
+	}
+}
+
+// TestStoreSwap: versions are unique and monotonic under concurrent swaps,
+// and Current never tears (the model always matches its version).
+func TestStoreSwap(t *testing.T) {
+	s, err := NewStore(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version(); v != 1 {
+		t.Fatalf("initial version %d, want 1", v)
+	}
+	if _, err := NewStore(&core.ModelSet{}); err == nil {
+		t.Fatal("NewStore accepted an invalid model")
+	}
+
+	const swappers, swaps = 4, 8
+	var wg sync.WaitGroup
+	for g := 0; g < swappers; g++ {
+		ms := testModel(t, 2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < swaps; i++ {
+				if _, err := s.Swap(ms); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		v, ms := s.Current()
+		if v < 1 || ms == nil {
+			t.Fatalf("torn snapshot: version %d, model %v", v, ms)
+		}
+		select {
+		case <-done:
+			if final := s.Version(); final != 1+swappers*swaps {
+				t.Fatalf("final version %d, want %d", final, 1+swappers*swaps)
+			}
+			return
+		default:
+		}
+	}
+}

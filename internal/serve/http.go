@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+)
+
+// This file is the HTTP/JSON surface of the planner, kept inside the
+// package so cmd/hetserve stays a thin flag-parsing shell and the handlers
+// are testable with httptest against an in-process Planner.
+
+// QueryRequest is the JSON body of /v1/query and /v1/topk. Every field but N
+// is optional. GET requests carry the same fields as URL parameters
+// (classes as a comma-separated list).
+type QueryRequest struct {
+	N             int     `json:"n"`
+	TopK          int     `json:"topk,omitempty"`
+	Classes       []int   `json:"classes,omitempty"`
+	MaxTotalProcs int     `json:"maxTotalProcs,omitempty"`
+	MaxBytesPerPE float64 `json:"maxBytesPerPE,omitempty"`
+	// TimeoutMs bounds this query's admission wait, overriding the server
+	// default (0 keeps the default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// CandidateJSON is one ranked configuration of a query response.
+type CandidateJSON struct {
+	// Config is the paper's (P1,M1,P2,M2,...) rendering.
+	Config string `json:"config"`
+	// Use is the structured form, one (PEs, Procs) per class.
+	Use []cluster.ClassUse `json:"use"`
+	// Tau is the estimated execution time in seconds.
+	Tau float64 `json:"tau"`
+}
+
+// QueryResponse is the JSON answer of /v1/query and /v1/topk.
+type QueryResponse struct {
+	Version  int64           `json:"version"`
+	N        int             `json:"n"`
+	Best     []CandidateJSON `json:"best"`
+	Size     int64           `json:"size"`
+	Scored   int64           `json:"scored"`
+	Pruned   int64           `json:"pruned"`
+	CacheHit bool            `json:"cacheHit"`
+	Batched  int             `json:"batched"`
+}
+
+// ReloadRequest is the JSON body of /v1/reload.
+type ReloadRequest struct {
+	// Path names a model file (modelfit JSON) on the server's filesystem.
+	Path string `json:"path"`
+}
+
+// ReloadResponse is the JSON answer of /v1/reload.
+type ReloadResponse struct {
+	Version int64 `json:"version"`
+	// Invalidated counts evaluator-cache entries dropped by the swap.
+	Invalidated int `json:"invalidated"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the planner's HTTP API:
+//
+//	POST|GET /v1/query   best configuration for a size under constraints
+//	POST|GET /v1/topk    ranked K best (default 5)
+//	POST     /v1/reload  load a model file and swap it in without downtime
+//	GET      /v1/healthz liveness + current model version
+//	GET      /v1/stats   cache/batch/admission counters
+//
+// The reload endpoint reads files on the server's host; hetserve is an
+// internal planning service and its API assumes a trusted network, like a
+// metrics or pprof endpoint.
+func (p *Planner) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		p.handleQuery(w, r, 1)
+	})
+	mux.HandleFunc("/v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		p.handleQuery(w, r, 5)
+	})
+	mux.HandleFunc("/v1/reload", p.handleReload)
+	mux.HandleFunc("/v1/healthz", p.handleHealthz)
+	mux.HandleFunc("/v1/stats", p.handleStats)
+	return mux
+}
+
+func (p *Planner) handleQuery(w http.ResponseWriter, r *http.Request, defaultK int) {
+	req, err := decodeQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TopK <= 0 {
+		req.TopK = defaultK
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := p.Query(ctx, Query{
+		N:    req.N,
+		TopK: req.TopK,
+		Constraints: Constraints{
+			Classes:       req.Classes,
+			MaxTotalProcs: req.MaxTotalProcs,
+			MaxBytesPerPE: req.MaxBytesPerPE,
+		},
+	})
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	resp := QueryResponse{
+		Version:  res.Version,
+		N:        res.N,
+		Best:     make([]CandidateJSON, len(res.Best)),
+		Size:     res.Size,
+		Scored:   res.Scored,
+		Pruned:   res.Pruned,
+		CacheHit: res.CacheHit,
+		Batched:  res.Batched,
+	}
+	for i, e := range res.Best {
+		resp.Best[i] = CandidateJSON{Config: e.Config.String(), Use: e.Config.Use, Tau: e.Tau}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (p *Planner) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("reload requires POST"))
+		return
+	}
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reload request: %v", err))
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, errors.New("reload request needs a path"))
+		return
+	}
+	ms, err := core.LoadModelSetFile(req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	before := p.cache.Len()
+	version, err := p.Reload(ms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Version: version, Invalidated: before - p.cache.Len()})
+}
+
+func (p *Planner) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": p.Version(),
+	})
+}
+
+func (p *Planner) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, p.Stats())
+}
+
+// decodeQueryRequest accepts a JSON body (POST) or URL parameters (GET):
+// n, topk, classes=0,1, maxTotalProcs, maxBytesPerPE, timeoutMs.
+func decodeQueryRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad query request: %v", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		var err error
+		if req.N, err = intParam(q.Get("n"), 0); err != nil {
+			return req, fmt.Errorf("bad n: %v", err)
+		}
+		if req.TopK, err = intParam(q.Get("topk"), 0); err != nil {
+			return req, fmt.Errorf("bad topk: %v", err)
+		}
+		if req.MaxTotalProcs, err = intParam(q.Get("maxTotalProcs"), 0); err != nil {
+			return req, fmt.Errorf("bad maxTotalProcs: %v", err)
+		}
+		if req.TimeoutMs, err = intParam(q.Get("timeoutMs"), 0); err != nil {
+			return req, fmt.Errorf("bad timeoutMs: %v", err)
+		}
+		if s := q.Get("maxBytesPerPE"); s != "" {
+			if req.MaxBytesPerPE, err = strconv.ParseFloat(s, 64); err != nil {
+				return req, fmt.Errorf("bad maxBytesPerPE: %v", err)
+			}
+		}
+		if s := q.Get("classes"); s != "" {
+			for _, part := range strings.Split(s, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return req, fmt.Errorf("bad classes: %v", err)
+				}
+				req.Classes = append(req.Classes, v)
+			}
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if req.N <= 0 {
+		return req, fmt.Errorf("problem size n=%d, want > 0", req.N)
+	}
+	return req, nil
+}
+
+// queryStatus maps planner errors onto HTTP statuses: overload and expired
+// deadlines are the retryable outcomes admission control is designed to
+// produce, an unsatisfiable query (no scorable candidate) is the client's.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrNoModel):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone, nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

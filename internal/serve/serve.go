@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+)
+
+// Options configures a Planner. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// CacheSize bounds the evaluator cache in entries (<= 0 selects 64).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing grid passes (<= 0 selects
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot (< 0 selects
+	// 4x MaxInFlight; 0 disables queueing — a query that cannot start
+	// immediately is rejected).
+	MaxQueue int
+	// DefaultTimeout is applied to queries whose context carries no
+	// deadline (<= 0 leaves them unbounded).
+	DefaultTimeout time.Duration
+	// Workers is the per-search worker count, as core.SearchOptions.Workers
+	// (<= 0 selects GOMAXPROCS, 1 forces sequential). The answers are
+	// identical at any setting.
+	Workers int
+}
+
+// Planner is the long-lived query engine: a versioned model store, an
+// evaluator cache, a batcher and admission control around the compiled
+// streaming search. One Planner serves any number of concurrent clients.
+type Planner struct {
+	space   cluster.Space
+	grid    *cluster.Grid
+	workers int
+	timeout time.Duration
+
+	store   *Store
+	cache   *evalCache
+	adm     *admission
+	batcher *batcher
+
+	queries atomic.Int64
+	reloads atomic.Int64
+}
+
+// New validates the model, compiles the planner's configuration space, and
+// publishes the model as version 1.
+func New(ms *core.ModelSet, space cluster.Space, opts Options) (*Planner, error) {
+	store, err := NewStore(ms)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := space.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if grid.Classes() != ms.Classes {
+		return nil, fmt.Errorf("serve: space has %d classes, model has %d", grid.Classes(), ms.Classes)
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 64
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue < 0 {
+		maxQueue = 4 * maxInFlight
+	}
+	return &Planner{
+		space:   space,
+		grid:    grid,
+		workers: opts.Workers,
+		timeout: opts.DefaultTimeout,
+		store:   store,
+		cache:   newEvalCache(cacheSize),
+		adm:     newAdmission(maxInFlight, maxQueue),
+		batcher: newBatcher(),
+	}, nil
+}
+
+// Space returns the configuration space the planner searches.
+func (p *Planner) Space() cluster.Space { return p.space }
+
+// Version returns the version of the currently served model.
+func (p *Planner) Version() int64 { return p.store.Version() }
+
+// Reload validates and publishes a replacement model without downtime:
+// queries already running finish against their snapshot, new queries see the
+// new version, and evaluators compiled from older versions are evicted
+// eagerly (see evalCache.InvalidateExcept). Returns the new version.
+func (p *Planner) Reload(ms *core.ModelSet) (int64, error) {
+	version, err := p.store.Swap(ms)
+	if err != nil {
+		return 0, err
+	}
+	p.reloads.Add(1)
+	p.cache.InvalidateExcept(version)
+	return version, nil
+}
+
+// Constraints restrict a query's candidate set. All constraints are pure
+// functions of the candidate configuration, so a constrained query stays a
+// deterministic filter over the same grid — never a different grid.
+type Constraints struct {
+	// Classes lists the PE classes a candidate may use (nil or empty allows
+	// all). A configuration using any PE of another class is excluded.
+	Classes []int `json:"classes,omitempty"`
+	// MaxTotalProcs caps the total process count P = Σ Pi·Mi (0 = no cap).
+	MaxTotalProcs int `json:"maxTotalProcs,omitempty"`
+	// MaxBytesPerPE caps the predetermined per-PE resident set of the
+	// paper's §3.4 memory model, Mi·8·N²/P bytes (0 = no cap).
+	MaxBytesPerPE float64 `json:"maxBytesPerPE,omitempty"`
+}
+
+// canonical validates the constraints against the class count and returns a
+// normalized copy: Classes sorted and deduplicated, so equal constraint sets
+// share one batch signature.
+func (c Constraints) canonical(classes int) (Constraints, error) {
+	if c.MaxTotalProcs < 0 {
+		return c, fmt.Errorf("serve: negative maxTotalProcs %d", c.MaxTotalProcs)
+	}
+	if c.MaxBytesPerPE < 0 {
+		return c, fmt.Errorf("serve: negative maxBytesPerPE %g", c.MaxBytesPerPE)
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = nil
+		return c, nil
+	}
+	sorted := append([]int(nil), c.Classes...)
+	sort.Ints(sorted)
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if v < 0 || v >= classes {
+			return c, fmt.Errorf("serve: class %d outside %d classes", v, classes)
+		}
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	c.Classes = uniq
+	return c, nil
+}
+
+// signature renders canonical constraints as the batch-key string.
+func (c Constraints) signature() string {
+	if len(c.Classes) == 0 && c.MaxTotalProcs == 0 && c.MaxBytesPerPE == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("c=")
+	for i, v := range c.Classes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	b.WriteString(";p=")
+	b.WriteString(strconv.Itoa(c.MaxTotalProcs))
+	b.WriteString(";b=")
+	b.WriteString(strconv.FormatFloat(c.MaxBytesPerPE, 'g', -1, 64))
+	return b.String()
+}
+
+// Filter compiles canonical constraints into the candidate predicate the
+// search applies (nil when unconstrained), for problem size n over the given
+// class count. Exported so equivalence tests — and any caller wanting the
+// direct path — can hand the identical filter to ModelSet.OptimizeSpace.
+func (c Constraints) Filter(n float64, classes int) func(cfg cluster.Configuration) bool {
+	if len(c.Classes) == 0 && c.MaxTotalProcs == 0 && c.MaxBytesPerPE == 0 {
+		return nil
+	}
+	var allowed []bool
+	if len(c.Classes) > 0 {
+		allowed = make([]bool, classes)
+		for _, v := range c.Classes {
+			if v >= 0 && v < classes {
+				allowed[v] = true
+			}
+		}
+	}
+	matrixBytes := 8 * n * n
+	return func(cfg cluster.Configuration) bool {
+		p, maxM := 0, 0
+		for ci, u := range cfg.Use {
+			if u.PEs <= 0 || u.Procs <= 0 {
+				continue
+			}
+			if allowed != nil && (ci >= classes || !allowed[ci]) {
+				return false
+			}
+			p += u.PEs * u.Procs
+			if u.Procs > maxM {
+				maxM = u.Procs
+			}
+		}
+		if c.MaxTotalProcs > 0 && p > c.MaxTotalProcs {
+			return false
+		}
+		if c.MaxBytesPerPE > 0 && p > 0 && matrixBytes/float64(p)*float64(maxM) > c.MaxBytesPerPE {
+			return false
+		}
+		return true
+	}
+}
+
+// Query is one planning request.
+type Query struct {
+	// N is the problem size (required, > 0).
+	N int
+	// TopK selects how many ranked candidates to return (<= 0 means 1).
+	TopK int
+	// Constraints restrict the candidate set; the zero value allows every
+	// candidate of the planner's space.
+	Constraints Constraints
+}
+
+// Result is the answer to a Query. Best, Size, Version and N are
+// deterministic: bit-identical to a direct ModelSet.OptimizeSpace call with
+// the same model, size and constraints. Scored, Pruned, CacheHit and Batched
+// are observability fields whose values depend on scheduling and cache
+// state.
+type Result struct {
+	// Version is the model version that answered the query.
+	Version int64
+	// N echoes the problem size.
+	N int
+	// Best holds the TopK best candidates, best first (core's (τ, index)
+	// total order).
+	Best []core.Estimate
+	// Size, Scored and Pruned mirror core.SearchResult.
+	Size, Scored, Pruned int64
+	// CacheHit reports whether the evaluator came from the cache (or an
+	// in-flight compile was joined) rather than compiled for this pass.
+	CacheHit bool
+	// Batched is the number of queries this grid pass answered (>= 1).
+	Batched int
+}
+
+// Query answers one planning request. Identical concurrent queries coalesce
+// into one grid pass; execution is bounded by the planner's admission
+// limits. The context deadline (or the planner's default timeout) bounds the
+// wait for admission — an admitted search runs to completion, which is
+// microseconds to milliseconds on realistic grids.
+func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
+	if q.N <= 0 {
+		return nil, fmt.Errorf("serve: problem size %d, want > 0", q.N)
+	}
+	k := q.TopK
+	if k <= 0 {
+		k = 1
+	}
+	version, models := p.store.Current()
+	cons, err := q.Constraints.canonical(models.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if p.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.timeout)
+			defer cancel()
+		}
+	}
+	p.queries.Add(1)
+
+	b, leader := p.batcher.join(batchKey{version: version, n: q.N, sig: cons.signature()}, k)
+	if !leader {
+		select {
+		case <-b.done:
+			return sliceResult(b, k)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("serve: waiting for batch: %w", ctx.Err())
+		}
+	}
+
+	if err := p.adm.acquire(ctx); err != nil {
+		p.batcher.close(b)
+		b.err = err
+		close(b.done)
+		return nil, err
+	}
+	p.batcher.close(b) // freezes maxK and members: later queries batch anew
+	b.res, b.err = p.execute(version, models, q.N, cons, b.maxK, b.members)
+	close(b.done)
+	p.adm.release()
+	return sliceResult(b, k)
+}
+
+// execute runs one grid pass: evaluator from the cache (singleflight
+// compile), then the pruned streaming search with the constraints compiled
+// to a filter.
+func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Constraints, k, members int) (*Result, error) {
+	ev, hit := p.cache.Get(evalKey{version: version, n: n}, func() *core.Evaluator {
+		return models.Compile(float64(n))
+	})
+	p.batcher.passes.Add(1)
+	res, err := ev.Search(p.grid, core.SearchOptions{
+		Workers: p.workers,
+		TopK:    k,
+		Filter:  cons.Filter(float64(n), models.Classes),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Version:  version,
+		N:        n,
+		Best:     res.Best,
+		Size:     res.Size,
+		Scored:   res.Scored,
+		Pruned:   res.Pruned,
+		CacheHit: hit,
+		Batched:  members,
+	}, nil
+}
+
+// sliceResult projects a batch result onto one member's requested K: the
+// (τ, index) ranking is a total order, so the member's top-k is exactly the
+// first k entries of the batch's top-maxK.
+func sliceResult(b *batch, k int) (*Result, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	r := *b.res
+	if k < len(r.Best) {
+		r.Best = r.Best[:k:k]
+	}
+	return &r, nil
+}
+
+// Stats is a point-in-time snapshot of the planner's counters.
+type Stats struct {
+	Version          int64 `json:"version"`
+	Queries          int64 `json:"queries"`
+	GridPasses       int64 `json:"gridPasses"`
+	Coalesced        int64 `json:"coalesced"`
+	CacheHits        int64 `json:"cacheHits"`
+	CacheMisses      int64 `json:"cacheMisses"`
+	Compiles         int64 `json:"compiles"`
+	CacheEntries     int   `json:"cacheEntries"`
+	Evictions        int64 `json:"evictions"`
+	InFlight         int   `json:"inFlight"`
+	Queued           int64 `json:"queued"`
+	RejectedQueue    int64 `json:"rejectedQueue"`
+	RejectedDeadline int64 `json:"rejectedDeadline"`
+	Reloads          int64 `json:"reloads"`
+}
+
+// Stats snapshots the planner counters. Counters are read individually (not
+// under one lock), so a snapshot taken under load is approximate.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		Version:          p.store.Version(),
+		Queries:          p.queries.Load(),
+		GridPasses:       p.batcher.passes.Load(),
+		Coalesced:        p.batcher.coalesced.Load(),
+		CacheHits:        p.cache.hits.Load(),
+		CacheMisses:      p.cache.misses.Load(),
+		Compiles:         p.cache.compiles.Load(),
+		CacheEntries:     p.cache.Len(),
+		Evictions:        p.cache.evictions.Load(),
+		InFlight:         p.adm.inFlight(),
+		Queued:           p.adm.queued.Load(),
+		RejectedQueue:    p.adm.rejectedQueue.Load(),
+		RejectedDeadline: p.adm.rejectedDeadline.Load(),
+		Reloads:          p.reloads.Load(),
+	}
+}

@@ -1,0 +1,77 @@
+// Package serve is the long-lived planner core behind cmd/hetserve: it owns
+// a versioned ModelSet store (load/swap without downtime), an LRU-bounded
+// evaluator cache with singleflight compilation keyed by (model version,
+// problem size), a query engine that answers best-configuration/top-K
+// queries under constraints by delegating to the compiled streaming search,
+// request batching that coalesces identical concurrent queries into one grid
+// pass, and admission control so overload degrades into bounded rejection
+// instead of thrashing.
+//
+// The serving layer adds no arithmetic of its own: every query is answered
+// by core.Evaluator.Search over the planner's compiled grid, so responses
+// are bit-identical to a direct ModelSet.OptimizeSpace call with the same
+// model, size and constraints, at any concurrency (the tests assert it).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hetmodel/internal/core"
+)
+
+// modelVersion pairs an immutable fitted model with its store version.
+// Readers obtain both with one atomic load, so a concurrent swap can never
+// tear the pair.
+type modelVersion struct {
+	version int64
+	models  *core.ModelSet
+}
+
+// Store holds the current fitted model behind an atomic pointer: queries
+// snapshot (version, model) lock-free, swaps publish a validated replacement
+// without blocking readers, and every in-flight query finishes against the
+// snapshot it started with.
+type Store struct {
+	mu  sync.Mutex // serializes writers; readers never take it
+	cur atomic.Pointer[modelVersion]
+}
+
+// NewStore validates the initial model and publishes it as version 1.
+func NewStore(ms *core.ModelSet) (*Store, error) {
+	s := &Store{}
+	if _, err := s.Swap(ms); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Swap validates the replacement model and publishes it under the next
+// version. The swap is atomic: readers see either the old snapshot or the
+// new one, never a mix, and rejected models leave the store untouched.
+func (s *Store) Swap(ms *core.ModelSet) (int64, error) {
+	if err := ms.Validate(); err != nil {
+		return 0, fmt.Errorf("serve: rejected model: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	version := int64(1)
+	if old := s.cur.Load(); old != nil {
+		if ms.Classes != old.models.Classes {
+			return 0, fmt.Errorf("serve: rejected model: %d classes, serving %d", ms.Classes, old.models.Classes)
+		}
+		version = old.version + 1
+	}
+	s.cur.Store(&modelVersion{version: version, models: ms})
+	return version, nil
+}
+
+// Current returns the current (version, model) snapshot.
+func (s *Store) Current() (int64, *core.ModelSet) {
+	mv := s.cur.Load()
+	return mv.version, mv.models
+}
+
+// Version returns the current model version.
+func (s *Store) Version() int64 { return s.cur.Load().version }

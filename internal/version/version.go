@@ -1,0 +1,68 @@
+// Package version gives every hetmodel binary the same -version output.
+//
+// All the binaries are built from one module, so the interesting facts —
+// module version, VCS revision, go toolchain — come from the build info the
+// linker already embeds. Commands call AddFlag before flag.Parse and
+// MaybePrint right after it:
+//
+//	version.AddFlag()
+//	flag.Parse()
+//	version.MaybePrint("hetopt")
+package version
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+)
+
+var flagSet *bool
+
+// AddFlag registers the standard -version flag on the default flag set.
+func AddFlag() {
+	flagSet = flag.Bool("version", false, "print version information and exit")
+}
+
+// MaybePrint prints "<name> <version info>" and exits 0 when -version was
+// given. It must run after flag.Parse.
+func MaybePrint(name string) {
+	if flagSet == nil || !*flagSet {
+		return
+	}
+	fmt.Printf("%s %s\n", name, String())
+	os.Exit(0)
+}
+
+// String describes the build: module version (or VCS revision when built
+// from a checkout) plus the go toolchain, e.g.
+// "(devel) rev 76e937c (modified) go1.24.0".
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (built without module support)"
+	}
+	s := info.Main.Version
+	if s == "" {
+		s = "(devel)"
+	}
+	var rev, modified string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			modified = kv.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if modified == "true" {
+			s += " (modified)"
+		}
+	}
+	return s + " " + info.GoVersion
+}

@@ -1,0 +1,18 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmpty(t *testing.T) {
+	s := String()
+	if s == "" {
+		t.Fatal("empty version string")
+	}
+	// Under `go test` the build info is always present, so the go toolchain
+	// version must appear.
+	if !strings.Contains(s, "go1") {
+		t.Errorf("version %q does not name the go toolchain", s)
+	}
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end smoke test of the planner service: build hetserve, start it
+# against the committed model fixture, run one query and one top-K over
+# HTTP, and assert the answers are bit-identical to the direct search
+# (hetopt -space over the same model file). Run from the repository root:
+#
+#	sh scripts/serve_smoke.sh
+#
+# Needs python3 (JSON parsing) and a free TCP port (default 18217,
+# override with HETSERVE_PORT).
+set -eu
+
+PORT="${HETSERVE_PORT:-18217}"
+MODEL=cmd/hetserve/testdata/model_nl.json
+N=9600
+TOPK=3
+BIN=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "== build"
+go build -o "$BIN/hetserve" ./cmd/hetserve
+go build -o "$BIN/hetopt" ./cmd/hetopt
+
+echo "== direct search (hetopt)"
+"$BIN/hetopt" -model "$MODEL" -n "$N" -space -topk "$TOPK" | tee "$BIN/direct.txt"
+# Extract "(config)  tau" pairs from the ranked list.
+grep -Eo '\([0-9,]+\) +tau = [0-9.]+' "$BIN/direct.txt" > "$BIN/direct.pairs"
+[ -s "$BIN/direct.pairs" ] || { echo "FAIL: no candidates in hetopt output" >&2; exit 1; }
+
+echo "== start hetserve on :$PORT"
+"$BIN/hetserve" -model "$MODEL" -addr "127.0.0.1:$PORT" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+	if curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1; then break; fi
+	sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$PORT/v1/healthz"
+
+echo "== query + top-K over HTTP"
+curl -fsS "http://127.0.0.1:$PORT/v1/query?n=$N" > "$BIN/query.json"
+curl -fsS "http://127.0.0.1:$PORT/v1/topk?n=$N&topk=$TOPK" > "$BIN/topk.json"
+
+python3 - "$BIN" "$TOPK" <<'EOF'
+import json, re, sys
+bin_dir, topk = sys.argv[1], int(sys.argv[2])
+
+direct = []
+for line in open(f"{bin_dir}/direct.pairs"):
+    m = re.match(r"(\([0-9,]+\)) +tau = ([0-9.]+)", line.strip())
+    direct.append((m.group(1), float(m.group(2))))
+
+topk_resp = json.load(open(f"{bin_dir}/topk.json"))
+served = [(c["config"], c["tau"]) for c in topk_resp["best"]]
+if len(served) != topk or len(direct) != topk:
+    sys.exit(f"FAIL: expected {topk} candidates, hetopt={len(direct)} hetserve={len(served)}")
+for i, ((dc, dt), (sc, st)) in enumerate(zip(direct, served)):
+    # hetopt prints tau rounded to one decimal; the configs must match
+    # exactly and the taus to the printed precision.
+    if dc != sc or abs(dt - st) > 0.05:
+        sys.exit(f"FAIL: rank {i+1}: hetopt {dc} tau={dt}, hetserve {sc} tau={st}")
+
+query = json.load(open(f"{bin_dir}/query.json"))
+best = query["best"][0]
+if (best["config"], best["tau"]) != (served[0][0], served[0][1]):
+    sys.exit(f"FAIL: /v1/query winner {best} != /v1/topk rank 1 {served[0]}")
+print(f"OK: server matches direct search on {topk} ranked candidates at N={topk_resp['n']}")
+EOF
+
+echo "== stats"
+curl -fsS "http://127.0.0.1:$PORT/v1/stats"
+
+echo "== clean shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+echo "OK: hetserve exited cleanly"
