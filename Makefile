@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-json bench-compare serve serve-smoke cover ci
+.PHONY: all build vet fmt lint test race bench bench-json bench-compare serve serve-smoke cover ci
 
 all: build test
 
@@ -18,6 +18,25 @@ fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+# Static analysis. The repo's own invariant analyzers (cmd/hetlint, see
+# DESIGN.md §11) run through go vet so results are cached per package;
+# staticcheck and shellcheck run when installed and are skipped otherwise
+# (the CI lint job always has them, so skipping locally never hides a gate).
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/hetlint ./cmd/hetlint
+	$(GO) vet -vettool=bin/hetlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI enforces it)"; \
+	fi
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipped (CI enforces it)"; \
 	fi
 
 test:
@@ -59,4 +78,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out
 
-ci: build vet fmt test race bench
+ci: build vet fmt lint test race bench

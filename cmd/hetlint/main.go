@@ -1,0 +1,185 @@
+// Command hetlint runs this repository's invariant analyzers (maporder,
+// hotpath, nodeterm, floatorder — see internal/analysis) in two modes:
+//
+//	hetlint ./...                 standalone: load, type-check, analyze
+//	go vet -vettool=$(which hetlint) ./...
+//
+// The second form speaks the vet unitchecker protocol (-V=full, -flags, and
+// per-package *.cfg configs), so the suite runs incrementally under the go
+// command's build cache exactly like the built-in vet analyzers. make lint
+// and the CI lint job use that form.
+//
+// Individual analyzers toggle like vet passes: `hetlint -maporder ./...`
+// runs only maporder; `hetlint -maporder=false ./...` runs all but.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hetmodel/internal/analysis"
+	"hetmodel/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetlint: ")
+
+	all := analysis.Analyzers()
+	selected := make(map[string]*string, len(all))
+	for _, a := range all {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = triStateFlag(a.Name, "enable "+a.Name+" analysis: "+doc)
+	}
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (vet protocol)")
+	version.AddFlag()
+	flag.Parse()
+	if *printflags {
+		printFlags()
+		return
+	}
+	version.MaybePrint("hetlint")
+
+	enabled := enabledAnalyzers(all, selected)
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], enabled)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	runStandalone(args, enabled)
+}
+
+// enabledAnalyzers applies vet's selection semantics: naming any analyzer
+// with -name runs only the named ones; -name=false runs all but those;
+// otherwise everything runs.
+func enabledAnalyzers(all []*analysis.Analyzer, selected map[string]*string) []*analysis.Analyzer {
+	hasTrue, hasFalse := false, false
+	for _, v := range selected {
+		switch *v {
+		case "true":
+			hasTrue = true
+		case "false":
+			hasFalse = true
+		}
+	}
+	var keep []*analysis.Analyzer
+	for _, a := range all {
+		v := *selected[a.Name]
+		if hasTrue && v != "true" {
+			continue
+		}
+		if !hasTrue && hasFalse && v == "false" {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	return keep
+}
+
+func runStandalone(patterns []string, enabled []*analysis.Analyzer) {
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := false
+	for _, p := range pkgs {
+		diags, err := analysis.RunPackage(p.Fset, p.Files, p.Pkg, p.Info, enabled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+// triStateFlag registers a string flag that accepts bare -name (implicit
+// true) as well as -name=false, matching how go vet passes analyzer toggles.
+func triStateFlag(name, usage string) *string {
+	v := new(string)
+	flag.Var(triState{v}, name, usage)
+	return v
+}
+
+type triState struct{ v *string }
+
+func (t triState) String() string {
+	if t.v == nil {
+		return ""
+	}
+	return *t.v
+}
+func (t triState) IsBoolFlag() bool { return true }
+func (t triState) Set(s string) error {
+	switch s {
+	case "true", "false":
+		*t.v = s
+		return nil
+	}
+	return fmt.Errorf("invalid boolean value %q", s)
+}
+
+// printFlags emits the registered flags as JSON, the answer to the go
+// command's `vettool -flags` query.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol go vet uses to key its build
+// cache: the output must identify this executable's exact contents, so the
+// cache invalidates when the tool changes.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(progname), string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fixture runs one analyzer over a testdata fixture package and reports
+// every mismatch between produced diagnostics and // want expectations.
+func fixture(t *testing.T, a *Analyzer, elems ...string) {
+	t.Helper()
+	dir := filepath.Join(append([]string{"testdata", "src"}, elems...)...)
+	for _, err := range RunFixture(dir, a) {
+		t.Error(err)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	fixture(t, MapOrder, "maporder")
+}
+
+func TestHotPathFixture(t *testing.T) {
+	fixture(t, HotPath, "hotpath")
+}
+
+func TestNoDetermFixture(t *testing.T) {
+	fixture(t, NoDeterm, "nodeterm", "internal", "core")
+}
+
+func TestNoDetermOutOfScope(t *testing.T) {
+	fixture(t, NoDeterm, "nodeterm", "outofscope")
+}
+
+func TestFloatOrderFixture(t *testing.T) {
+	fixture(t, FloatOrder, "floatorder", "internal", "lsq")
+}
+
+// TestSuiteOverOwnModule runs the full suite over this repository: the tree
+// must be clean. This is the same check `make lint` enforces via go vet, kept
+// as a plain test so `go test ./...` (tier 1) already guards the invariants.
+func TestSuiteOverOwnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		diags, err := RunPackage(p.Fset, p.Files, p.Pkg, p.Info, Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
+
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"maporder", "hotpath", "nodeterm", "floatorder"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: name %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: missing Doc or Run", a.Name)
+		}
+	}
+}

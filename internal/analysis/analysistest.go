@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// RunFixture loads the fixture package at testdata/src/<name>, runs the
+// analyzers over it, and checks the diagnostics against the fixture's
+// expectations, in the style of x/tools' analysistest: a comment
+//
+//	code under test // want `regexp`
+//
+// demands exactly one diagnostic on that line whose message matches the
+// (backquoted) regular expression; lines without a want comment must stay
+// clean. Errors describe every mismatch. The fixture's package path is its
+// directory name, so scoped analyzers match fixtures via suffix patterns.
+func RunFixture(dir string, analyzers ...*Analyzer) []error {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return []error{err}
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return []error{err}
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		return []error{fmt.Errorf("no fixture files in %s", dir)}
+	}
+	pkg, info, err := TypeCheck(fset, fixturePath(dir), files, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		return []error{fmt.Errorf("typecheck fixture %s: %v", dir, err)}
+	}
+	diags, err := RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return []error{err}
+	}
+	wants, errs := parseWants(names)
+
+	// Match diagnostics to wants line by line.
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]Diagnostic{}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		byLine[k] = append(byLine[k], d)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		got := byLine[k]
+		matched := false
+		for i, d := range got {
+			if w.re.MatchString(d.Message) {
+				byLine[k] = append(got[:i:i], got[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matching %q (got %s)", w.file, w.line, w.re, messagesAt(got)))
+		}
+	}
+	var keys []key
+	for k, ds := range byLine {
+		if len(ds) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, d := range byLine[k] {
+			errs = append(errs, fmt.Errorf("%s:%d: unexpected diagnostic [%s] %s", k.file, k.line, d.Analyzer, d.Message))
+		}
+	}
+	return errs
+}
+
+// fixturePath derives the fixture's package path from its directory: the
+// slash-separated tail after testdata/src, so a fixture living at
+// testdata/src/nodeterm/internal/core type-checks as package path
+// "nodeterm/internal/core" and is in scope for suffix-matched analyzers.
+func fixturePath(dir string) string {
+	slashed := filepath.ToSlash(dir)
+	if _, rest, ok := strings.Cut(slashed, "testdata/src/"); ok {
+		return rest
+	}
+	return filepath.Base(dir)
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE matches `// want` followed by a backquoted regular expression.
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+func parseWants(paths []string) ([]want, []error) {
+	var wants []want
+	var errs []error
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s:%d: bad want pattern: %v", path, i+1, err))
+					continue
+				}
+				wants = append(wants, want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, errs
+}
+
+func messagesAt(ds []Diagnostic) string {
+	if len(ds) == 0 {
+		return "no diagnostics"
+	}
+	var parts []string
+	for _, d := range ds {
+		parts = append(parts, fmt.Sprintf("[%s] %s", d.Analyzer, d.Message))
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderPackages scopes the kernel-wide FloatOrder rules (math.FMA and
+// map-ordered reductions) to the numeric packages whose outputs are asserted
+// bit-identical across kernels and releases.
+var FloatOrderPackages = []string{
+	"internal/lsq",
+	"internal/linalg",
+}
+
+// FloatOrder guards the floating-point summation order that the bitwise
+// equality property tests (blocked kernel == reference kernel, committed SVG
+// figures byte-stable) depend on. Floating-point addition is not
+// associative: PR 2 rejected a Horner rewrite of lsq.EvalPolynomial for
+// exactly this — one multiply-add less, different last-ULP rounding,
+// regenerated figures no longer byte-identical.
+//
+// Three rules:
+//
+//   - math.FMA anywhere in the scoped packages: a fused multiply-add rounds
+//     once where the model arithmetic rounds twice, so it can never be a
+//     drop-in replacement in a bit-exact kernel;
+//   - floating-point accumulation (s += x, s = s + x) inside a map range:
+//     map order is random, so the reduction order — and the rounding — varies
+//     per run;
+//   - in functions annotated //het:bitexact: any a*b±c multiply-add written
+//     as a single expression. The Go spec allows the compiler to fuse such
+//     expressions into one FMA instruction (and does, on arm64 and ppc64),
+//     which silently changes the rounding between platforms. Writing
+//     float64(a*b)±c inserts an explicit rounding step that forbids fusion.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc: `guard bit-exact float kernels against reassociation and FMA fusion
+
+In internal/{lsq,linalg}: no math.FMA, no float accumulation in map order. In
+//het:bitexact functions, multiply-adds must be written float64(a*b)+c so the
+compiler cannot fuse them into an FMA and change the rounding per platform.`,
+	Run: runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) error {
+	inScope := pathMatches(pass.Pkg.Path(), FloatOrderPackages)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inScope {
+				checkFMACalls(pass, fd)
+				checkMapReductions(pass, fd)
+			}
+			if hasDirective(fd.Doc, "bitexact") {
+				checkFusableMulAdd(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFMACalls(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "math" && fn.Name() == "FMA" {
+			pass.Reportf(call.Pos(), "math.FMA rounds once where separate multiply and add round twice; bit-exact kernels in %s must keep the two roundings", pass.Pkg.Path())
+		}
+		return true
+	})
+}
+
+// checkMapReductions flags floating-point accumulations whose order is the
+// map iteration order.
+func checkMapReductions(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rng.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if isFloatAccumulation(pass.TypesInfo, as, rng) {
+				pass.Reportf(as.Pos(), "floating-point accumulation in map iteration order is nondeterministic (addition is not associative); iterate sorted keys instead")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isFloatAccumulation recognizes s += x / s -= x and s = s + x / s = s - x
+// on a float-typed variable declared outside the loop.
+func isFloatAccumulation(info *types.Info, as *ast.AssignStmt, rng *ast.RangeStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil || !isFloat(obj.Type()) || !declaredOutside(obj, rng) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return true
+	case token.ASSIGN:
+		// s = s + x (or s - x): the accumulator appears on both sides.
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return false
+		}
+		return usesObject(info, bin, obj)
+	}
+	return false
+}
+
+// checkFusableMulAdd flags a*b+c shapes the compiler may fuse into an FMA.
+func checkFusableMulAdd(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos) {
+		pass.Reportf(pos, "multiply-add in //het:bitexact function %s may be fused into one FMA on some platforms, changing the rounding; write float64(a*b) + c to force the intermediate rounding", fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD && n.Op != token.SUB {
+				return true
+			}
+			if !isFloat(info.TypeOf(n)) {
+				return true
+			}
+			if isBareFloatMul(info, n.X) || isBareFloatMul(info, n.Y) {
+				report(n.Pos())
+			}
+		case *ast.AssignStmt:
+			// s += a*b is s = s + a*b: equally fusable.
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			if len(n.Rhs) == 1 && isFloat(info.TypeOf(n.Rhs[0])) && isBareFloatMul(info, n.Rhs[0]) {
+				report(n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// isBareFloatMul reports whether e is a float multiplication not guarded by
+// an explicit conversion. Parentheses do not stop fusion, so they are looked
+// through; a float64(...) conversion is an explicit rounding boundary and
+// does.
+func isBareFloatMul(info *types.Info, e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && bin.Op == token.MUL && isFloat(info.TypeOf(bin))
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

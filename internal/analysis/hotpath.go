@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath enforces allocation discipline in functions annotated
+// //het:hotpath — the static complement of the runtime allocation gate
+// (benchrun -gate-allocs). Those functions sit on per-candidate and
+// per-message paths: Evaluator.Tau scores millions of configurations per
+// search, vmpi moves an envelope per MPI message, the serve cache hit path
+// runs once per query. A single fmt call or escaping closure turns "0
+// allocs/op" into garbage-collector pressure that the benchmark gate only
+// catches after the fact, on the machine that happens to run it.
+//
+// Inside an annotated function the analyzer flags:
+//
+//   - any call into package fmt (Sprintf, Errorf, ... — all allocate);
+//   - function literals (closure allocation; hoist or pass state explicitly);
+//   - map literals and make(map...) (always heap-allocated);
+//   - append to a slice with no visible 3-arg make preallocation;
+//   - interface boxing of scalars: passing an int/float/bool/string to an
+//     interface-typed parameter allocates to box the value (panic argument
+//     excepted — panics are the cold path by definition).
+//
+// Deliberate exceptions carry //het:allow hotpath -- <reason>.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: `forbid allocation patterns in //het:hotpath functions
+
+Functions annotated //het:hotpath must stay free of fmt calls, closures, map
+literals, unpreallocated appends, and scalar-to-interface boxing; they are the
+paths the zero-alloc benchmark gate protects at runtime.`,
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	prealloc := preallocated(pass.TypesInfo, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocation in //het:hotpath function %s; hoist the function or pass state explicitly", fd.Name.Name)
+			return true // still check the closure's body: it runs on the hot path
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal allocates in //het:hotpath function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, prealloc)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	info := pass.TypesInfo
+	// Builtins: make(map...) and append without preallocation.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if t := info.TypeOf(call); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(call.Pos(), "make(map) allocates in //het:hotpath function %s", fd.Name.Name)
+					}
+				}
+			case "append":
+				if obj := appendTarget(info, call); obj == nil || !prealloc[obj] {
+					pass.Reportf(call.Pos(), "append without visible preallocation in //het:hotpath function %s; make the slice with explicit capacity in this function, or justify with //het:allow", fd.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "call to fmt.%s allocates in //het:hotpath function %s; move formatting to the cold path", fn.Name(), fd.Name.Name)
+		return // boxing findings on the same call would be noise
+	}
+	// Interface boxing of scalars at the call boundary.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped == 0 {
+			pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes the value in //het:hotpath function %s", at, fd.Name.Name)
+		}
+	}
+}
+
+// preallocated collects local slice variables created via the 3-argument
+// make (explicit capacity) anywhere in the function: appends to those are
+// assumed amortized-free and allowed on hot paths.
+func preallocated(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 {
+			return
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := info.Uses[fid].(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,99 @@
+// Fixture for the floatorder analyzer, in scope via the internal/lsq suffix.
+package lsq
+
+import "math"
+
+// UseFMA fuses where the model arithmetic rounds twice.
+func UseFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math.FMA rounds once`
+}
+
+// SumMapValues reduces in map iteration order.
+func SumMapValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation in map iteration order`
+	}
+	return sum
+}
+
+// SumMapLongForm spells the same reduction without +=.
+func SumMapLongForm(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation in map iteration order`
+	}
+	return total
+}
+
+// CountMapValues accumulates an int: order-free, exact arithmetic.
+func CountMapValues(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	for _, v := range m {
+		if v > 0 {
+			n += 1
+		}
+	}
+	return n
+}
+
+// SumSorted is the blessed reduction: sorted keys fix the order.
+func SumSorted(keys []string, m map[string]float64) float64 {
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// DotBitexact carries the bitwise-equality property tests: the fusable
+// multiply-add shapes must carry explicit rounding conversions.
+//
+//het:bitexact
+func DotBitexact(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i] // want `may be fused into one FMA`
+	}
+	return s
+}
+
+// AxpyBitexact shows the compliant form: float64 conversions forbid fusion.
+//
+//het:bitexact
+func AxpyBitexact(alpha float64, dst, src []float64) {
+	for i := range dst {
+		dst[i] += float64(alpha * src[i])
+	}
+}
+
+//het:bitexact
+func ExprBitexact(a, b, c float64) (float64, float64, float64) {
+	bad := a*b + c // want `may be fused into one FMA`
+	sub := c - a*b // want `may be fused into one FMA`
+	good := float64(a*b) + c
+	return bad, sub, good
+}
+
+//het:bitexact
+func PlainSumBitexact(a, b float64) float64 {
+	return a + b // additions without an embedded product cannot fuse
+}
+
+// DotUnmarked is not annotated: fusable shapes are only reported where the
+// bit-exactness contract is declared.
+func DotUnmarked(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AllowedFMA demonstrates the escape hatch.
+func AllowedFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) //het:allow floatorder -- fixture: precision experiment, not a kernel
+}

@@ -1,0 +1,89 @@
+// Fixture for the hotpath analyzer: allocation patterns in annotated
+// functions.
+package hotpath
+
+import "fmt"
+
+// consume takes an interface, so scalar arguments box.
+func consume(v any) { _ = v }
+
+// consumePtr takes a pointer: storing a pointer in an interface is free.
+func consumePair(p *int, f func() int) { _ = p; _ = f }
+
+//het:hotpath
+func SprintfHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf allocates`
+}
+
+//het:hotpath
+func ErrorfHot(n int) error {
+	return fmt.Errorf("bad n %d", n) // want `call to fmt.Errorf allocates`
+}
+
+//het:hotpath
+func ClosureHot(xs []float64) float64 {
+	f := func(x float64) float64 { return x * x } // want `closure allocation`
+	total := 0.0
+	for _, x := range xs {
+		total += f(x)
+	}
+	return total
+}
+
+//het:hotpath
+func MapLiteralHot() int {
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	return len(m)
+}
+
+//het:hotpath
+func MakeMapHot(n int) int {
+	m := make(map[int]int, n) // want `make\(map\) allocates`
+	return len(m)
+}
+
+//het:hotpath
+func AppendBareHot(xs []int, x int) []int {
+	return append(xs, x) // want `append without visible preallocation`
+}
+
+//het:hotpath
+func AppendPreallocHot(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//het:hotpath
+func BoxingHot(n int) {
+	consume(n) // want `passing int to interface parameter boxes the value`
+}
+
+//het:hotpath
+func NoBoxingHot(p *int) {
+	consume(p)               // pointers ride in the interface word: free
+	consumePair(p, identity) // func values are pointers too
+	if p == nil {
+		panic("nil input") // panic is the cold path: exempt
+	}
+}
+
+func identity() int { return 0 }
+
+//het:hotpath
+func AllowedHot(n int) string {
+	return fmt.Sprintf("n=%d", n) //het:allow hotpath -- fixture: called once per process
+}
+
+// ColdPath is unannotated: the same patterns are fine here.
+func ColdPath(n int) (string, error) {
+	m := map[int]string{}
+	f := func() string { return fmt.Sprintf("%d", n) }
+	m[n] = f()
+	var out []string
+	out = append(out, m[n])
+	consume(n)
+	return out[0], fmt.Errorf("no error")
+}

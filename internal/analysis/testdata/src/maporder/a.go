@@ -1,0 +1,128 @@
+// Fixture for the maporder analyzer: map iteration feeding ordered output.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrintDirect writes table rows straight from map iteration.
+func PrintDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `call to fmt.Printf inside map iteration`
+	}
+}
+
+// FprintToWriter is the renderer shape: fmt.Fprintf into a builder.
+func FprintToWriter(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `call to fmt.Fprintf inside map iteration`
+	}
+}
+
+// BuilderWrite uses strings.Builder methods rather than fmt.
+func BuilderWrite(m map[string]float64) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `call to Builder.WriteString inside map iteration`
+	}
+	return b.String()
+}
+
+// NestedSliceLoop still emits once per outer map key.
+func NestedSliceLoop(m map[string][]int, w io.Writer) {
+	for _, vs := range m {
+		for _, v := range vs {
+			fmt.Fprintln(w, v) // want `call to fmt.Fprintln inside map iteration`
+		}
+	}
+}
+
+// ChannelSend publishes map entries in random order.
+func ChannelSend(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// AccumulateUnsorted collects keys but never sorts them.
+func AccumulateUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `accumulates into "keys", which is not sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// UsedBeforeSort observes random order before the sort repairs it.
+func UsedBeforeSort(m map[string]int) string {
+	var keys []string
+	for k := range m { // want `accumulates into "keys", which is not sorted`
+		keys = append(keys, k)
+	}
+	first := keys[0]
+	sort.Strings(keys)
+	return first
+}
+
+// CollectThenSort is the blessed pattern: keys out, sort, then render.
+func CollectThenSort(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// CollectThenSortSlice also counts: sort.Slice mentions the slice.
+func CollectThenSortSlice(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// InnerAppend grows a slice that dies inside the loop body: order-free.
+func InnerAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// OrderFreeAggregation neither prints nor accumulates into a slice.
+func OrderFreeAggregation(m map[string]int) int {
+	max := 0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Allowed demonstrates the escape hatch: an explicit reasoned suppression.
+func Allowed(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintln(w, k) //het:allow maporder -- fixture: order observed by no test
+	}
+}
+
+// BadDirective lacks a reason and is itself diagnosed.
+func BadDirective(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintln(w, k) //het:allow maporder // want `needs an analyzer name and a reason` // want `call to fmt.Fprintln inside map iteration`
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the nodeterm analyzer, in scope via the internal/core suffix.
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// WallClock reads ambient time.
+func WallClock() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	return t.Unix()
+}
+
+// Elapsed measures with the wall clock too.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since reads the wall clock`
+}
+
+// GlobalRand draws from the shared generator.
+func GlobalRand() float64 {
+	return rand.Float64() // want `math/rand.Float64 uses the global random source`
+}
+
+// GlobalShuffle mutates order from the global source.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle uses the global random source`
+}
+
+// CryptoRand can never be reproduced from a seed.
+func CryptoRand(buf []byte) {
+	crand.Read(buf) // want `crypto/rand is inherently nondeterministic`
+}
+
+// SeededRand is the blessed pattern: entropy flows from the explicit seed.
+func SeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// VirtualTime threads time explicitly instead of reading a clock.
+func VirtualTime(clock float64, dt float64) float64 {
+	return clock + dt
+}
+
+// AllowedClock demonstrates a reasoned exemption.
+func AllowedClock() int64 {
+	return time.Now().UnixNano() //het:allow nodeterm -- fixture: diagnostics-only timestamp
+}

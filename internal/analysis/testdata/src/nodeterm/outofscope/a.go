@@ -1,0 +1,17 @@
+// Fixture proving nodeterm keeps quiet outside the deterministic packages.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp may read the wall clock: this package is not in scope.
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter may use global randomness here.
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -133,6 +133,8 @@ func (ev *Evaluator) N() float64 { return ev.n }
 // classTau is the compiled EstimateClass: the per-class estimate for a
 // class running `procs` processes per PE in a configuration with total
 // process count p. ok is false when the model set has no bin for it.
+//
+//het:hotpath
 func (ev *Evaluator) classTau(class, procs, p int) (float64, bool) {
 	if p == procs {
 		// Single-PE bin: the whole job runs on one processor.
@@ -169,6 +171,8 @@ func (ev *Evaluator) classTau(class, procs, p int) (float64, bool) {
 // process count as unused instead of materializing a normalized copy, which
 // is equivalent by construction. The memory guard, when present, receives
 // the configuration exactly as passed.
+//
+//het:hotpath
 func (ev *Evaluator) Tau(cfg cluster.Configuration) (float64, bool) {
 	if len(cfg.Use) != ev.classes {
 		return 0, false

@@ -268,6 +268,8 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 // merged result — is identical with pruning on or off. A non-nil filter
 // excludes candidates before scoring; filtered candidates still count as
 // scored (they were visited, not proven redundant by a bound).
+//
+//het:hotpath
 func (ev *Evaluator) searchRange(grid *cluster.Grid, t *gridTables, lo, hi, emptyIdx int64,
 	prune bool, filter func(cfg cluster.Configuration) bool,
 	bound func() float64, offer func(idx int64, tau float64)) (scored, pruned int64) {
@@ -278,7 +280,8 @@ func (ev *Evaluator) searchRange(grid *cluster.Grid, t *gridTables, lo, hi, empt
 		fcfg = cluster.Configuration{Use: make([]cluster.ClassUse, classes)}
 	}
 	var walk func(depth int, base int64, curMax float64)
-	walk = func(depth int, base int64, curMax float64) {
+	walk = func(depth int, base int64, curMax float64) { //het:allow hotpath -- one closure per range, amortized over >=1024 candidates; recursion needs the self-reference
+
 		if depth == classes {
 			if base == emptyIdx {
 				return

@@ -250,11 +250,16 @@ func FitPolynomial(xs, ys []float64, degrees []int) (*Fit, error) {
 // Deliberately the power-sum form, term by term via math.Pow: a Horner
 // rewrite is one multiply-add per coefficient but rounds differently at
 // the last ULP, and the committed figures assert byte-identical
-// regeneration (full-precision coordinates) across releases.
+// regeneration (full-precision coordinates) across releases. The float64
+// conversion rounds each term before the add, which forbids FMA fusion on
+// platforms that would otherwise fuse it — the same byte-stability, held
+// across architectures.
+//
+//het:bitexact
 func EvalPolynomial(coeff []float64, degrees []int, x float64) float64 {
 	var s float64
 	for j, d := range degrees {
-		s += coeff[j] * math.Pow(x, float64(d))
+		s += float64(coeff[j] * math.Pow(x, float64(d)))
 	}
 	return s
 }

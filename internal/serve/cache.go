@@ -57,7 +57,10 @@ func newEvalCache(capacity int) *evalCache {
 // absent. hit reports whether the call avoided a compile of its own (a
 // resident evaluator, or one whose in-flight compile it joined). compile
 // runs outside the cache lock, so a slow compile never blocks hits on other
-// keys.
+// keys. The hit path runs once per served query and is annotated
+// accordingly; the miss path's entry allocation is the compile's job.
+//
+//het:hotpath
 func (c *evalCache) Get(key evalKey, compile func() *core.Evaluator) (ev *core.Evaluator, hit bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {

@@ -1,0 +1,74 @@
+package version
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestStringWithoutBuildInfo pins the fallback for binaries built without
+// module support, where debug.ReadBuildInfo reports ok == false.
+func TestStringWithoutBuildInfo(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+
+	if got, want := String(), "unknown (built without module support)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestStringFromSyntheticBuildInfo pins the formatting of every branch —
+// module version fallback, revision truncation, the modified marker — using
+// injected build info so the assertions don't depend on how the test binary
+// itself was built.
+func TestStringFromSyntheticBuildInfo(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+
+	cases := []struct {
+		name string
+		info debug.BuildInfo
+		want string
+	}{
+		{
+			name: "tagged module, no vcs",
+			info: debug.BuildInfo{
+				GoVersion: "go1.24.0",
+				Main:      debug.Module{Version: "v1.2.3"},
+			},
+			want: "v1.2.3 go1.24.0",
+		},
+		{
+			name: "devel build with long revision, modified tree",
+			info: debug.BuildInfo{
+				GoVersion: "go1.24.0",
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			want: "(devel) rev 0123456789ab (modified) go1.24.0",
+		},
+		{
+			name: "clean short revision",
+			info: debug.BuildInfo{
+				GoVersion: "go1.24.0",
+				Main:      debug.Module{Version: "v0.9.0"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "cafe12"},
+					{Key: "vcs.modified", Value: "false"},
+				},
+			},
+			want: "v0.9.0 rev cafe12 go1.24.0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info := tc.info
+			readBuildInfo = func() (*debug.BuildInfo, bool) { return &info, true }
+			if got := String(); got != tc.want {
+				t.Errorf("String() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

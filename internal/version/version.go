@@ -34,11 +34,15 @@ func MaybePrint(name string) {
 	os.Exit(0)
 }
 
+// readBuildInfo is debug.ReadBuildInfo, a variable so tests can exercise
+// the no-build-info path (binaries built without module support).
+var readBuildInfo = debug.ReadBuildInfo
+
 // String describes the build: module version (or VCS revision when built
 // from a checkout) plus the go toolchain, e.g.
 // "(devel) rev 76e937c (modified) go1.24.0".
 func String() string {
-	info, ok := debug.ReadBuildInfo()
+	info, ok := readBuildInfo()
 	if !ok {
 		return "unknown (built without module support)"
 	}

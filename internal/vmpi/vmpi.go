@@ -189,9 +189,14 @@ func (p *Proc) SendScalars(dst, tag int, x float64, y int, bytes float64) float6
 	return p.send(dst, tag, nil, x, y, bytes)
 }
 
+// send pays the modelled transfer on the per-message envelope path; it runs
+// once per simulated MPI message, so it must not allocate beyond the pooled
+// envelope (TestSendRecvSteadyStateAllocs asserts the steady state).
+//
+//het:hotpath
 func (p *Proc) send(dst, tag int, data any, valF float64, valI int, bytes float64) float64 {
 	if dst < 0 || dst >= p.world.size {
-		panic(fmt.Sprintf("vmpi: send to invalid rank %d (size %d)", dst, p.world.size))
+		panicBadRank("send to", dst, p.world.size)
 	}
 	if dst == p.rank {
 		panic("vmpi: send to self is not supported; use local state")
@@ -257,9 +262,11 @@ func (p *Proc) RecvScalars(src, tag int) (x float64, y int, elapsed float64) {
 
 // recv performs the protocol, copying the delivered envelope into p.last
 // (the envelope itself is recycled inside the mailbox).
+//
+//het:hotpath
 func (p *Proc) recv(src, tag int) float64 {
 	if src < 0 || src >= p.world.size {
-		panic(fmt.Sprintf("vmpi: recv from invalid rank %d (size %d)", src, p.world.size))
+		panicBadRank("recv from", src, p.world.size)
 	}
 	w := p.world
 	start := p.clock
@@ -305,12 +312,23 @@ func newMailbox() *mailbox {
 	return b
 }
 
+// panicBadRank reports an out-of-range peer rank. It lives outside the hot
+// send/recv bodies so their zero-allocation envelope paths carry no fmt
+// calls; the formatting cost lands only on the panicking (cold) path.
+func panicBadRank(op string, rank, size int) {
+	panic(fmt.Sprintf("vmpi: %s invalid rank %d (size %d)", op, rank, size))
+}
+
 // post enqueues a copy of m in a pooled envelope.
+//
+//het:hotpath
 func (b *mailbox) post(m Message) {
 	env := msgPool.Get().(*Message)
 	*env = m
 	b.mu.Lock()
-	b.msgs = append(b.msgs, env)
+	// The queue's backing array reaches its high-water mark within the first
+	// few messages of a run and is reused for the rest of it.
+	b.msgs = append(b.msgs, env) //het:allow hotpath -- unbounded queue; capacity amortizes across the run
 	// Only pay the wakeup when the owner is actually parked; on a busy
 	// single-CPU host the receiver usually drains without ever waiting.
 	wake := b.waiting
@@ -332,6 +350,8 @@ func (b *mailbox) poison() {
 // take blocks until a message matching (src, tag, kindMask) exists, copies it
 // into dst, and recycles the envelope. The payload reference is cleared from
 // the recycled envelope so the pool never keeps payloads alive.
+//
+//het:hotpath
 func (b *mailbox) take(dst *Message, src, tag, kindMask int) {
 	b.mu.Lock()
 	for {

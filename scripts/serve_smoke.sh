@@ -15,7 +15,10 @@ MODEL=cmd/hetserve/testdata/model_nl.json
 N=9600
 TOPK=3
 BIN=$(mktemp -d)
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+# SERVER_PID is empty until the server starts; the guard keeps the trap safe
+# under `set -u` when a build step fails before that point.
+SERVER_PID=""
+trap 'if [ -n "$SERVER_PID" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi; rm -rf "$BIN"' EXIT
 
 echo "== build"
 go build -o "$BIN/hetserve" ./cmd/hetserve
