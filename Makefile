@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-json bench-compare serve serve-smoke cover ci
+.PHONY: all build vet fmt lint test race bench bench-json bench-compare serve serve-smoke load-smoke saturation cover ci
 
 all: build test
 
@@ -52,16 +52,16 @@ bench:
 
 # Run the tracked suite (internal/bench) and write a JSON report with
 # speedups against the committed baseline. See EXPERIMENTS.md for the
-# recipe used to regenerate the committed BENCH_4.json.
+# recipe used to regenerate the committed BENCH_5.json.
 bench-json:
-	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_4.json -baseline-ref BENCH_4.json
+	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_5.json -baseline-ref BENCH_5.json
 
 # Regression gate: rerun the tracked suite and fail when any workload shared
 # with the committed baseline is more than 5% slower, or when a zero-alloc
 # workload (EvaluatorTau) starts allocating. Workloads new since the baseline
 # are reported but never fail the gate.
 bench-compare:
-	$(GO) run ./cmd/benchrun -compare BENCH_4.json -regress 5 -gate-allocs
+	$(GO) run ./cmd/benchrun -compare BENCH_5.json -regress 5 -gate-allocs
 
 # Run the planner service against the committed model fixture (ctrl-C to
 # stop). Query it with e.g.:
@@ -74,8 +74,21 @@ serve:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Traffic-harness gate: regenerate the committed smoke trace and replay it
+# in virtual time against a live hetserve; both must match the committed
+# goldens byte for byte (same gate as the CI load-smoke job).
+load-smoke:
+	sh scripts/load_smoke.sh
+
+# Saturation sweep against a capacity-constrained hetserve: writes
+# saturation.json + saturation.svg and reports the admission-control knee
+# (CI runs this non-blocking and uploads the artifacts). Strict by default;
+# SATURATION_STRICT=0 tolerates a missing knee on slow machines.
+saturation:
+	sh scripts/saturation.sh
+
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out
 
-ci: build vet fmt lint test race bench
+ci: build vet fmt lint test race bench load-smoke

@@ -1,0 +1,228 @@
+// Command hetload is the production traffic harness for hetserve: it
+// generates deterministic workload traces and replays them open-loop
+// against a live planner, reporting latency distributions instead of means.
+//
+// Generate a trace (a committed spec file, or the built-in CI smoke spec):
+//
+//	hetload -gen -spec spec.json -out trace.json
+//	hetload -gen -smoke -out trace.json
+//
+// Replay a trace. Virtual-time mode fires the requests in order without
+// pacing and defines each request's latency as its response's τ (the
+// model-estimated execution time), so the summary is byte-identical across
+// runs and worker counts — the CI load-smoke gate diffs it against a
+// committed golden. Wall-clock mode paces requests on the real clock and
+// measures real latency:
+//
+//	hetload -trace trace.json -target http://127.0.0.1:8080 -virtual -summary out.json
+//	hetload -trace trace.json -target http://127.0.0.1:8080 -workers 256 -summary out.json
+//
+// Sweep offered load and find the admission-control knee (the first step
+// where goodput flattens while the server sheds load with 429s):
+//
+//	hetload -saturate -target http://127.0.0.1:8080 \
+//	    -rates 500,1000,2000,4000,8000 -step 2s -out saturation.json -svg saturation.svg
+//
+// Replay is open-loop: requests fire on schedule whether or not earlier
+// responses have returned, so measured latency is free of coordinated
+// omission (DESIGN.md §12).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetmodel/internal/version"
+	"hetmodel/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetload: ")
+	var (
+		gen      = flag.Bool("gen", false, "generate a trace instead of replaying one")
+		specPath = flag.String("spec", "", "with -gen: workload spec file (JSON)")
+		smoke    = flag.Bool("smoke", false, "with -gen: use the built-in CI smoke spec")
+		out      = flag.String("out", "", "output file (-gen: the trace; -saturate: the report); default stdout")
+
+		tracePath = flag.String("trace", "", "trace file to replay")
+		target    = flag.String("target", "", "base URL of a running hetserve (e.g. http://127.0.0.1:8080)")
+		virtual   = flag.Bool("virtual", false, "virtual-time replay: no pacing, latency = response tau (deterministic)")
+		workers   = flag.Int("workers", 64, "max in-flight requests")
+		summary   = flag.String("summary", "", "write the replay summary JSON to this file; default stdout")
+
+		saturate = flag.Bool("saturate", false, "sweep offered load against -target and detect the admission-control knee")
+		rates    = flag.String("rates", "500,1000,2000,4000,8000,16000", "with -saturate: offered-load steps in qps, comma-separated, increasing")
+		step     = flag.Duration("step", 2*time.Second, "with -saturate: duration of each load step")
+		seed     = flag.Int64("seed", 1, "with -saturate: seed for the per-step trace generation")
+		svg      = flag.String("svg", "", "with -saturate: also render the goodput-vs-offered-load curve to this SVG file")
+	)
+	version.AddFlag()
+	flag.Parse()
+	version.MaybePrint("hetload")
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch {
+	case *gen:
+		err = runGen(*specPath, *smoke, *out)
+	case *saturate:
+		err = runSaturate(ctx, *target, *rates, *step, *seed, *workers, *out, *svg)
+	case *tracePath != "":
+		err = runReplay(ctx, *tracePath, *target, *virtual, *workers, *summary)
+	default:
+		err = fmt.Errorf("nothing to do: pass -gen, -trace, or -saturate (see -help)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runGen(specPath string, smoke bool, out string) error {
+	var spec workload.Spec
+	switch {
+	case smoke && specPath != "":
+		return fmt.Errorf("-smoke and -spec are mutually exclusive")
+	case smoke:
+		spec = workload.SmokeSpec()
+	case specPath != "":
+		var err error
+		if spec, err = workload.ReadSpecFile(specPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-gen needs -spec or -smoke")
+	}
+	trace, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("generated %q: %d requests over %gs (seed %d)",
+		trace.Name, len(trace.Requests), float64(trace.DurationNs)/1e9, trace.Seed)
+	return writeOut(out, func() ([]byte, error) { return trace.Marshal() })
+}
+
+func runReplay(ctx context.Context, tracePath, target string, virtual bool, workers int, summaryPath string) error {
+	if target == "" {
+		return fmt.Errorf("replay needs -target")
+	}
+	trace, err := workload.ReadTraceFile(tracePath)
+	if err != nil {
+		return err
+	}
+	opts := workload.ReplayOptions{Mode: workload.ModeWall, Workers: workers, Clock: wallClock{}}
+	if virtual {
+		opts = workload.ReplayOptions{Mode: workload.ModeVirtual, Workers: workers}
+	}
+	log.Printf("replaying %q (%d requests, %s mode) against %s",
+		trace.Name, len(trace.Requests), opts.Mode, target)
+	outcomes, err := workload.Replay(ctx, workload.NewHTTPClient(target), trace, opts)
+	if err != nil {
+		return err
+	}
+	sum := workload.Summarize(trace, outcomes, workload.SummarizeOptions{Mode: opts.Mode})
+	log.Printf("done: %d ok, %d rejected (429), %d deadline (504), %d errors",
+		sum.Total.OK, sum.Total.Rejected, sum.Total.Deadline, sum.Total.Errors)
+	return writeOut(summaryPath, func() ([]byte, error) { return sum.Marshal() })
+}
+
+func runSaturate(ctx context.Context, target, rates string, step time.Duration, seed int64, workers int, out, svg string) error {
+	if target == "" {
+		return fmt.Errorf("-saturate needs -target")
+	}
+	rateSteps, err := parseRates(rates)
+	if err != nil {
+		return err
+	}
+	spec := workload.SaturationSpec{
+		Seed:     seed,
+		RatesQPS: rateSteps,
+		StepNs:   step.Nanoseconds(),
+		Cohorts:  workload.SaturationCohorts(),
+		Workers:  workers,
+	}
+	log.Printf("sweeping %d load steps of %s each against %s", len(rateSteps), step, target)
+	report, err := workload.RunSaturation(ctx, workload.NewHTTPClient(target), wallClock{}, spec)
+	if err != nil {
+		return err
+	}
+	for i, s := range report.Steps {
+		log.Printf("step %d: offered %.0f qps -> goodput %.0f qps, %d rejected, %d deadline, p99 %.2f ms",
+			i, s.OfferedQPS, s.GoodputQPS, s.Rejected, s.Deadline, s.P99Ms)
+	}
+	if report.KneeIndex >= 0 {
+		log.Printf("admission-control knee at step %d (offered %.0f qps)", report.KneeIndex, report.KneeQPS)
+	} else {
+		log.Printf("no knee detected: the server kept up with every step")
+	}
+	if svg != "" {
+		rendered, err := report.SVG()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(svg, []byte(rendered), 0o644); err != nil {
+			return err
+		}
+	}
+	return writeOut(out, func() ([]byte, error) { return report.Marshal() })
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", p, err)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+// writeOut writes render() to path, or stdout when path is empty.
+func writeOut(path string, render func() ([]byte, error)) error {
+	b, err := render()
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// wallClock is the real clock behind wall-mode replay. Sub-millisecond
+// inter-arrival gaps are shorter than the runtime's timer resolution; for
+// those SleepUntil returns immediately and the dispatcher fires the due
+// requests back to back, which preserves the offered rate at the cost of
+// millisecond-scale micro-batching.
+type wallClock struct{}
+
+func (wallClock) NowNs() int64 { return time.Now().UnixNano() }
+
+func (wallClock) SleepUntil(ctx context.Context, atNs int64) error {
+	d := time.Duration(atNs - time.Now().UnixNano())
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

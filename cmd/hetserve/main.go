@@ -12,11 +12,15 @@
 //	POST|GET /v1/topk    ranked K best
 //	POST     /v1/reload  swap in a new model file without downtime
 //	GET      /v1/healthz liveness + current model version
-//	GET      /v1/stats   cache/batch/admission counters
+//	GET      /v1/stats   cache/batch/admission counters, including the
+//	                     completed/servedNs and rejection counters the
+//	                     hetload saturation sweep reads to locate the
+//	                     admission-control knee
 //
 // Answers are bit-identical to `hetopt -model models.json -space` at any
 // concurrency; the server only adds caching, batching, and admission
-// control around the same compiled search.
+// control around the same compiled search. Drive it with traffic from
+// cmd/hetload (see README "Load testing").
 package main
 
 import (
@@ -46,6 +50,7 @@ func main() {
 		maxQueue    = flag.Int("maxqueue", -1, "admission queue length (-1 = 4x maxinflight, 0 = reject when saturated)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "default per-query deadline (0 = none)")
 		workers     = flag.Int("workers", 0, "search workers per grid pass (0 = GOMAXPROCS)")
+		grind       = flag.Duration("grind", 0, "load testing: minimum service time per grid pass, slot held (0 = off)")
 	)
 	version.AddFlag()
 	flag.Parse()
@@ -64,6 +69,7 @@ func main() {
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
 		Workers:        *workers,
+		Grind:          *grind,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,11 @@ var DeterministicPackages = []string{
 	"internal/lsq",
 	"internal/vmpi",
 	"internal/des",
+	// The workload generator and replay summarizer must be byte-stable so
+	// committed traces and golden summaries can gate CI; wall time only
+	// enters replay through the injected Clock (cmd/hetload owns the real
+	// one).
+	"internal/workload",
 }
 
 // NoDeterm forbids ambient entropy — wall-clock reads and unseeded global
@@ -29,9 +34,10 @@ var NoDeterm = &Analyzer{
 	Name: "nodeterm",
 	Doc: `forbid wall-clock and unseeded randomness in deterministic packages
 
-Inside internal/{core,linalg,lsq,vmpi,des}, time.Now/Since/Until, the global
-math/rand and math/rand/v2 top-level generators, and crypto/rand are all
-banned: entropy must flow from explicit seeds, time from virtual clocks.`,
+Inside internal/{core,linalg,lsq,vmpi,des,workload}, time.Now/Since/Until,
+the global math/rand and math/rand/v2 top-level generators, and crypto/rand
+are all banned: entropy must flow from explicit seeds, time from virtual or
+injected clocks.`,
 	Run: runNoDeterm,
 }
 

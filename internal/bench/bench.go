@@ -44,6 +44,8 @@ func Suite() []Case {
 		{"ServeCachedQuery", "warm planner query, 1M-config space, evaluator cache hit", serveCachedQuery},
 		{"ServeColdCompile", "planner query after a model reload: compile + grid pass", serveColdCompile},
 		{"ServeSustainedQPS", "concurrent planner queries over 5 sizes (batching + admission)", serveSustainedQPS},
+		{"WorkloadGen10k", "generate a ~10k-request Poisson trace over the smoke cohorts", workloadGen10k},
+		{"ReplaySummarize10k", "summarize 10k replay outcomes (quantile reservoirs + goodput)", replaySummarize10k},
 	}
 }
 

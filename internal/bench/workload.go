@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"testing"
+
+	"hetmodel/internal/workload"
+)
+
+// This file holds the traffic-harness workloads: generating a 10k-request
+// deterministic trace (the hot path of `hetload -gen` and of every
+// saturation step) and summarizing 10k replay outcomes into the canonical
+// load summary (quantile reservoirs + goodput accounting).
+
+// workloadGenSpec is a Poisson second at 10000 qps over the smoke cohorts:
+// ~10k requests per Generate call.
+func workloadGenSpec() workload.Spec {
+	spec := workload.SmokeSpec()
+	spec.Name = "bench-gen-10k"
+	spec.DurationNs = 1e9
+	spec.Arrival = workload.ArrivalSpec{Process: workload.ProcessPoisson, RateQPS: 10000}
+	return spec
+}
+
+func workloadGen10k(b *testing.B) {
+	spec := workloadGenSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Requests) < 9000 {
+			b.Fatalf("only %d requests", len(tr.Requests))
+		}
+	}
+}
+
+func replaySummarize10k(b *testing.B) {
+	tr, err := workload.Generate(workloadGenSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-built outcomes: a pure-summarization benchmark, no HTTP or
+	// dispatch cost. Statuses cycle so every outcome class is exercised.
+	outcomes := make([]workload.Outcome, len(tr.Requests))
+	for i := range tr.Requests {
+		o := workload.Outcome{
+			Index:  i,
+			Cohort: tr.Requests[i].Cohort,
+			AtNs:   tr.Requests[i].AtNs,
+			Status: 200,
+		}
+		switch i % 50 {
+		case 7:
+			o.Status = 429
+		case 23:
+			o.Status = 504
+		default:
+			o.Tau = float64(tr.Requests[i].N) * 1e-3
+			o.LatencyNs = int64(tr.Requests[i].N) * 1e6
+		}
+		outcomes[i] = o
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := workload.Summarize(tr, outcomes, workload.SummarizeOptions{Mode: workload.ModeVirtual})
+		if sum.Requests != len(outcomes) || sum.Total.OK == 0 {
+			b.Fatalf("bad summary: %d requests, %d ok", sum.Requests, sum.Total.OK)
+		}
+	}
+}

@@ -33,6 +33,16 @@ type Options struct {
 	// (<= 0 selects GOMAXPROCS, 1 forces sequential). The answers are
 	// identical at any setting.
 	Workers int
+	// Now is the clock behind the served-latency counters (nil selects
+	// time.Now). Virtual-time tests inject a deterministic clock so the
+	// latency accounting itself can be asserted exactly.
+	Now func() time.Time
+	// Grind is a load-testing knob: a minimum service time imposed on every
+	// grid pass while it holds an execution slot (0 = off, the default).
+	// Saturation sweeps use it to pull the admission-control knee inside
+	// the offered-load range a single-host driver can generate; production
+	// deployments leave it zero.
+	Grind time.Duration
 }
 
 // Planner is the long-lived query engine: a versioned model store, an
@@ -43,14 +53,18 @@ type Planner struct {
 	grid    *cluster.Grid
 	workers int
 	timeout time.Duration
+	grind   time.Duration
 
 	store   *Store
 	cache   *evalCache
 	adm     *admission
 	batcher *batcher
+	now     func() time.Time
 
-	queries atomic.Int64
-	reloads atomic.Int64
+	queries   atomic.Int64
+	completed atomic.Int64
+	servedNs  atomic.Int64
+	reloads   atomic.Int64
 }
 
 // New validates the model, compiles the planner's configuration space, and
@@ -79,15 +93,21 @@ func New(ms *core.ModelSet, space cluster.Space, opts Options) (*Planner, error)
 	if maxQueue < 0 {
 		maxQueue = 4 * maxInFlight
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Planner{
 		space:   space,
 		grid:    grid,
 		workers: opts.Workers,
 		timeout: opts.DefaultTimeout,
+		grind:   opts.Grind,
 		store:   store,
 		cache:   newEvalCache(cacheSize),
 		adm:     newAdmission(maxInFlight, maxQueue),
 		batcher: newBatcher(),
+		now:     now,
 	}, nil
 }
 
@@ -275,12 +295,13 @@ func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
 		}
 	}
 	p.queries.Add(1)
+	start := p.now()
 
 	b, leader := p.batcher.join(batchKey{version: version, n: q.N, sig: cons.signature()}, k)
 	if !leader {
 		select {
 		case <-b.done:
-			return sliceResult(b, k)
+			return p.finish(b, k, start)
 		case <-ctx.Done():
 			return nil, fmt.Errorf("serve: waiting for batch: %w", ctx.Err())
 		}
@@ -293,10 +314,28 @@ func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
 		return nil, err
 	}
 	p.batcher.close(b) // freezes maxK and members: later queries batch anew
+	if p.grind > 0 {
+		// Load-testing knob: burn the execution slot for the configured
+		// minimum service time so saturation sweeps can reach the
+		// admission-control knee (see Options.Grind).
+		time.Sleep(p.grind)
+	}
 	b.res, b.err = p.execute(version, models, q.N, cons, b.maxK, b.members)
 	close(b.done)
 	p.adm.release()
-	return sliceResult(b, k)
+	return p.finish(b, k, start)
+}
+
+// finish projects the batch result for one member and, on success, credits
+// the completed/servedNs counters the saturation knee detector reads over
+// /v1/stats.
+func (p *Planner) finish(b *batch, k int, start time.Time) (*Result, error) {
+	res, err := sliceResult(b, k)
+	if err == nil {
+		p.completed.Add(1)
+		p.servedNs.Add(int64(p.now().Sub(start)))
+	}
+	return res, err
 }
 
 // execute runs one grid pass: evaluator from the cache (singleflight
@@ -343,8 +382,14 @@ func sliceResult(b *batch, k int) (*Result, error) {
 
 // Stats is a point-in-time snapshot of the planner's counters.
 type Stats struct {
-	Version          int64 `json:"version"`
-	Queries          int64 `json:"queries"`
+	Version int64 `json:"version"`
+	Queries int64 `json:"queries"`
+	// Completed counts queries answered successfully; ServedNs is the total
+	// clock time they spent in Query (admission wait included). Together
+	// with the rejection counters they let an external load driver locate
+	// the admission-control knee (see internal/workload).
+	Completed        int64 `json:"completed"`
+	ServedNs         int64 `json:"servedNs"`
 	GridPasses       int64 `json:"gridPasses"`
 	Coalesced        int64 `json:"coalesced"`
 	CacheHits        int64 `json:"cacheHits"`
@@ -365,6 +410,8 @@ func (p *Planner) Stats() Stats {
 	return Stats{
 		Version:          p.store.Version(),
 		Queries:          p.queries.Load(),
+		Completed:        p.completed.Load(),
+		ServedNs:         p.servedNs.Load(),
 		GridPasses:       p.batcher.passes.Load(),
 		Coalesced:        p.batcher.coalesced.Load(),
 		CacheHits:        p.cache.hits.Load(),

@@ -444,3 +444,46 @@ func TestDefaultTimeout(t *testing.T) {
 		t.Errorf("default timeout took %v", elapsed)
 	}
 }
+
+// TestInjectedClockCounters: with a stepping fake clock, the completed and
+// servedNs counters are exact — the accounting the workload knee detector
+// reads is itself deterministic.
+func TestInjectedClockCounters(t *testing.T) {
+	var fake struct {
+		mu sync.Mutex
+		ns int64
+	}
+	now := func() time.Time {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		fake.ns += 5e6 // every clock read advances 5ms
+		return time.Unix(0, fake.ns)
+	}
+	ms := testModel(t, 2)
+	p, err := New(ms, testSpace(2), Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Query(context.Background(), Query{N: 1600}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Completed != 3 {
+		t.Errorf("Completed = %d, want 3", st.Completed)
+	}
+	// Each query reads the clock exactly twice (start, finish), so each
+	// contributes exactly one 5ms step of served time.
+	if st.ServedNs != 3*5e6 {
+		t.Errorf("ServedNs = %d, want %d", st.ServedNs, int64(3*5e6))
+	}
+
+	// A failed query (unsatisfiable constraints) must not count as served.
+	if _, err := p.Query(context.Background(), Query{N: 1600, Constraints: Constraints{MaxTotalProcs: -1}}); err == nil {
+		t.Fatal("expected constraint failure")
+	}
+	if st = p.Stats(); st.Completed != 3 {
+		t.Errorf("failed query bumped Completed to %d", st.Completed)
+	}
+}

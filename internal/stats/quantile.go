@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantileReservoir estimates quantiles of a stream in bounded memory. Up to
+// its capacity it holds every value and quantiles are exact; past capacity
+// it switches to Vitter's algorithm R (uniform reservoir sampling) driven by
+// an explicitly seeded generator, so the estimate — like everything else in
+// this repository — is a pure function of (seed, feed order). Feeding values
+// in a fixed order (the replay summarizer uses request-index order) makes
+// the reported quantiles byte-stable across runs and worker counts.
+type QuantileReservoir struct {
+	vals   []float64
+	n      int64
+	rng    *rand.Rand
+	sorted bool
+}
+
+// NewQuantileReservoir returns a reservoir holding at most capacity values
+// (<= 0 selects 4096). The seed drives the sampling once the stream exceeds
+// the capacity; streams at or below it never consume randomness.
+func NewQuantileReservoir(capacity int, seed int64) *QuantileReservoir {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &QuantileReservoir{
+		vals: make([]float64, 0, capacity),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add feeds one value. It allocates nothing after construction.
+func (r *QuantileReservoir) Add(v float64) {
+	r.n++
+	if len(r.vals) < cap(r.vals) {
+		r.vals = append(r.vals, v)
+		r.sorted = false
+		return
+	}
+	// Algorithm R: the i-th value (1-based) replaces a uniformly random
+	// slot with probability cap/i.
+	if j := r.rng.Int63n(r.n); j < int64(cap(r.vals)) {
+		r.vals[j] = v
+		r.sorted = false
+	}
+}
+
+// Count returns the number of values fed so far.
+func (r *QuantileReservoir) Count() int64 { return r.n }
+
+// Exact reports whether the reservoir still holds the complete stream.
+func (r *QuantileReservoir) Exact() bool { return r.n <= int64(cap(r.vals)) }
+
+// Quantile returns the nearest-rank q-quantile (0 < q <= 1) of the held
+// sample: exact when the stream fits the capacity, a uniform-sample estimate
+// otherwise. It returns NaN on an empty reservoir.
+func (r *QuantileReservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		return math.NaN()
+	}
+	if !r.sorted {
+		sort.Float64s(r.vals)
+		r.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(r.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.vals) {
+		idx = len(r.vals) - 1
+	}
+	return r.vals[idx]
+}
+
+// Max returns the largest held value (NaN when empty). Past capacity this is
+// the sample maximum, a lower bound on the stream maximum.
+func (r *QuantileReservoir) Max() float64 { return r.Quantile(1) }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file holds the seeded arrival processes. Each generator returns
+// sorted arrival offsets in nanoseconds within [0, durationNs), driven
+// entirely by the provided *rand.Rand — no wall clock, no global source —
+// so the same seed always yields the same arrivals.
+
+// arrivals dispatches on the (already validated) spec.
+func arrivals(rng *rand.Rand, a ArrivalSpec, durationNs int64) []int64 {
+	switch a.Process {
+	case ProcessOnOff:
+		return onOffArrivals(rng, a, durationNs)
+	case ProcessDiurnal:
+		return diurnalArrivals(rng, a, durationNs)
+	default:
+		return poissonArrivals(rng, a.RateQPS, 0, durationNs)
+	}
+}
+
+// poissonArrivals generates a homogeneous Poisson process at rate qps over
+// [startNs, endNs): exponential inter-arrival times accumulated in float
+// seconds, converted to integer offsets at the end of each step.
+func poissonArrivals(rng *rand.Rand, qps float64, startNs, endNs int64) []int64 {
+	if qps <= 0 || endNs <= startNs {
+		return nil
+	}
+	var out []int64
+	t := float64(startNs) / 1e9
+	end := float64(endNs) / 1e9
+	for {
+		t += rng.ExpFloat64() / qps
+		if t >= end {
+			return out
+		}
+		out = append(out, int64(math.Round(t*1e9)))
+	}
+}
+
+// onOffArrivals alternates fixed-length on/off phases starting with an on
+// phase at t = 0; each phase is an independent Poisson window at that
+// phase's rate (a piecewise-homogeneous Poisson process).
+func onOffArrivals(rng *rand.Rand, a ArrivalSpec, durationNs int64) []int64 {
+	var out []int64
+	on := true
+	for start := int64(0); start < durationNs; {
+		phaseLen := a.OnNs
+		rate := a.RateQPS
+		if !on {
+			phaseLen = a.OffNs
+			rate = a.OffRateQPS
+		}
+		end := start + phaseLen
+		if end > durationNs {
+			end = durationNs
+		}
+		out = append(out, poissonArrivals(rng, rate, start, end)...)
+		start = end
+		on = !on
+	}
+	return out
+}
+
+// diurnalRate evaluates the instantaneous rate of the diurnal profile at
+// offset tNs: the base rate modulated by the sum of sinusoidal components,
+// clamped at zero.
+func diurnalRate(a ArrivalSpec, tNs int64) float64 {
+	mod := 1.0
+	for _, p := range a.Periods {
+		mod += p.Amplitude * math.Sin(2*math.Pi*float64(tNs)/float64(p.PeriodNs)+p.PhaseRad)
+	}
+	if mod < 0 {
+		mod = 0
+	}
+	return a.RateQPS * mod
+}
+
+// diurnalArrivals generates an inhomogeneous Poisson process whose rate is
+// the multi-period diurnal profile, by Lewis–Shedler thinning: homogeneous
+// candidates at the profile's peak rate, each accepted with probability
+// rate(t)/peak.
+func diurnalArrivals(rng *rand.Rand, a ArrivalSpec, durationNs int64) []int64 {
+	peakMod := 1.0
+	for _, p := range a.Periods {
+		peakMod += p.Amplitude
+	}
+	peak := a.RateQPS * peakMod
+	if peak <= 0 {
+		return nil
+	}
+	var out []int64
+	t := 0.0
+	end := float64(durationNs) / 1e9
+	for {
+		t += rng.ExpFloat64() / peak
+		if t >= end {
+			return out
+		}
+		atNs := int64(math.Round(t * 1e9))
+		// The acceptance draw is taken unconditionally so the stream of
+		// random numbers consumed is a pure function of the candidate count.
+		u := rng.Float64()
+		if u*peak < diurnalRate(a, atNs) {
+			out = append(out, atNs)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sortedWithin(t *testing.T, ats []int64, durationNs int64) {
+	t.Helper()
+	prev := int64(0)
+	for i, at := range ats {
+		if at < prev {
+			t.Fatalf("arrival %d at %d before %d", i, at, prev)
+		}
+		if at < 0 || at >= durationNs {
+			t.Fatalf("arrival %d at %d outside [0, %d)", i, at, durationNs)
+		}
+		prev = at
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const qps, durNs = 1000.0, int64(10e9)
+	ats := poissonArrivals(rng, qps, 0, durNs)
+	sortedWithin(t, ats, durNs)
+	// 10000 expected arrivals, sd = 100: ±5 sd is a safe deterministic
+	// bound for the fixed seed.
+	if n := len(ats); n < 9500 || n > 10500 {
+		t.Errorf("%d arrivals, want ~10000", n)
+	}
+}
+
+func TestOnOffArrivalsBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := ArrivalSpec{Process: ProcessOnOff, RateQPS: 1000, OffRateQPS: 10, OnNs: 1e9, OffNs: 1e9}
+	const durNs = int64(8e9)
+	ats := onOffArrivals(rng, a, durNs)
+	sortedWithin(t, ats, durNs)
+	var on, off int
+	for _, at := range ats {
+		if (at/1e9)%2 == 0 {
+			on++
+		} else {
+			off++
+		}
+	}
+	// 4 on-seconds at 1000 qps vs 4 off-seconds at 10 qps.
+	if on < 3500 || off > 100 {
+		t.Errorf("on=%d off=%d, want a ~100:1 split", on, off)
+	}
+}
+
+func TestDiurnalArrivalsModulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := ArrivalSpec{
+		Process: ProcessDiurnal,
+		RateQPS: 500,
+		Periods: []PeriodSpec{{PeriodNs: 2e9, Amplitude: 0.9}},
+	}
+	const durNs = int64(2e9)
+	ats := diurnalArrivals(rng, a, durNs)
+	sortedWithin(t, ats, durNs)
+	// sin over one full 2s period: the first half carries the peak
+	// (rate up to 950 qps), the second the trough (down to 50 qps).
+	var peak, trough int
+	for _, at := range ats {
+		if at < durNs/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak < 2*trough {
+		t.Errorf("peak=%d trough=%d, want a clear diurnal skew", peak, trough)
+	}
+	// The mean rate stays near the base rate.
+	if n := len(ats); n < 700 || n > 1300 {
+		t.Errorf("%d arrivals over 2s, want ~1000", n)
+	}
+}
+
+func TestZipfHotSkewAndWeights(t *testing.T) {
+	spec := Spec{
+		Name:       "skew",
+		Seed:       7,
+		DurationNs: 20e9,
+		Arrival:    ArrivalSpec{Process: ProcessPoisson, RateQPS: 500},
+		Cohorts: []CohortSpec{
+			{Name: "hot", Weight: 3, Sizes: []int{100, 200, 300, 400}, SizeDist: SizeZipf, ZipfS: 1.5},
+			{Name: "cold", Weight: 1, Sizes: []int{500}, SizeDist: SizeUniform},
+		},
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeCount := map[int]int{}
+	cohortCount := map[string]int{}
+	for i := range tr.Requests {
+		sizeCount[tr.Requests[i].N]++
+		cohortCount[tr.Requests[i].Cohort]++
+	}
+	// Zipf s=1.5 over 4 ranks: P(rank 1) ~ 0.64, P(rank 4) ~ 0.08.
+	if sizeCount[100] < 4*sizeCount[400] {
+		t.Errorf("hot size drawn %d times vs cold rank %d: want a strong Zipf skew", sizeCount[100], sizeCount[400])
+	}
+	// Cohort weights 3:1 over ~10000 draws.
+	ratio := float64(cohortCount["hot"]) / float64(cohortCount["cold"])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("cohort ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestTopKRatio(t *testing.T) {
+	spec := Spec{
+		Name:       "topk",
+		Seed:       11,
+		DurationNs: 20e9,
+		Arrival:    ArrivalSpec{Process: ProcessPoisson, RateQPS: 500},
+		Cohorts: []CohortSpec{
+			{Name: "mixed", Weight: 1, Sizes: []int{100}, SizeDist: SizeUniform, TopK: 5, TopKRatio: 0.25},
+		},
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topk int
+	for i := range tr.Requests {
+		switch tr.Requests[i].TopK {
+		case 5:
+			topk++
+		case 0:
+		default:
+			t.Fatalf("request %d: topk %d, want 0 or 5", i, tr.Requests[i].TopK)
+		}
+	}
+	frac := float64(topk) / float64(len(tr.Requests))
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("top-K fraction %.3f, want ~0.25", frac)
+	}
+}

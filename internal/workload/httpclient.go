@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPClient executes trace requests against a live hetserve over its
+// /v1/query endpoint and reads the admission counters the knee detector
+// wants from /v1/stats. It is safe for concurrent use; the embedded
+// transport keeps enough idle connections for a large replay worker pool.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPClient returns a client for the planner at base
+// (e.g. "http://127.0.0.1:8080").
+func NewHTTPClient(base string) *HTTPClient {
+	return &HTTPClient{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 512,
+			},
+		},
+	}
+}
+
+// queryBody mirrors serve.QueryRequest.
+type queryBody struct {
+	N             int     `json:"n"`
+	TopK          int     `json:"topk,omitempty"`
+	Classes       []int   `json:"classes,omitempty"`
+	MaxTotalProcs int     `json:"maxTotalProcs,omitempty"`
+	MaxBytesPerPE float64 `json:"maxBytesPerPE,omitempty"`
+	TimeoutMs     int     `json:"timeoutMs,omitempty"`
+}
+
+// queryReply is the subset of serve's response the replayer reads.
+type queryReply struct {
+	Best []struct {
+		Tau float64 `json:"tau"`
+	} `json:"best"`
+}
+
+// Query implements Client: POST /v1/query, returning the HTTP status and
+// the rank-1 τ on success. Transport failures come back as Status 0.
+func (c *HTTPClient) Query(ctx context.Context, r TraceRequest) QueryOutcome {
+	body, err := json.Marshal(queryBody{
+		N:             r.N,
+		TopK:          r.TopK,
+		Classes:       r.Classes,
+		MaxTotalProcs: r.MaxTotalProcs,
+		MaxBytesPerPE: r.MaxBytesPerPE,
+		TimeoutMs:     r.TimeoutMs,
+	})
+	if err != nil {
+		return QueryOutcome{Err: err.Error()}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return QueryOutcome{Err: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return QueryOutcome{Err: err.Error()}
+	}
+	defer resp.Body.Close()
+	out := QueryOutcome{Status: resp.StatusCode}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		var reply queryReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return QueryOutcome{Err: fmt.Sprintf("decode response: %v", err)}
+		}
+		if len(reply.Best) > 0 {
+			out.Tau = reply.Best[0].Tau
+		}
+	} else {
+		// Drain so the connection is reusable.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return out
+}
+
+// ServerStats is the subset of hetserve's /v1/stats counters the saturation
+// sweep snapshots around each load step.
+type ServerStats struct {
+	Queries          int64 `json:"queries"`
+	Completed        int64 `json:"completed"`
+	RejectedQueue    int64 `json:"rejectedQueue"`
+	RejectedDeadline int64 `json:"rejectedDeadline"`
+}
+
+// StatsReader is implemented by clients that can snapshot server-side
+// counters; RunSaturation uses it when available.
+type StatsReader interface {
+	ServerStats(ctx context.Context) (ServerStats, error)
+}
+
+// ServerStats implements StatsReader via GET /v1/stats.
+func (c *HTTPClient) ServerStats(ctx context.Context) (ServerStats, error) {
+	var s ServerStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return s, fmt.Errorf("workload: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return s, fmt.Errorf("workload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("workload: /v1/stats returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("workload: decode /v1/stats: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"hetmodel/internal/stats"
+)
+
+// SummarySchema versions the replay summary format.
+const SummarySchema = "hetmodel-loadsummary/1"
+
+// Replay modes.
+const (
+	// ModeVirtual replays without pacing or a clock: requests fire in
+	// arrival order through the worker pool and each request's latency is
+	// defined as its response's τ — the model-estimated execution time —
+	// converted to nanoseconds. Every field of the resulting summary is a
+	// pure function of (trace, model), byte-identical across runs and
+	// worker counts, which is what lets a replayed summary gate CI.
+	ModeVirtual = "virtual"
+	// ModeWall replays open-loop on the injected clock: each request fires
+	// at start + AtNs regardless of whether earlier responses returned
+	// (no coordinated omission), and latency is measured on the clock.
+	ModeWall = "wall"
+)
+
+// Clock paces wall-mode replay. cmd/hetload supplies the real clock; tests
+// supply a virtual one, which keeps the package itself free of wall-clock
+// reads (hetlint nodeterm scope).
+type Clock interface {
+	// NowNs returns the current time in nanoseconds. Only differences and
+	// orderings matter; any epoch works.
+	NowNs() int64
+	// SleepUntil blocks until NowNs() >= atNs or the context ends. A
+	// target already in the past returns immediately.
+	SleepUntil(ctx context.Context, atNs int64) error
+}
+
+// QueryOutcome is what a Client observed for one request.
+type QueryOutcome struct {
+	// Status is the HTTP status code, or 0 for a transport error.
+	Status int
+	// Tau is the response's rank-1 estimated execution time in seconds
+	// (0 unless Status is 2xx).
+	Tau float64
+	// Err carries the transport error text (diagnostics only; summaries
+	// count it under errors).
+	Err string
+}
+
+// Client executes one trace request against a planner. Implementations must
+// be safe for concurrent use; HTTPClient is the live-server implementation.
+type Client interface {
+	Query(ctx context.Context, r TraceRequest) QueryOutcome
+}
+
+// Outcome is one replayed request: the trace request identity plus what
+// happened to it.
+type Outcome struct {
+	Index     int
+	Cohort    string
+	AtNs      int64
+	Status    int
+	LatencyNs int64
+	Tau       float64
+}
+
+// ReplayOptions configures Replay.
+type ReplayOptions struct {
+	// Mode is ModeVirtual or ModeWall (empty selects ModeVirtual).
+	Mode string
+	// Workers bounds in-flight requests (<= 0 selects 1). Open-loop
+	// measurement wants this well above the expected in-flight count so
+	// the pool never paces the trace; virtual-mode summaries do not depend
+	// on it (tested).
+	Workers int
+	// Clock is required in ModeWall and ignored in ModeVirtual.
+	Clock Clock
+}
+
+// Replay fires every request of the trace through the client and returns
+// the outcomes indexed exactly like trace.Requests. In wall mode the
+// dispatch is open-loop: request i fires at start + AtNs even while earlier
+// requests are still in flight, so overload shows up as server rejections
+// and growing latency, never as silently reduced offered load. Replay stops
+// early (returning the error) only when the context ends.
+func Replay(ctx context.Context, client Client, trace *Trace, opts ReplayOptions) ([]Outcome, error) {
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeVirtual
+	}
+	if mode != ModeVirtual && mode != ModeWall {
+		return nil, fmt.Errorf("workload: unknown replay mode %q", mode)
+	}
+	if mode == ModeWall && opts.Clock == nil {
+		return nil, fmt.Errorf("workload: wall-mode replay needs a clock")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	outcomes := make([]Outcome, len(trace.Requests))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var startNs int64
+	if mode == ModeWall {
+		startNs = opts.Clock.NowNs()
+	}
+
+	for i := range trace.Requests {
+		req := &trace.Requests[i]
+		if mode == ModeWall {
+			if err := opts.Clock.SleepUntil(ctx, startNs+req.AtNs); err != nil {
+				wg.Wait()
+				return outcomes, fmt.Errorf("workload: replay interrupted at request %d: %w", i, err)
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return outcomes, fmt.Errorf("workload: replay interrupted at request %d: %w", i, ctx.Err())
+		}
+		wg.Add(1)
+		go func(i int, req TraceRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var sentNs int64
+			if mode == ModeWall {
+				sentNs = opts.Clock.NowNs()
+			}
+			q := client.Query(ctx, req)
+			var latency int64
+			if mode == ModeWall {
+				latency = opts.Clock.NowNs() - sentNs
+			} else if q.Status >= 200 && q.Status < 300 {
+				latency = int64(math.Round(q.Tau * 1e9))
+			}
+			outcomes[i] = Outcome{
+				Index:     i,
+				Cohort:    req.Cohort,
+				AtNs:      req.AtNs,
+				Status:    q.Status,
+				LatencyNs: latency,
+				Tau:       q.Tau,
+			}
+		}(i, *req)
+	}
+	wg.Wait()
+	return outcomes, nil
+}
+
+// CohortSummary aggregates one cohort's outcomes (or, for the total row,
+// every outcome). Latency quantiles are over successful requests only, in
+// milliseconds: measured in wall mode, τ-derived in virtual mode.
+type CohortSummary struct {
+	Cohort   string `json:"cohort"`
+	Requests int    `json:"requests"`
+	// Outcome classes: OK is any 2xx, Rejected is 429 (admission queue
+	// full), Deadline is 504 (deadline expired in queue), Errors is
+	// everything else including transport failures.
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"`
+	Deadline int `json:"deadline"`
+	Errors   int `json:"errors"`
+	// Nearest-rank latency quantiles in milliseconds (0 when no request
+	// succeeded).
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+// Summary is the deterministic end-of-replay report: per-cohort sections in
+// name order plus a total row, with offered load and goodput computed
+// against the trace horizon (not wall time), so the same trace and model
+// always produce identical bytes in virtual mode.
+type Summary struct {
+	Schema   string `json:"schema"`
+	Trace    string `json:"trace"`
+	Seed     int64  `json:"seed"`
+	Mode     string `json:"mode"`
+	Requests int    `json:"requests"`
+	// OfferedQPS is Requests over the trace horizon; GoodputQPS counts
+	// only successful requests.
+	OfferedQPS float64         `json:"offeredQps"`
+	GoodputQPS float64         `json:"goodputQps"`
+	Cohorts    []CohortSummary `json:"cohorts"`
+	Total      CohortSummary   `json:"total"`
+}
+
+// SummarizeOptions configures Summarize.
+type SummarizeOptions struct {
+	// Mode labels the summary (ModeVirtual or ModeWall; empty selects
+	// ModeVirtual). It must match the mode the outcomes were replayed in.
+	Mode string
+	// ReservoirCap bounds the per-cohort quantile reservoirs (<= 0 selects
+	// 4096). Streams within the cap give exact quantiles; the smoke traces
+	// CI diffs stay far below it.
+	ReservoirCap int
+}
+
+// Summarize reduces replay outcomes to the deterministic Summary. Outcomes
+// are consumed in request-index order regardless of how many workers
+// produced them, so the result never depends on replay concurrency.
+func Summarize(trace *Trace, outcomes []Outcome, opts SummarizeOptions) *Summary {
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeVirtual
+	}
+	names := make([]string, 0, 8)
+	seen := make(map[string]bool, 8)
+	for i := range trace.Requests {
+		if c := trace.Requests[i].Cohort; !seen[c] {
+			seen[c] = true
+			names = append(names, c)
+		}
+	}
+	// Cohorts report in first-appearance order of the trace, which is
+	// itself deterministic; the map above only dedups.
+	agg := make(map[string]*cohortAgg, len(names))
+	for i, name := range names {
+		agg[name] = newCohortAgg(name, opts.ReservoirCap, trace.Seed+int64(i)+1)
+	}
+	total := newCohortAgg("total", opts.ReservoirCap, trace.Seed)
+	for i := range outcomes {
+		o := &outcomes[i]
+		agg[o.Cohort].add(o)
+		total.add(o)
+	}
+
+	s := &Summary{
+		Schema:   SummarySchema,
+		Trace:    trace.Name,
+		Seed:     trace.Seed,
+		Mode:     mode,
+		Requests: len(outcomes),
+		Cohorts:  make([]CohortSummary, len(names)),
+		Total:    total.summary(),
+	}
+	durationSec := float64(trace.DurationNs) / 1e9
+	if durationSec > 0 {
+		s.OfferedQPS = float64(len(outcomes)) / durationSec
+		s.GoodputQPS = float64(s.Total.OK) / durationSec
+	}
+	for i, name := range names {
+		s.Cohorts[i] = agg[name].summary()
+	}
+	return s
+}
+
+type cohortAgg struct {
+	out CohortSummary
+	res *stats.QuantileReservoir
+}
+
+func newCohortAgg(name string, capacity int, seed int64) *cohortAgg {
+	return &cohortAgg{
+		out: CohortSummary{Cohort: name},
+		res: stats.NewQuantileReservoir(capacity, seed),
+	}
+}
+
+func (a *cohortAgg) add(o *Outcome) {
+	a.out.Requests++
+	switch {
+	case o.Status >= 200 && o.Status < 300:
+		a.out.OK++
+		a.res.Add(float64(o.LatencyNs) / 1e6)
+	case o.Status == 429:
+		a.out.Rejected++
+	case o.Status == 504:
+		a.out.Deadline++
+	default:
+		a.out.Errors++
+	}
+}
+
+func (a *cohortAgg) summary() CohortSummary {
+	s := a.out
+	if a.res.Count() > 0 {
+		s.P50Ms = a.res.Quantile(0.50)
+		s.P95Ms = a.res.Quantile(0.95)
+		s.P99Ms = a.res.Quantile(0.99)
+		s.MaxMs = a.res.Max()
+	}
+	return s
+}
+
+// Marshal renders the summary in its canonical byte form (two-space
+// indented JSON, trailing newline) — the form load_smoke.sh diffs against
+// the committed golden.
+func (s *Summary) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: marshal summary: %w", err)
+	}
+	return append(b, '\n'), nil
+}

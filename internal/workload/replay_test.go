@@ -1,0 +1,223 @@
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/serve"
+	"hetmodel/internal/workload"
+)
+
+// fakeClient answers deterministically from the request payload: tau is a
+// pure function of (n, topk), and cohorts can be forced to fixed statuses.
+type fakeClient struct {
+	statusByCohort map[string]int
+	serviceNs      int64 // advance applied to clk per query, when set
+	clk            *fakeClock
+}
+
+func (f *fakeClient) Query(_ context.Context, r workload.TraceRequest) workload.QueryOutcome {
+	if f.clk != nil && f.serviceNs > 0 {
+		f.clk.advance(f.serviceNs)
+	}
+	if s, ok := f.statusByCohort[r.Cohort]; ok && s != 200 {
+		return workload.QueryOutcome{Status: s}
+	}
+	return workload.QueryOutcome{Status: 200, Tau: float64(r.N)*1e-3 + float64(r.TopK)}
+}
+
+// fakeClock is a deterministic Clock: SleepUntil jumps straight to the
+// target, and the fake client advances it to model service time. Only safe
+// with Workers = 1.
+type fakeClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fakeClock) NowNs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+func (c *fakeClock) advance(d int64) {
+	c.mu.Lock()
+	c.ns += d
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) SleepUntil(_ context.Context, atNs int64) error {
+	c.mu.Lock()
+	if atNs > c.ns {
+		c.ns = atNs
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func smokeTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.SmokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestVirtualReplayByteStableAcrossWorkers(t *testing.T) {
+	tr := smokeTrace(t)
+	client := &fakeClient{}
+	var golden []byte
+	for _, workers := range []int{1, 2, 8, 32} {
+		outcomes, err := workload.Replay(context.Background(), client, tr,
+			workload.ReplayOptions{Mode: workload.ModeVirtual, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := workload.Summarize(tr, outcomes, workload.SummarizeOptions{Mode: workload.ModeVirtual})
+		b, err := sum.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = b
+			continue
+		}
+		if !bytes.Equal(golden, b) {
+			t.Fatalf("summary with %d workers differs from 1 worker", workers)
+		}
+	}
+}
+
+// TestSmokeSummaryMatchesCommitted is the in-process version of the CI
+// load-smoke gate: replay the committed trace in virtual time against a
+// planner serving the committed hetserve fixture model, and require the
+// summary to match the committed golden byte for byte.
+func TestSmokeSummaryMatchesCommitted(t *testing.T) {
+	ms, err := core.LoadModelSetFile("../../cmd/hetserve/testdata/model_nl.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := serve.New(ms, cluster.PaperEvaluationSpace(), serve.Options{
+		MaxInFlight: 4,
+		MaxQueue:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(planner.Handler())
+	defer srv.Close()
+
+	tr, err := workload.ReadTraceFile("testdata/trace_smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := workload.NewHTTPClient(srv.URL)
+	for _, workers := range []int{1, 8} {
+		outcomes, err := workload.Replay(context.Background(), client, tr,
+			workload.ReplayOptions{Mode: workload.ModeVirtual, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := workload.Summarize(tr, outcomes, workload.SummarizeOptions{Mode: workload.ModeVirtual}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile("testdata/summary_smoke.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: replayed summary differs from testdata/summary_smoke.json:\n%s", workers, got)
+		}
+	}
+}
+
+func TestWallReplayPacingAndLatency(t *testing.T) {
+	tr := smokeTrace(t)
+	clk := &fakeClock{}
+	client := &fakeClient{clk: clk, serviceNs: 3e6}
+	outcomes, err := workload.Replay(context.Background(), client, tr,
+		workload.ReplayOptions{Mode: workload.ModeWall, Workers: 1, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outcomes {
+		if outcomes[i].Status != 200 {
+			t.Fatalf("request %d: status %d", i, outcomes[i].Status)
+		}
+		if outcomes[i].LatencyNs != 3e6 {
+			t.Fatalf("request %d: latency %d ns, want the fake 3ms service time", i, outcomes[i].LatencyNs)
+		}
+	}
+	// The clock never runs ahead of schedule by more than the accumulated
+	// service time, and the last request fired at or after its offset.
+	last := tr.Requests[len(tr.Requests)-1]
+	if now := clk.NowNs(); now < last.AtNs {
+		t.Errorf("clock %d ns ended before the last arrival %d ns", now, last.AtNs)
+	}
+	sum := workload.Summarize(tr, outcomes, workload.SummarizeOptions{Mode: workload.ModeWall})
+	if sum.Total.P50Ms != 3 || sum.Total.MaxMs != 3 {
+		t.Errorf("p50=%g max=%g ms, want 3", sum.Total.P50Ms, sum.Total.MaxMs)
+	}
+	if sum.Mode != workload.ModeWall {
+		t.Errorf("mode %q, want wall", sum.Mode)
+	}
+}
+
+func TestSummarizeStatusClasses(t *testing.T) {
+	tr := smokeTrace(t)
+	client := &fakeClient{statusByCohort: map[string]int{
+		"batch-topk":  429,
+		"constrained": 504,
+	}}
+	outcomes, err := workload.Replay(context.Background(), client, tr,
+		workload.ReplayOptions{Mode: workload.ModeVirtual, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := workload.Summarize(tr, outcomes, workload.SummarizeOptions{Mode: workload.ModeVirtual})
+	for _, c := range sum.Cohorts {
+		switch c.Cohort {
+		case "interactive":
+			if c.OK != c.Requests || c.Rejected+c.Deadline+c.Errors != 0 {
+				t.Errorf("interactive: %+v, want all ok", c)
+			}
+		case "batch-topk":
+			if c.Rejected != c.Requests || c.OK != 0 {
+				t.Errorf("batch-topk: %+v, want all rejected", c)
+			}
+			if c.P50Ms != 0 {
+				t.Errorf("batch-topk: p50 %g over zero successes, want 0", c.P50Ms)
+			}
+		case "constrained":
+			if c.Deadline != c.Requests || c.OK != 0 {
+				t.Errorf("constrained: %+v, want all deadline", c)
+			}
+		}
+	}
+	if got := sum.Total.OK + sum.Total.Rejected + sum.Total.Deadline; got != sum.Requests {
+		t.Errorf("outcome classes sum to %d, want %d", got, sum.Requests)
+	}
+	if sum.GoodputQPS >= sum.OfferedQPS {
+		t.Errorf("goodput %g should fall below offered %g when requests are shed", sum.GoodputQPS, sum.OfferedQPS)
+	}
+}
+
+func TestReplayRejectsBadOptions(t *testing.T) {
+	tr := smokeTrace(t)
+	if _, err := workload.Replay(context.Background(), &fakeClient{}, tr,
+		workload.ReplayOptions{Mode: "warp"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := workload.Replay(context.Background(), &fakeClient{}, tr,
+		workload.ReplayOptions{Mode: workload.ModeWall}); err == nil {
+		t.Error("wall mode without a clock accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hetmodel/internal/plot"
+)
+
+// SaturationSchema versions the saturation report format.
+const SaturationSchema = "hetmodel-saturation/1"
+
+// SaturationSpec configures a saturation sweep: the same query mix replayed
+// wall-clock at each offered-load step, lowest rate first.
+type SaturationSpec struct {
+	// Seed drives the per-step trace generation (step i uses Seed+i).
+	Seed int64 `json:"seed"`
+	// RatesQPS are the offered-load steps, strictly increasing (> 0).
+	RatesQPS []float64 `json:"ratesQps"`
+	// StepNs is the duration of each step (> 0).
+	StepNs int64 `json:"stepNs"`
+	// Cohorts shape the query mix of every step.
+	Cohorts []CohortSpec `json:"cohorts"`
+	// Workers bounds in-flight requests per step (<= 0 selects 256 — the
+	// pool must never pace the trace, see ReplayOptions.Workers).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Validate checks the sweep parameters.
+func (s *SaturationSpec) Validate() error {
+	if len(s.RatesQPS) == 0 {
+		return fmt.Errorf("workload: saturation needs at least one rate")
+	}
+	prev := 0.0
+	for i, r := range s.RatesQPS {
+		if r <= prev {
+			return fmt.Errorf("workload: saturation rates must be strictly increasing and positive (step %d: %g after %g)", i, r, prev)
+		}
+		prev = r
+	}
+	if s.StepNs <= 0 {
+		return fmt.Errorf("workload: saturation step %d ns, want > 0", s.StepNs)
+	}
+	probe := Spec{
+		Name:       "saturation-probe",
+		Seed:       s.Seed,
+		DurationNs: s.StepNs,
+		Arrival:    ArrivalSpec{Process: ProcessPoisson, RateQPS: s.RatesQPS[0]},
+		Cohorts:    s.Cohorts,
+	}
+	return probe.Validate()
+}
+
+// SaturationStep is one offered-load measurement.
+type SaturationStep struct {
+	OfferedQPS float64 `json:"offeredQps"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Rejected   int     `json:"rejected"`
+	Deadline   int     `json:"deadline"`
+	Errors     int     `json:"errors"`
+	GoodputQPS float64 `json:"goodputQps"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	// Server-side deltas over the step from /v1/stats, when the client
+	// implements StatsReader: completed queries and admission rejections
+	// (queue-full plus deadline-expired). They cross-check the client view.
+	ServerCompleted int64 `json:"serverCompleted,omitempty"`
+	ServerRejected  int64 `json:"serverRejected,omitempty"`
+}
+
+// SaturationReport is the sweep result: the goodput-vs-offered-load curve
+// plus the detected admission-control knee.
+type SaturationReport struct {
+	Schema string           `json:"schema"`
+	Seed   int64            `json:"seed"`
+	StepNs int64            `json:"stepNs"`
+	Steps  []SaturationStep `json:"steps"`
+	// KneeIndex is the first step where goodput flattens while rejections
+	// rise (-1 when the sweep never saturates); KneeQPS is that step's
+	// offered load.
+	KneeIndex int     `json:"kneeIndex"`
+	KneeQPS   float64 `json:"kneeQps,omitempty"`
+}
+
+// kneeGrowth is the relative goodput gain below which a step counts as
+// "flat": the knee is the first step that gains less than 5% goodput over
+// its predecessor while rejections rise, even though offered load grew.
+const kneeGrowth = 0.05
+
+// DetectKnee returns the index of the admission-control knee in a sweep
+// ordered by increasing offered load, or -1. The knee is the first step
+// whose goodput gain over the previous step falls under kneeGrowth while
+// its rejection count (client-observed 429s plus deadline 504s) exceeds the
+// previous step's — i.e. the server is shedding the added load instead of
+// serving it.
+func DetectKnee(steps []SaturationStep) int {
+	for i := 1; i < len(steps); i++ {
+		prev, cur := &steps[i-1], &steps[i]
+		flat := cur.GoodputQPS < prev.GoodputQPS*(1+kneeGrowth)
+		shedding := cur.Rejected+cur.Deadline > prev.Rejected+prev.Deadline
+		if flat && shedding {
+			return i
+		}
+	}
+	return -1
+}
+
+// RunSaturation sweeps the offered-load steps: per step it generates a
+// Poisson trace of the spec's mix at that rate, replays it open-loop on the
+// clock, and records goodput, rejection counts, and latency quantiles. When
+// the client also implements StatsReader, server-side admission counters
+// are snapshotted around each step. Steps run lowest rate first so earlier
+// steps warm caches for later ones, not the reverse.
+func RunSaturation(ctx context.Context, client Client, clock Clock, spec SaturationSpec) (*SaturationReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("workload: saturation needs a clock")
+	}
+	report := &SaturationReport{
+		Schema:    SaturationSchema,
+		Seed:      spec.Seed,
+		StepNs:    spec.StepNs,
+		Steps:     make([]SaturationStep, 0, len(spec.RatesQPS)),
+		KneeIndex: -1,
+	}
+	statsReader, _ := client.(StatsReader)
+	for i, rate := range spec.RatesQPS {
+		trace, err := Generate(Spec{
+			Name:       fmt.Sprintf("saturation-step-%d", i),
+			Seed:       spec.Seed + int64(i),
+			DurationNs: spec.StepNs,
+			Arrival:    ArrivalSpec{Process: ProcessPoisson, RateQPS: rate},
+			Cohorts:    spec.Cohorts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var before ServerStats
+		if statsReader != nil {
+			if before, err = statsReader.ServerStats(ctx); err != nil {
+				return nil, err
+			}
+		}
+		outcomes, err := Replay(ctx, client, trace, ReplayOptions{
+			Mode:    ModeWall,
+			Workers: spec.Workers,
+			Clock:   clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum := Summarize(trace, outcomes, SummarizeOptions{Mode: ModeWall})
+		step := SaturationStep{
+			OfferedQPS: rate,
+			Requests:   sum.Requests,
+			OK:         sum.Total.OK,
+			Rejected:   sum.Total.Rejected,
+			Deadline:   sum.Total.Deadline,
+			Errors:     sum.Total.Errors,
+			GoodputQPS: sum.GoodputQPS,
+			P50Ms:      sum.Total.P50Ms,
+			P95Ms:      sum.Total.P95Ms,
+			P99Ms:      sum.Total.P99Ms,
+		}
+		if statsReader != nil {
+			after, err := statsReader.ServerStats(ctx)
+			if err != nil {
+				return nil, err
+			}
+			step.ServerCompleted = after.Completed - before.Completed
+			step.ServerRejected = (after.RejectedQueue + after.RejectedDeadline) -
+				(before.RejectedQueue + before.RejectedDeadline)
+		}
+		report.Steps = append(report.Steps, step)
+	}
+	report.KneeIndex = DetectKnee(report.Steps)
+	if report.KneeIndex >= 0 {
+		report.KneeQPS = report.Steps[report.KneeIndex].OfferedQPS
+	}
+	return report, nil
+}
+
+// Marshal renders the report in canonical byte form.
+func (r *SaturationReport) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: marshal saturation report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the canonical report.
+func (r *SaturationReport) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+// SVG renders the goodput-vs-offered-load curve with the per-second
+// rejection rate on the same axes and the knee, when detected, marked as a
+// scatter point.
+func (r *SaturationReport) SVG() (string, error) {
+	c := plot.New("Goodput vs offered load", "offered load [qps]", "rate [qps]")
+	stepSec := float64(r.StepNs) / 1e9
+	offered := make([]float64, len(r.Steps))
+	goodput := make([]float64, len(r.Steps))
+	rejected := make([]float64, len(r.Steps))
+	for i := range r.Steps {
+		offered[i] = r.Steps[i].OfferedQPS
+		goodput[i] = r.Steps[i].GoodputQPS
+		if stepSec > 0 {
+			rejected[i] = float64(r.Steps[i].Rejected+r.Steps[i].Deadline) / stepSec
+		}
+	}
+	c.Line("goodput", offered, goodput)
+	c.Line("rejected/s", offered, rejected)
+	if r.KneeIndex >= 0 {
+		c.Scatter("knee", []float64{r.KneeQPS}, []float64{r.Steps[r.KneeIndex].GoodputQPS})
+	}
+	return c.SVG()
+}

@@ -1,0 +1,148 @@
+package workload_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"hetmodel/internal/workload"
+)
+
+func step(offered, goodput float64, rejected int) workload.SaturationStep {
+	return workload.SaturationStep{OfferedQPS: offered, GoodputQPS: goodput, Rejected: rejected}
+}
+
+func TestDetectKnee(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []workload.SaturationStep
+		want  int
+	}{
+		{"classic knee", []workload.SaturationStep{
+			step(100, 100, 0), step(200, 198, 0), step(400, 390, 2), step(800, 395, 350), step(1600, 396, 1100),
+		}, 3},
+		{"never saturates", []workload.SaturationStep{
+			step(100, 100, 0), step(200, 199, 0), step(400, 398, 0),
+		}, -1},
+		{"flat but not shedding", []workload.SaturationStep{
+			// Goodput stalls without rejections (a client-side bottleneck):
+			// not an admission knee.
+			step(100, 100, 0), step(200, 101, 0),
+		}, -1},
+		{"shedding but still scaling", []workload.SaturationStep{
+			// A few rejections while goodput keeps growing > 5%.
+			step(100, 100, 0), step(200, 190, 5),
+		}, -1},
+		{"empty", nil, -1},
+		{"single step", []workload.SaturationStep{step(100, 100, 0)}, -1},
+	}
+	for _, tc := range cases {
+		if got := workload.DetectKnee(tc.steps); got != tc.want {
+			t.Errorf("%s: knee %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// capacityClient models a server with a hard service capacity: it serves
+// the first capacity requests of each step and rejects the rest with 429.
+// Replayed at increasing rates this produces a textbook saturation curve.
+type capacityClient struct {
+	mu       sync.Mutex
+	capacity int
+	inStep   int
+	stats    workload.ServerStats
+}
+
+func (c *capacityClient) Query(_ context.Context, r workload.TraceRequest) workload.QueryOutcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Queries++
+	c.inStep++
+	if c.inStep > c.capacity {
+		c.stats.RejectedQueue++
+		return workload.QueryOutcome{Status: 429}
+	}
+	c.stats.Completed++
+	return workload.QueryOutcome{Status: 200, Tau: float64(r.N) * 1e-3}
+}
+
+func (c *capacityClient) ServerStats(context.Context) (workload.ServerStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inStep = 0 // stats are read between steps; reset the per-step budget
+	return c.stats, nil
+}
+
+func TestRunSaturationFindsKnee(t *testing.T) {
+	client := &capacityClient{capacity: 300}
+	spec := workload.SaturationSpec{
+		Seed:     5,
+		RatesQPS: []float64{100, 200, 400, 800, 1600},
+		StepNs:   1e9,
+		Cohorts:  []workload.CohortSpec{{Name: "c", Weight: 1, Sizes: []int{400}, SizeDist: workload.SizeUniform}},
+		Workers:  1,
+	}
+	report, err := workload.RunSaturation(context.Background(), client, &fakeClock{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != 5 {
+		t.Fatalf("%d steps, want 5", len(report.Steps))
+	}
+	for i, s := range report.Steps {
+		if s.Requests == 0 {
+			t.Fatalf("step %d replayed no requests", i)
+		}
+		if s.OK > 300 {
+			t.Fatalf("step %d served %d > capacity 300", i, s.OK)
+		}
+		if s.ServerCompleted != int64(s.OK) || s.ServerRejected != int64(s.Rejected) {
+			t.Errorf("step %d: server deltas (%d, %d) disagree with client view (%d, %d)",
+				i, s.ServerCompleted, s.ServerRejected, s.OK, s.Rejected)
+		}
+	}
+	if report.KneeIndex < 0 {
+		t.Fatal("no knee over a hard 300-request capacity")
+	}
+	knee := report.Steps[report.KneeIndex]
+	if knee.Rejected == 0 {
+		t.Error("knee step saw no rejections")
+	}
+	if report.KneeQPS != knee.OfferedQPS {
+		t.Errorf("KneeQPS %g != knee step offered %g", report.KneeQPS, knee.OfferedQPS)
+	}
+
+	// The report renders: curve with a knee marker.
+	svg, err := report.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"goodput", "rejected/s", "knee"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG lacks %q series", want)
+		}
+	}
+}
+
+func TestSaturationSpecValidate(t *testing.T) {
+	good := workload.SaturationSpec{
+		RatesQPS: []float64{10, 20},
+		StepNs:   1e9,
+		Cohorts:  []workload.CohortSpec{{Name: "c", Weight: 1, Sizes: []int{400}, SizeDist: workload.SizeUniform}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []workload.SaturationSpec{
+		{StepNs: 1e9, Cohorts: good.Cohorts},                              // no rates
+		{RatesQPS: []float64{20, 10}, StepNs: 1e9, Cohorts: good.Cohorts}, // decreasing
+		{RatesQPS: []float64{10, 20}, Cohorts: good.Cohorts},              // no step
+		{RatesQPS: []float64{10, 20}, StepNs: 1e9},                        // no cohorts
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}

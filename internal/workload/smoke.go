@@ -1,0 +1,74 @@
+package workload
+
+// SmokeSpec is the committed CI workload: a small bursty trace over the
+// hetserve fixture model (cmd/hetserve/testdata/model_nl.json) exercising
+// all three cohort features — Zipf hot-N skew, best-vs-top-K mixing, and a
+// constraint profile. Generate(SmokeSpec()) must reproduce
+// internal/workload/testdata/trace_smoke.json byte for byte (tested, and
+// cross-checked end-to-end by scripts/load_smoke.sh); regenerate the
+// fixture with `hetload -gen -smoke` after changing anything here.
+func SmokeSpec() Spec {
+	return Spec{
+		Name:       "smoke",
+		Seed:       1004, // the paper's conference year, like the repo's other fixtures
+		DurationNs: 4e9,
+		Arrival: ArrivalSpec{
+			Process:    ProcessOnOff,
+			RateQPS:    50,
+			OffRateQPS: 5,
+			OnNs:       1e9,
+			OffNs:      1e9,
+		},
+		Cohorts: []CohortSpec{
+			{
+				// Interactive lookups: hot small sizes, single best.
+				Name:     "interactive",
+				Weight:   0.6,
+				Sizes:    []int{1600, 3200, 4800, 6400, 9600},
+				SizeDist: SizeZipf,
+				ZipfS:    1.2,
+			},
+			{
+				// Capacity planning: large sizes, always ranked top-5.
+				Name:      "batch-topk",
+				Weight:    0.3,
+				Sizes:     []int{6400, 9600},
+				SizeDist:  SizeUniform,
+				TopK:      5,
+				TopKRatio: 1,
+			},
+			{
+				// Constrained placement: Pentium-only sub-cluster, capped
+				// process count, half the requests ranked.
+				Name:          "constrained",
+				Weight:        0.1,
+				Sizes:         []int{3200, 6400},
+				SizeDist:      SizeUniform,
+				TopK:          3,
+				TopKRatio:     0.5,
+				Classes:       []int{1},
+				MaxTotalProcs: 8,
+			},
+		},
+	}
+}
+
+// SaturationCohorts is the query mix for saturation sweeps: a single cohort
+// drawing uniformly from hundreds of distinct problem sizes. The high size
+// cardinality keeps the planner's batcher from coalescing concurrent
+// queries, so every request costs a full admission slot and the
+// admission-control knee reflects per-query capacity rather than batch
+// amplification (pair it with hetserve's -grind knob; see
+// scripts/saturation.sh).
+func SaturationCohorts() []CohortSpec {
+	sizes := make([]int, 768)
+	for i := range sizes {
+		sizes[i] = 400 + 16*i
+	}
+	return []CohortSpec{{
+		Name:     "sweep",
+		Weight:   1,
+		Sizes:    sizes,
+		SizeDist: SizeUniform,
+	}}
+}

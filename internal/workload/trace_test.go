@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:       "test",
+		Seed:       42,
+		DurationNs: 2e9,
+		Arrival:    ArrivalSpec{Process: ProcessPoisson, RateQPS: 200},
+		Cohorts: []CohortSpec{
+			{Name: "a", Weight: 2, Sizes: []int{400, 800, 1600}, SizeDist: SizeZipf, ZipfS: 1.5},
+			{Name: "b", Weight: 1, Sizes: []int{3200}, SizeDist: SizeUniform, TopK: 5, TopKRatio: 0.5},
+		},
+	}
+}
+
+func TestTraceRoundTripByteStable(t *testing.T) {
+	tr, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := parsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("marshal -> parse -> re-marshal changed the bytes")
+	}
+}
+
+func TestGeneratePropertyDeterministic(t *testing.T) {
+	// Property: the same (seed, mix, duration) always generates an
+	// identical trace, over a randomized family of specs; a different seed
+	// changes the requests.
+	metaRng := rand.New(rand.NewSource(99))
+	processes := []string{ProcessPoisson, ProcessOnOff, ProcessDiurnal}
+	for i := 0; i < 25; i++ {
+		spec := testSpec()
+		spec.Seed = metaRng.Int63n(1 << 30)
+		spec.DurationNs = 1e9 + metaRng.Int63n(2e9)
+		spec.Arrival.Process = processes[metaRng.Intn(len(processes))]
+		spec.Arrival.RateQPS = 50 + 400*metaRng.Float64()
+		spec.Arrival.OnNs, spec.Arrival.OffNs = 3e8, 2e8
+		spec.Arrival.OffRateQPS = 5
+		spec.Arrival.Periods = []PeriodSpec{{PeriodNs: 1e9, Amplitude: 0.8}}
+		spec.Cohorts[0].ZipfS = 0.5 + 2*metaRng.Float64()
+		spec.Cohorts[1].TopKRatio = metaRng.Float64()
+
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		ab, _ := a.Marshal()
+		bb, _ := b.Marshal()
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("spec %d (process %s): same spec generated different traces", i, spec.Arrival.Process)
+		}
+
+		reseeded := spec
+		reseeded.Seed++
+		c, err := Generate(reseeded)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		cb, _ := c.Marshal()
+		if bytes.Equal(ab, cb) {
+			t.Fatalf("spec %d: seed change left the trace identical", i)
+		}
+	}
+}
+
+func TestSmokeTraceMatchesCommitted(t *testing.T) {
+	committed, err := os.ReadFile("testdata/trace_smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrace(committed); err != nil {
+		t.Fatalf("committed smoke trace does not validate: %v", err)
+	}
+	tr, err := Generate(SmokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, regen) {
+		t.Error("Generate(SmokeSpec()) no longer reproduces testdata/trace_smoke.json; regenerate it with `hetload -gen -smoke` and refresh the golden summary")
+	}
+}
+
+func TestParseTraceRejects(t *testing.T) {
+	valid, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	validBytes, _ := valid.Marshal()
+
+	corrupt := func(from, to string) []byte {
+		s := string(validBytes)
+		if !strings.Contains(s, from) {
+			t.Fatalf("fixture lacks %q", from)
+		}
+		return []byte(strings.Replace(s, from, to, 1))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"not json", []byte("{"), "parse trace"},
+		{"wrong schema", corrupt(`"schema": "hetmodel-trace/1"`, `"schema": "hetmodel-trace/999"`), "schema"},
+		{"unknown field", corrupt(`"name": "test"`, `"name": "test", "bogus": 1`), "bogus"},
+		{"bad size", corrupt(`"n": 3200`, `"n": -3200`), "size"},
+		{"trailing data", append(append([]byte{}, validBytes...), []byte("{}")...), "trailing"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrace(tc.data)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Out-of-order arrivals reject.
+	disordered := *valid
+	disordered.Requests = append([]TraceRequest(nil), valid.Requests...)
+	if len(disordered.Requests) < 2 {
+		t.Fatal("need at least two requests")
+	}
+	disordered.Requests[0], disordered.Requests[1] = disordered.Requests[1], disordered.Requests[0]
+	db, _ := disordered.Marshal()
+	if _, err := ParseTrace(db); err == nil || !strings.Contains(err.Error(), "arrives before") {
+		t.Errorf("out-of-order arrivals: error %v, want ordering complaint", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.DurationNs = 0 },
+		func(s *Spec) { s.Arrival.Process = "lunar" },
+		func(s *Spec) { s.Arrival.RateQPS = 0 },
+		func(s *Spec) { s.Cohorts = nil },
+		func(s *Spec) { s.Cohorts[0].Weight = -1 },
+		func(s *Spec) { s.Cohorts[0].Sizes = nil },
+		func(s *Spec) { s.Cohorts[0].Sizes = []int{0} },
+		func(s *Spec) { s.Cohorts[0].SizeDist = "normal" },
+		func(s *Spec) { s.Cohorts[0].ZipfS = 0 },
+		func(s *Spec) { s.Cohorts[1].TopKRatio = 1.5 },
+		func(s *Spec) { s.Cohorts[1].TopK = 1 },
+		func(s *Spec) { s.Cohorts[1].Name = "a" },
+	}
+	for i, mutate := range bad {
+		spec := testSpec()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid spec validated", i)
+		}
+	}
+	spec := testSpec()
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

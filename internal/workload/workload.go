@@ -1,0 +1,220 @@
+// Package workload generates and replays production-shaped planner traffic.
+//
+// The paper's model — and the planner service built on it — answers "which
+// configuration is fastest for one query". This package answers the question
+// a production deployment faces next: what do the latency *distributions*
+// look like at a given offered load, with bursty arrivals and a skewed query
+// mix? It provides
+//
+//   - seeded arrival processes (Poisson, bursty on/off, multi-period
+//     diurnal) composed with query-mix cohorts over problem size N
+//     (uniform or Zipf hot-N skew), constraint profiles, and best-vs-top-K
+//     ratios (Spec, Generate);
+//   - a versioned JSON trace format with a writer, a validating reader,
+//     and a byte-stable re-marshal (Trace, ParseTrace);
+//   - an open-loop replay driver that fires a trace against a live planner
+//     on schedule and summarizes per-request outcomes into per-cohort
+//     p50/p95/p99 and goodput (Replay, Summarize);
+//   - a saturation sweep over offered-load steps with admission-control
+//     knee detection (RunSaturation, DetectKnee).
+//
+// Everything here is deterministic: randomness flows from explicit seeds,
+// time from an injectable Clock (virtual-time replay touches no clock at
+// all), so generated traces and virtual-mode replay summaries are
+// byte-stable and can gate CI. The package is in hetlint's nodeterm scope —
+// wall-clock reads and global randomness are compile-gated out.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arrival process kinds accepted by ArrivalSpec.Process.
+const (
+	ProcessPoisson = "poisson"
+	ProcessOnOff   = "onoff"
+	ProcessDiurnal = "diurnal"
+)
+
+// Size distributions accepted by CohortSpec.SizeDist.
+const (
+	SizeUniform = "uniform"
+	SizeZipf    = "zipf"
+)
+
+// PeriodSpec is one sinusoidal component of a diurnal rate profile.
+type PeriodSpec struct {
+	// PeriodNs is the component's period in nanoseconds (> 0).
+	PeriodNs int64 `json:"periodNs"`
+	// Amplitude scales the component as a fraction of the base rate
+	// (0.5 swings the rate by ±50%).
+	Amplitude float64 `json:"amplitude"`
+	// PhaseRad shifts the component (radians).
+	PhaseRad float64 `json:"phaseRad,omitempty"`
+}
+
+// ArrivalSpec selects and parameterizes an arrival process. Rates are in
+// requests per second; the process runs over the Spec's duration.
+type ArrivalSpec struct {
+	// Process is one of ProcessPoisson, ProcessOnOff, ProcessDiurnal.
+	Process string `json:"process"`
+	// RateQPS is the mean rate: the Poisson rate, the on-phase rate of the
+	// on/off process, or the base rate the diurnal components modulate.
+	RateQPS float64 `json:"rateQps"`
+	// OffRateQPS is the off-phase rate of the on/off process (>= 0).
+	OffRateQPS float64 `json:"offRateQps,omitempty"`
+	// OnNs and OffNs are the fixed on/off phase lengths in nanoseconds.
+	OnNs  int64 `json:"onNs,omitempty"`
+	OffNs int64 `json:"offNs,omitempty"`
+	// Periods are the diurnal components (required for ProcessDiurnal).
+	Periods []PeriodSpec `json:"periods,omitempty"`
+}
+
+// CohortSpec is one slice of the query mix: a weighted class of requests
+// sharing a size distribution, a constraint profile, and a best-vs-top-K
+// ratio. Cohort names key the per-cohort sections of the replay summary.
+type CohortSpec struct {
+	// Name identifies the cohort (non-empty, unique within a Spec).
+	Name string `json:"name"`
+	// Weight is the cohort's share of the mix (> 0; weights are relative).
+	Weight float64 `json:"weight"`
+	// Sizes lists the problem sizes N the cohort draws from (each > 0).
+	Sizes []int `json:"sizes"`
+	// SizeDist is SizeUniform or SizeZipf over Sizes. Zipf makes Sizes[0]
+	// the hot size: P(Sizes[i]) ∝ 1/(i+1)^ZipfS.
+	SizeDist string `json:"sizeDist"`
+	// ZipfS is the Zipf exponent (> 0, required for SizeZipf).
+	ZipfS float64 `json:"zipfS,omitempty"`
+	// TopK is the K requested when a draw lands on the top-K side of
+	// TopKRatio (>= 2 when TopKRatio > 0).
+	TopK int `json:"topk,omitempty"`
+	// TopKRatio is the fraction of the cohort's requests that ask for the
+	// ranked top-K instead of the single best (0..1).
+	TopKRatio float64 `json:"topkRatio,omitempty"`
+	// Constraint profile, forwarded verbatim onto every request.
+	Classes       []int   `json:"classes,omitempty"`
+	MaxTotalProcs int     `json:"maxTotalProcs,omitempty"`
+	MaxBytesPerPE float64 `json:"maxBytesPerPE,omitempty"`
+	// TimeoutMs bounds each request's server-side admission wait.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// Spec fully determines a trace: the same (seed, arrival, cohorts, duration)
+// always generates byte-identical output (tested). A Spec embeds into the
+// trace header so a trace documents its own provenance.
+type Spec struct {
+	// Name labels the workload; it becomes the trace name.
+	Name string `json:"name"`
+	// Seed drives every random draw of the generation.
+	Seed int64 `json:"seed"`
+	// DurationNs is the trace horizon in nanoseconds (> 0).
+	DurationNs int64 `json:"durationNs"`
+	// Arrival shapes when requests fire.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Cohorts shape what each request asks (at least one).
+	Cohorts []CohortSpec `json:"cohorts"`
+}
+
+// Validate checks the spec's invariants and reports the first violation.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if s.DurationNs <= 0 {
+		return fmt.Errorf("workload: spec %q: duration %d ns, want > 0", s.Name, s.DurationNs)
+	}
+	if err := s.Arrival.validate(); err != nil {
+		return fmt.Errorf("workload: spec %q: %w", s.Name, err)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("workload: spec %q has no cohorts", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("workload: spec %q: %w", s.Name, err)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: spec %q: duplicate cohort %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+func (a *ArrivalSpec) validate() error {
+	if a.RateQPS <= 0 {
+		return fmt.Errorf("arrival rate %g qps, want > 0", a.RateQPS)
+	}
+	switch a.Process {
+	case ProcessPoisson:
+	case ProcessOnOff:
+		if a.OnNs <= 0 || a.OffNs <= 0 {
+			return fmt.Errorf("onoff arrivals need onNs and offNs > 0 (got %d, %d)", a.OnNs, a.OffNs)
+		}
+		if a.OffRateQPS < 0 {
+			return fmt.Errorf("negative off rate %g qps", a.OffRateQPS)
+		}
+	case ProcessDiurnal:
+		if len(a.Periods) == 0 {
+			return fmt.Errorf("diurnal arrivals need at least one period")
+		}
+		for _, p := range a.Periods {
+			if p.PeriodNs <= 0 {
+				return fmt.Errorf("diurnal period %d ns, want > 0", p.PeriodNs)
+			}
+			if p.Amplitude < 0 {
+				return fmt.Errorf("negative diurnal amplitude %g", p.Amplitude)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q", a.Process)
+	}
+	return nil
+}
+
+func (c *CohortSpec) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("cohort needs a name")
+	}
+	if c.Weight <= 0 {
+		return fmt.Errorf("cohort %q: weight %g, want > 0", c.Name, c.Weight)
+	}
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("cohort %q has no sizes", c.Name)
+	}
+	for _, n := range c.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("cohort %q: size %d, want > 0", c.Name, n)
+		}
+	}
+	switch c.SizeDist {
+	case SizeUniform:
+	case SizeZipf:
+		if c.ZipfS <= 0 {
+			return fmt.Errorf("cohort %q: zipf exponent %g, want > 0", c.Name, c.ZipfS)
+		}
+	default:
+		return fmt.Errorf("cohort %q: unknown size distribution %q", c.Name, c.SizeDist)
+	}
+	if c.TopKRatio < 0 || c.TopKRatio > 1 {
+		return fmt.Errorf("cohort %q: topkRatio %g outside [0, 1]", c.Name, c.TopKRatio)
+	}
+	if c.TopKRatio > 0 && c.TopK < 2 {
+		return fmt.Errorf("cohort %q: topkRatio %g needs topk >= 2 (got %d)", c.Name, c.TopKRatio, c.TopK)
+	}
+	return nil
+}
+
+// cohortNames returns the spec's cohort names sorted, for deterministic
+// summary sections.
+func cohortNames(cohorts []CohortSpec) []string {
+	names := make([]string, len(cohorts))
+	for i := range cohorts {
+		names[i] = cohorts[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# CI load-smoke gate for the traffic harness: regenerate the committed smoke
+# trace and require it byte-identical, then replay it in virtual time against
+# a live hetserve (generous admission limits so nothing is shed) at two
+# worker counts and require both summaries byte-identical to the committed
+# golden. Any drift in the generator, the trace format, the replay driver,
+# the summarizer, or the model's answers fails the diff. Run from the
+# repository root:
+#
+#	sh scripts/load_smoke.sh
+#
+# Needs a free TCP port (default 18219, override with HETSERVE_PORT).
+set -eu
+
+PORT="${HETSERVE_PORT:-18219}"
+MODEL=cmd/hetserve/testdata/model_nl.json
+TRACE=internal/workload/testdata/trace_smoke.json
+GOLDEN=internal/workload/testdata/summary_smoke.json
+BIN=$(mktemp -d)
+# SERVER_PID is empty until the server starts; the guard keeps the trap safe
+# under `set -u` when a build step fails before that point.
+SERVER_PID=""
+trap 'if [ -n "$SERVER_PID" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi; rm -rf "$BIN"' EXIT
+
+echo "== build"
+go build -o "$BIN/hetserve" ./cmd/hetserve
+go build -o "$BIN/hetload" ./cmd/hetload
+
+echo "== trace generation is deterministic"
+"$BIN/hetload" -gen -smoke -out "$BIN/trace.json"
+diff -u "$TRACE" "$BIN/trace.json" || {
+	echo "FAIL: hetload -gen -smoke no longer reproduces $TRACE" >&2
+	exit 1
+}
+
+echo "== start hetserve on :$PORT"
+# Admission limits far above the smoke trace's concurrency so every request
+# is served: statuses stay deterministic (all 200).
+"$BIN/hetserve" -model "$MODEL" -addr "127.0.0.1:$PORT" -maxinflight 4 -maxqueue 1024 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+	if curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1; then break; fi
+	sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$PORT/v1/healthz"
+
+echo "== virtual-time replay, 4 workers"
+"$BIN/hetload" -trace "$TRACE" -target "http://127.0.0.1:$PORT" -virtual -workers 4 -summary "$BIN/summary4.json"
+diff -u "$GOLDEN" "$BIN/summary4.json" || {
+	echo "FAIL: 4-worker replay summary differs from $GOLDEN" >&2
+	exit 1
+}
+
+echo "== virtual-time replay, 1 worker (worker count must not matter)"
+"$BIN/hetload" -trace "$TRACE" -target "http://127.0.0.1:$PORT" -virtual -workers 1 -summary "$BIN/summary1.json"
+diff -u "$GOLDEN" "$BIN/summary1.json" || {
+	echo "FAIL: 1-worker replay summary differs from $GOLDEN" >&2
+	exit 1
+}
+
+echo "== server-side counters"
+curl -fsS "http://127.0.0.1:$PORT/v1/stats"
+echo
+
+echo "== clean shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+echo "OK: load smoke replay is byte-stable against the committed golden"

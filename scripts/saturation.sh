@@ -1,0 +1,75 @@
+#!/bin/sh
+# Saturation sweep: drive a deliberately capacity-constrained hetserve
+# (one grid pass at a time, an 8-deep admission queue, a short per-query
+# deadline) through increasing offered load with `hetload -saturate`, and
+# write the goodput curve plus the detected admission-control knee to
+# saturation.json / saturation.svg. CI uploads both as artifacts. Run from
+# the repository root:
+#
+#	sh scripts/saturation.sh
+#
+# By default the script fails when no knee is detected (the sweep did not
+# reach saturation — raise the rates); set SATURATION_STRICT=0 to keep the
+# artifacts and exit 0 anyway, e.g. on underpowered local machines. Needs
+# python3 and a free TCP port (default 18221, override with HETSERVE_PORT).
+set -eu
+
+PORT="${HETSERVE_PORT:-18221}"
+MODEL=cmd/hetserve/testdata/model_nl.json
+RATES="${SATURATION_RATES:-100,200,400,800,1600,3200}"
+GRIND="${SATURATION_GRIND:-2ms}"
+STEP="${SATURATION_STEP:-2s}"
+STRICT="${SATURATION_STRICT:-1}"
+OUT_JSON="${SATURATION_OUT:-saturation.json}"
+OUT_SVG="${SATURATION_SVG:-saturation.svg}"
+BIN=$(mktemp -d)
+# SERVER_PID is empty until the server starts; the guard keeps the trap safe
+# under `set -u` when a build step fails before that point.
+SERVER_PID=""
+trap 'if [ -n "$SERVER_PID" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi; rm -rf "$BIN"' EXIT
+
+echo "== build"
+go build -o "$BIN/hetserve" ./cmd/hetserve
+go build -o "$BIN/hetload" ./cmd/hetload
+
+echo "== start capacity-constrained hetserve on :$PORT (grind $GRIND)"
+# -maxinflight 1 -maxqueue 8 bounds admission; -grind pins the per-pass
+# service time, so capacity is exactly 1/grind (500 qps at 2ms) and the
+# knee lands inside the swept rates on any runner. The sweep mix draws from
+# hundreds of distinct problem sizes so the batcher cannot coalesce its way
+# past the admission limit (see workload.SaturationCohorts).
+GOMAXPROCS=1 "$BIN/hetserve" -model "$MODEL" -addr "127.0.0.1:$PORT" \
+	-maxinflight 1 -maxqueue 8 -timeout 250ms -grind "$GRIND" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+	if curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1; then break; fi
+	sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$PORT/v1/healthz"
+
+echo "== sweep offered load: $RATES qps, $STEP per step"
+"$BIN/hetload" -saturate -target "http://127.0.0.1:$PORT" \
+	-rates "$RATES" -step "$STEP" -out "$OUT_JSON" -svg "$OUT_SVG"
+
+echo "== clean shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+
+echo "== knee check"
+python3 - "$OUT_JSON" "$STRICT" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+strict = sys.argv[2] != "0"
+for s in report["steps"]:
+    print(f"  offered {s['offeredQps']:>8.0f} qps  goodput {s['goodputQps']:>8.1f} qps  "
+          f"rejected {s['rejected']:>6}  deadline {s['deadline']:>6}  p95 {s['p95Ms']:.1f} ms")
+knee = report.get("kneeIndex", -1)
+if knee < 0:
+    msg = "no admission-control knee detected: the sweep never saturated the server"
+    if strict:
+        sys.exit(f"FAIL: {msg}")
+    print(f"WARN: {msg} (SATURATION_STRICT=0, continuing)")
+else:
+    print(f"OK: knee at step {knee}: offered {report['kneeQps']:.0f} qps")
+EOF
+echo "wrote $OUT_JSON and $OUT_SVG"
