@@ -49,6 +49,10 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries custom b.ReportMetric metrics (e.g. coldCompiles/op,
+	// p99Ns), from the same median round as NsPerOp. Keys are sorted in the
+	// JSON by encoding/json's map ordering, so reports stay diffable.
+	Extra map[string]float64 `json:"extra,omitempty"`
 
 	// Populated when -baseline is given and names a matching benchmark.
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
@@ -151,6 +155,14 @@ func main() {
 		if r.Speedup != 0 {
 			fmt.Fprintf(os.Stderr, "   %.2fx vs baseline", r.Speedup)
 		}
+		extraKeys := make([]string, 0, len(r.Extra))
+		for k := range r.Extra {
+			extraKeys = append(extraKeys, k)
+		}
+		sort.Strings(extraKeys)
+		for _, k := range extraKeys {
+			fmt.Fprintf(os.Stderr, "   %s=%g", k, r.Extra[k])
+		}
 		fmt.Fprintln(os.Stderr)
 		rep.Results = append(rep.Results, r)
 	}
@@ -220,18 +232,28 @@ func compareAgainst(results []result, base map[string]result, tolPct float64, ga
 // the median-ns/op round, which is robust against scheduling noise on
 // shared machines without averaging away cache effects.
 func runCase(c bench.Case, rounds int) result {
-	type round struct{ ns, bytes, allocs float64 }
+	type round struct {
+		ns, bytes, allocs float64
+		extra             map[string]float64
+	}
 	rs := make([]round, 0, rounds)
 	for i := 0; i < rounds; i++ {
 		br := testing.Benchmark(c.F)
 		if br.N == 0 {
 			log.Fatalf("%s: benchmark failed (0 iterations)", c.Name)
 		}
-		rs = append(rs, round{
+		r := round{
 			ns:     float64(br.T.Nanoseconds()) / float64(br.N),
 			bytes:  float64(br.AllocedBytesPerOp()),
 			allocs: float64(br.AllocsPerOp()),
-		})
+		}
+		if len(br.Extra) > 0 {
+			r.extra = make(map[string]float64, len(br.Extra))
+			for k, v := range br.Extra {
+				r.extra[k] = round3(v)
+			}
+		}
+		rs = append(rs, r)
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ns < rs[j].ns })
 	m := rs[len(rs)/2]
@@ -241,6 +263,7 @@ func runCase(c bench.Case, rounds int) result {
 		NsPerOp:     round3(m.ns),
 		BytesPerOp:  int64(m.bytes),
 		AllocsPerOp: int64(m.allocs),
+		Extra:       m.extra,
 	}
 }
 

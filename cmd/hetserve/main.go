@@ -11,6 +11,9 @@
 //	POST|GET /v1/query   best configuration for a size under constraints
 //	POST|GET /v1/topk    ranked K best
 //	POST     /v1/reload  swap in a new model file without downtime
+//	POST     /v1/refit   fold new measurements into the served model
+//	                     incrementally (requires -refit-auth; disabled
+//	                     by default)
 //	GET      /v1/healthz liveness + current model version
 //	GET      /v1/stats   cache/batch/admission counters, including the
 //	                     completed/servedNs and rejection counters the
@@ -51,6 +54,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "default per-query deadline (0 = none)")
 		workers     = flag.Int("workers", 0, "search workers per grid pass (0 = GOMAXPROCS)")
 		grind       = flag.Duration("grind", 0, "load testing: minimum service time per grid pass, slot held (0 = off)")
+		refitAuth   = flag.String("refit-auth", "", "shared secret required in X-Refit-Auth for POST /v1/refit (empty = endpoint disabled)")
 	)
 	version.AddFlag()
 	flag.Parse()
@@ -70,6 +74,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		Workers:        *workers,
 		Grind:          *grind,
+		RefitAuth:      *refitAuth,
 	})
 	if err != nil {
 		log.Fatal(err)

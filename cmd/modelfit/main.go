@@ -6,6 +6,18 @@
 //
 //	modelfit -campaign nl -out models.json
 //	modelfit -campaign basic            # prints model summary to stdout
+//
+// A model file written by modelfit carries its training-sample bins, so it
+// can also be rebuilt from scratch — optionally with a refit batch merged in
+// — without re-running the campaign:
+//
+//	modelfit -rebuild models.json -batch batch.json -out models2.json
+//
+// The batch file holds {"samples": [...], "calibration": [...]} records in
+// the same shape as hetserve's POST /v1/refit body. The rebuild path is the
+// reference the refit-parity CI gate diffs the served answers against: a
+// full Build over the concatenated samples must agree bit-for-bit with the
+// server's incremental refit.
 package main
 
 import (
@@ -32,6 +44,8 @@ func main() {
 		diag     = flag.Bool("diag", false, "print per-bin fit diagnostics")
 		cv       = flag.Bool("cv", false, "leave-one-out cross-validation of the N-T fits")
 		workers  = flag.Int("workers", 0, "concurrent campaign simulations (0 = GOMAXPROCS, 1 = sequential)")
+		rebuild  = flag.String("rebuild", "", "rebuild models from the sample bins of this model file instead of running a campaign")
+		batch    = flag.String("batch", "", "with -rebuild: merge this refit batch file ({\"samples\":[...],\"calibration\":[...]}) before rebuilding")
 	)
 	prof := profiling.AddFlags(nil)
 	version.AddFlag()
@@ -42,6 +56,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	if *rebuild != "" {
+		if err := runRebuild(*rebuild, *batch, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *batch != "" {
+		log.Fatal("-batch requires -rebuild")
+	}
 
 	var camp measure.Campaign
 	switch strings.ToLower(*campaign) {
@@ -93,12 +117,74 @@ func main() {
 	if *out == "" {
 		return
 	}
-	data, err := json.MarshalIndent(bm.Models, "", "  ")
+	if err := writeModel(*out, bm.Models); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// batchFile is the on-disk refit batch: the same shape as the JSON body of
+// hetserve's POST /v1/refit.
+type batchFile struct {
+	Samples     []core.StoredSample `json:"samples"`
+	Calibration []core.StoredSample `json:"calibration"`
+}
+
+// runRebuild loads a binned model file, optionally merges a refit batch into
+// its bins (bookkeeping only), and refits everything from scratch over the
+// concatenated samples — the reference answer the incremental-refit parity
+// gate compares the server against.
+func runRebuild(modelPath, batchPath, outPath string) error {
+	ms, err := core.LoadModelSetFile(modelPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if ms.Bins == nil {
+		return fmt.Errorf("%s carries no sample bins; refit a model written by a current modelfit", modelPath)
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+	if batchPath != "" {
+		data, err := os.ReadFile(batchPath)
+		if err != nil {
+			return err
+		}
+		var bf batchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("parse %s: %v", batchPath, err)
+		}
+		var delta core.SampleDelta
+		for _, s := range bf.Samples {
+			delta.Samples = append(delta.Samples, s.Sample())
+		}
+		for _, s := range bf.Calibration {
+			delta.Calibration = append(delta.Calibration, s.Sample())
+		}
+		merged, rep, err := ms.Bins.MergeDelta(delta, ms.Classes)
+		if err != nil {
+			return err
+		}
+		ms.Bins = merged
+		fmt.Printf("merged %s: %d appended, %d replaced, %d bins touched\n",
+			batchPath, rep.Appended+rep.CalibAppended, rep.Replaced+rep.CalibReplaced, len(rep.Touched))
+	}
+	rebuilt, err := ms.RebuildFromBins()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebuilt from %d binned samples: %d N-T bins, %d P-T bins\n",
+		rebuilt.Bins.Len(), len(rebuilt.NT), len(rebuilt.PT))
+	if outPath == "" {
+		return nil
+	}
+	return writeModel(outPath, rebuilt)
+}
+
+func writeModel(path string, ms *core.ModelSet) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	return nil
 }

@@ -192,11 +192,7 @@ func BuildModels(cl *Cluster, samples []Sample, calibration []Sample) (*ModelSet
 			if hasPT(ms, ci) {
 				continue
 			}
-			scale, err := ms.FitCompositionScale(ci, source)
-			if err != nil {
-				return nil, err
-			}
-			if err := ms.ComposeClass(ci, source, scale, experiments.TcScaleDefault); err != nil {
+			if _, err := ms.ComposeClassFitted(ci, source, experiments.TcScaleDefault); err != nil {
 				return nil, err
 			}
 		}
@@ -206,6 +202,10 @@ func BuildModels(cl *Cluster, samples []Sample, calibration []Sample) (*ModelSet
 			return nil, err
 		}
 	}
+	// Persist the training and calibration samples in (class, M) bins so the
+	// model can absorb new measurements incrementally (ModelSet.Refit) and
+	// be rebuilt exactly (RebuildFromBins).
+	ms.Bins = core.NewBinStore(samples, calibration)
 	return ms, nil
 }
 

@@ -44,6 +44,12 @@ func Suite() []Case {
 		{"ServeCachedQuery", "warm planner query, 1M-config space, evaluator cache hit", serveCachedQuery},
 		{"ServeColdCompile", "planner query after a model reload: compile + grid pass", serveColdCompile},
 		{"ServeSustainedQPS", "concurrent planner queries over 5 sizes (batching + admission)", serveSustainedQPS},
+		{"RefitOneBin", "incremental Refit of a one-sample delta into one bin of the 6-class binned model", refitOneBin},
+		{"RefitFullRebuild", "from-scratch RebuildFromBins of the same model: the reload path's fitting cost", refitFullRebuild},
+		{"ServeRefitWarm", "refit of a grid-unreachable bin + 5 warm queries: cache re-keyed (coldCompiles/op, cacheRetention)", serveRefitWarm},
+		{"ServeReloadWarm", "reload + the same 5 queries: cache invalidated, every size recompiles", serveReloadWarm},
+		{"ReplayRefitP99", "p99 query latency over a ~2k-request Poisson replay with a refit every 200 requests", replayRefitP99},
+		{"ReplayReloadP99", "the same replay with reloads: each update recompiles the working set", replayReloadP99},
 		{"WorkloadGen10k", "generate a ~10k-request Poisson trace over the smoke cohorts", workloadGen10k},
 		{"ReplaySummarize10k", "summarize 10k replay outcomes (quantile reservoirs + goodput)", replaySummarize10k},
 	}

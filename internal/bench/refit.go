@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hetmodel/internal/core"
+	"hetmodel/internal/serve"
+	"hetmodel/internal/stats"
+	"hetmodel/internal/workload"
+)
+
+// This file holds the incremental-refit workloads. The pair RefitOneBin /
+// RefitFullRebuild measures the fitting-cost asymmetry a refit exploits
+// (delta-fit the touched bin vs refit every bin, which is what a reload
+// path has to do). The Serve*Warm pair measures the cache consequence: a
+// refit of a grid-unreachable bin re-keys the warm evaluator cache to the
+// new version (coldCompiles/op stays 0), while a reload invalidates it and
+// every warm size recompiles. The Replay*P99 pair shows the same effect as
+// tail latency under a deterministic hetload-style replay with periodic
+// model updates interleaved into query traffic.
+
+// binnedSweepModel extends the sweep model to M = 1..5 and attaches its
+// sample bins. sweepSpace's process choices stop at 3, so the M = 4 and
+// M = 5 bins exist in the model but are unreachable by any grid candidate —
+// refitting them must not cost the serving layer its warm cache.
+var binnedSweepModel = sync.OnceValue(func() *core.ModelSet {
+	samples := sweepSamples(5)
+	ms, err := core.Build(6, samples)
+	if err != nil {
+		panic(err)
+	}
+	ms.Bins = core.NewBinStore(samples, nil)
+	return ms
+})
+
+// unreachableDelta is a one-sample delta into the grid-unreachable class 0
+// M = 5 bin, with the re-measured Ta scaled by factor.
+func unreachableDelta(ms *core.ModelSet, factor float64) core.SampleDelta {
+	s := ms.Bins.Samples(core.PTKey{Class: 0, M: 5})[0]
+	s.Ta *= factor
+	return core.SampleDelta{Samples: []core.Sample{s}}
+}
+
+func refitOneBin(b *testing.B) {
+	ms := binnedSweepModel()
+	delta := unreachableDelta(ms, 1.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, rep, err := ms.Refit(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if next == nil || len(rep.Touched) != 1 {
+			b.Fatalf("touched %v, want one bin", rep.Touched)
+		}
+	}
+}
+
+func refitFullRebuild(b *testing.B) {
+	ms := binnedSweepModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ms.RebuildFromBins(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// refitWarmSizes are the problem sizes kept warm across model updates.
+var refitWarmSizes = []int{400, 800, 1600, 2400, 3200}
+
+func newRefitPlanner(b *testing.B) *serve.Planner {
+	b.Helper()
+	p, err := serve.New(binnedSweepModel(), sweepSpace(), serve.Options{
+		CacheSize: 8,
+		Workers:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, n := range refitWarmSizes {
+		if _, err := p.Query(ctx, serve.Query{N: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// serveUpdateWarm is one benchmark op: publish a model update through swap,
+// then answer one query per warm size. The coldCompiles/op metric is the
+// number of evaluator compiles those queries paid, and cacheRetention the
+// fraction answered from the pre-update cache.
+func serveUpdateWarm(b *testing.B, swap func(p *serve.Planner, i int) error) {
+	p := newRefitPlanner(b)
+	ctx := context.Background()
+	compiles0 := p.Stats().Compiles
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := swap(p, i); err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range refitWarmSizes {
+			res, err := p.Query(ctx, serve.Query{N: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheHit {
+				hits++
+			}
+		}
+	}
+	b.StopTimer()
+	queries := b.N * len(refitWarmSizes)
+	b.ReportMetric(float64(p.Stats().Compiles-compiles0)/float64(b.N), "coldCompiles/op")
+	b.ReportMetric(float64(hits)/float64(queries), "cacheRetention")
+}
+
+func serveRefitWarm(b *testing.B) {
+	factors := []float64{1.01, 1.02, 1.03, 1.05, 1.08, 1.13}
+	serveUpdateWarm(b, func(p *serve.Planner, i int) error {
+		_, ms := p.Current()
+		res, err := p.Refit(unreachableDelta(ms, factors[i%len(factors)]))
+		if err != nil {
+			return err
+		}
+		if res.CacheKept != len(refitWarmSizes) {
+			b.Fatalf("refit kept %d evaluators, want %d", res.CacheKept, len(refitWarmSizes))
+		}
+		return nil
+	})
+}
+
+func serveReloadWarm(b *testing.B) {
+	serveUpdateWarm(b, func(p *serve.Planner, _ int) error {
+		_, ms := p.Current()
+		_, err := p.Reload(ms)
+		return err
+	})
+}
+
+// refitReplayTrace is a deterministic Poisson second at 2000 qps drawing
+// uniformly from the warm sizes: ~2000 planner requests per replay.
+var refitReplayTrace = sync.OnceValue(func() *workload.Trace {
+	tr, err := workload.Generate(workload.Spec{
+		Name:       "refit-replay",
+		Seed:       1004,
+		DurationNs: 1e9,
+		Arrival:    workload.ArrivalSpec{Process: workload.ProcessPoisson, RateQPS: 2000},
+		Cohorts: []workload.CohortSpec{
+			{Name: "sweep", Weight: 1, Sizes: refitWarmSizes, SizeDist: workload.SizeUniform},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tr
+})
+
+// replayUpdateP99 is one benchmark op: replay the whole trace through the
+// planner, publishing a model update every 200 requests, and report the p99
+// per-query latency. The refit and reload variants replay the identical
+// request sequence; the only difference is what each update does to the
+// evaluator cache.
+func replayUpdateP99(b *testing.B, swap func(p *serve.Planner, i int) error) {
+	p := newRefitPlanner(b)
+	tr := refitReplayTrace()
+	ctx := context.Background()
+	var p99 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := stats.NewQuantileReservoir(4096, tr.Seed)
+		for j, req := range tr.Requests {
+			if j%200 == 100 {
+				if err := swap(p, i*len(tr.Requests)+j); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := time.Now()
+			if _, err := p.Query(ctx, serve.Query{N: req.N, TopK: req.TopK}); err != nil {
+				b.Fatal(err)
+			}
+			res.Add(float64(time.Since(start)))
+		}
+		p99 = res.Quantile(0.99)
+	}
+	b.StopTimer()
+	b.ReportMetric(p99, "p99Ns")
+}
+
+func replayRefitP99(b *testing.B) {
+	factors := []float64{1.01, 1.02, 1.03, 1.05, 1.08, 1.13}
+	replayUpdateP99(b, func(p *serve.Planner, i int) error {
+		_, ms := p.Current()
+		_, err := p.Refit(unreachableDelta(ms, factors[i%len(factors)]))
+		return err
+	})
+}
+
+func replayReloadP99(b *testing.B) {
+	replayUpdateP99(b, func(p *serve.Planner, _ int) error {
+		_, ms := p.Current()
+		_, err := p.Reload(ms)
+		return err
+	})
+}

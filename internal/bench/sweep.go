@@ -27,15 +27,15 @@ func sweepSpace() cluster.Space {
 	return s
 }
 
-// sixClassModel fits a model set covering the sweep space: every class is
-// measured at M = 1..3 on 1, 2 and 4 PEs over five problem sizes, so each
-// class has full single-PE N-T bins and directly-fitted P-T bins. Class c
-// runs at a speed factor 1/(1 + c/4), making the τ landscape non-trivial.
-var sixClassModel = sync.OnceValue(func() *core.ModelSet {
+// sweepSamples generates the six-class training set: every class measured at
+// M = 1..maxM on 1, 2 and 4 PEs over five problem sizes, so each class has
+// full single-PE N-T bins and directly-fitted P-T bins. Class c runs at a
+// speed factor 1/(1 + c/4), making the τ landscape non-trivial.
+func sweepSamples(maxM int) []core.Sample {
 	var samples []core.Sample
 	for class := 0; class < 6; class++ {
 		speed := 1 + float64(class)/4
-		for m := 1; m <= 3; m++ {
+		for m := 1; m <= maxM; m++ {
 			for _, pe := range []int{1, 2, 4} {
 				p := pe * m
 				for _, n := range []int{400, 800, 1600, 2400, 3200} {
@@ -56,7 +56,13 @@ var sixClassModel = sync.OnceValue(func() *core.ModelSet {
 			}
 		}
 	}
-	ms, err := core.Build(6, samples)
+	return samples
+}
+
+// sixClassModel fits the model set covering the sweep space (M = 1..3,
+// matching sweepSpace's process choices).
+var sixClassModel = sync.OnceValue(func() *core.ModelSet {
+	ms, err := core.Build(6, sweepSamples(3))
 	if err != nil {
 		panic(err)
 	}

@@ -40,6 +40,28 @@ type ModelSet struct {
 	// exists in the paging regime. Not serialized; reattach after
 	// loading a model file (see cluster.MemoryGuard).
 	Memory MemoryGuard `json:"-"`
+	// Bins, when non-nil, holds the training and calibration samples the
+	// models were fitted from, partitioned into (class, M) bins. It is
+	// persisted alongside the models and is what enables incremental
+	// refit (Refit) and the exact rebuild reference (RebuildFromBins).
+	Bins *BinStore
+	// Compositions records the §3.5 composition steps applied to this
+	// model set, in application order, so a refit can replay them after
+	// the underlying fits change.
+	Compositions []Composition
+}
+
+// Composition is one recorded §3.5 composition step: fill the target class's
+// missing P-T bins by scaling the source class's models. FitTa marks the Ta
+// factor as fitted (FitCompositionScale) rather than hand-chosen, so replay
+// after a refit re-derives it from the refitted single-PE models; TaScale
+// then records the factor's current value.
+type Composition struct {
+	Target  int     `json:"target"`
+	Source  int     `json:"source"`
+	TaScale float64 `json:"taScale"`
+	TcScale float64 `json:"tcScale"`
+	FitTa   bool    `json:"fitTa,omitempty"`
 }
 
 // MemoryGuard predicts the execution-time multiplier of memory pressure for
@@ -68,26 +90,91 @@ func Build(classes int, samples []Sample) (*ModelSet, error) {
 // ComposeClass fills in the P-T models of a class that lacks them by scaling
 // another class's P-T models (§3.5). taScale/tcScale multiply the source
 // predictions; the paper uses hand-chosen constants (0.27 and 0.85 for
-// Athlon from Pentium-II).
+// Athlon from Pentium-II). The step is recorded in Compositions so an
+// incremental refit can replay it against the refitted models.
 func (ms *ModelSet) ComposeClass(target, source int, taScale, tcScale float64) error {
-	if taScale <= 0 || tcScale <= 0 {
+	c := Composition{Target: target, Source: source, TaScale: taScale, TcScale: tcScale}
+	if err := ms.composeApply(c, true); err != nil {
+		return err
+	}
+	ms.Compositions = append(ms.Compositions, c)
+	return nil
+}
+
+// ComposeClassFitted is ComposeClass with the Ta factor fitted from the two
+// classes' single-PE models (FitCompositionScale) instead of hand-chosen,
+// recorded as such so refit replay re-derives it. It returns the fitted
+// factor.
+func (ms *ModelSet) ComposeClassFitted(target, source int, tcScale float64) (float64, error) {
+	scale, err := ms.FitCompositionScale(target, source)
+	if err != nil {
+		return 0, err
+	}
+	c := Composition{Target: target, Source: source, TaScale: scale, TcScale: tcScale, FitTa: true}
+	if err := ms.composeApply(c, true); err != nil {
+		return 0, err
+	}
+	ms.Compositions = append(ms.Compositions, c)
+	return scale, nil
+}
+
+// composeApply performs one composition step without recording it. Source
+// bins are visited in sorted order so newly-inserted target keys can never
+// perturb the walk. strict errors when nothing was composed — right for a
+// user-invoked step, wrong for replay (a refit may have directly fitted
+// every target bin, leaving the recipe with nothing to do).
+func (ms *ModelSet) composeApply(c Composition, strict bool) error {
+	if c.TaScale <= 0 || c.TcScale <= 0 {
 		return fmt.Errorf("%w: nonpositive composition scale", ErrBadSamples)
 	}
 	composed := 0
-	for key, m := range ms.PT {
-		if key.Class != source {
+	for _, key := range ms.PTKeys() {
+		if key.Class != c.Source {
 			continue
 		}
-		tk := PTKey{Class: target, M: key.M}
+		tk := PTKey{Class: c.Target, M: key.M}
 		if _, exists := ms.PT[tk]; exists {
 			continue
 		}
-		ms.PT[tk] = m.Compose(target, taScale, tcScale)
+		ms.PT[tk] = ms.PT[key].Compose(c.Target, c.TaScale, c.TcScale)
 		composed++
 	}
-	if composed == 0 {
-		return fmt.Errorf("%w: class %d has no P-T models to compose from", ErrNoModel, source)
+	if strict && composed == 0 {
+		return fmt.Errorf("%w: class %d has no P-T models to compose from", ErrNoModel, c.Source)
 	}
+	return nil
+}
+
+// replayCompositions re-derives every composed P-T model from the recorded
+// recipes, in recorded order, against the current fits: composed models are
+// dropped, fitted Ta factors re-estimated (their single-PE inputs may have
+// been refitted), and each recipe re-applied. A bin the refit could now fit
+// directly keeps its fitted model — exactly what a from-scratch rebuild
+// produces, which is what keeps Refit bit-identical to RebuildFromBins.
+func (ms *ModelSet) replayCompositions() error {
+	if len(ms.Compositions) == 0 {
+		return nil
+	}
+	for _, key := range ms.PTKeys() {
+		if ms.PT[key].Composed {
+			delete(ms.PT, key)
+		}
+	}
+	replayed := make([]Composition, 0, len(ms.Compositions))
+	for _, c := range ms.Compositions {
+		if c.FitTa {
+			scale, err := ms.FitCompositionScale(c.Target, c.Source)
+			if err != nil {
+				return err
+			}
+			c.TaScale = scale
+		}
+		if err := ms.composeApply(c, false); err != nil {
+			return err
+		}
+		replayed = append(replayed, c)
+	}
+	ms.Compositions = replayed
 	return nil
 }
 
@@ -315,6 +402,31 @@ func (ms *ModelSet) Validate() error {
 	for class := range ms.Adjust {
 		if class < 0 || class >= ms.Classes {
 			return fmt.Errorf("%w: adjustment for class %d outside %d classes", ErrNoModel, class, ms.Classes)
+		}
+	}
+	for _, c := range ms.Compositions {
+		if c.Target < 0 || c.Target >= ms.Classes || c.Source < 0 || c.Source >= ms.Classes {
+			return fmt.Errorf("%w: composition %d<-%d outside %d classes", ErrNoModel, c.Target, c.Source, ms.Classes)
+		}
+		if c.TaScale <= 0 || c.TcScale <= 0 {
+			return fmt.Errorf("%w: composition %d<-%d has nonpositive scale", ErrNoModel, c.Target, c.Source)
+		}
+	}
+	if ms.Bins != nil {
+		for _, k := range ms.Bins.Keys() {
+			for _, s := range ms.Bins.Samples(k) {
+				if (PTKey{Class: s.Class, M: s.M}) != k {
+					return fmt.Errorf("%w: bin %v holds sample keyed %v", ErrNoModel, k, PTKey{Class: s.Class, M: s.M})
+				}
+				if err := checkSample(s, ms.Classes); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range ms.Bins.Calibration() {
+			if err := checkSample(s, ms.Classes); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refitWorld builds the full refit fixture: the two-class world fitted,
+// class 0 composed from class 1 with a fitted Ta factor, the §4.1
+// adjustment calibrated, and the bin store attached — the state BuildModels
+// leaves a model in.
+func refitWorld(t *testing.T) *ModelSet {
+	t.Helper()
+	samples := twoClassWorld()
+	ms, err := Build(2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.ComposeClassFitted(0, 1, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	calib := calibSamples()
+	if err := ms.FitAdjustment(calib); err != nil {
+		t.Fatal(err)
+	}
+	ms.Bins = NewBinStore(samples, calib)
+	return ms
+}
+
+// calibSamples are §4.1 calibration measurements in each class's
+// extrapolation region: class 0 is composed (always extrapolating), class 1
+// beyond its largest fitted P (8 for M=1).
+func calibSamples() []Sample {
+	return []Sample{
+		{Class: 0, M: 1, P: 9, N: 6400, Ta: 1, Tc: 0.9},
+		{Class: 0, M: 2, P: 10, N: 6400, Ta: 1, Tc: 1.4},
+		{Class: 1, M: 1, P: 9, N: 6400, Ta: 1, Tc: 1.1},
+	}
+}
+
+func jsonBytes(t *testing.T, ms *ModelSet) []byte {
+	t.Helper()
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// assertBitIdentical compares two model sets through their serialized form:
+// the JSON float encoding round-trips float64 uniquely, so byte equality is
+// bit equality over every model, bin, recipe and transform.
+func assertBitIdentical(t *testing.T, label string, a, b *ModelSet) {
+	t.Helper()
+	if !bytes.Equal(jsonBytes(t, a), jsonBytes(t, b)) {
+		t.Fatalf("%s: model sets differ", label)
+	}
+}
+
+// randomDelta draws a refit batch against the current store: replacements of
+// stored measurements (jittered), fresh sizes in existing bins, occasionally
+// a whole new (class, M) bin with enough sizes and process counts to be
+// fittable, occasionally a calibration sample.
+func randomDelta(rng *rand.Rand, ms *ModelSet, round int) SampleDelta {
+	var d SampleDelta
+	keys := ms.Bins.Keys()
+	for i, picks := 0, 1+rng.Intn(4); i < picks; i++ {
+		bin := ms.Bins.Samples(keys[rng.Intn(len(keys))])
+		s := bin[rng.Intn(len(bin))]
+		switch rng.Intn(3) {
+		case 0: // replace a stored measurement with a re-measured value
+			s.Ta *= 1 + 0.1*rng.Float64()
+			s.Tc *= 1 + 0.1*rng.Float64()
+		case 1: // extend the configuration's size sweep
+			s.N = 7000 + 100*round + i
+			s.Ta = s.Ta * 1.5
+			s.Tc = s.Tc * 1.5
+		default: // duplicate-in-delta: the last write must win
+			s.Ta *= 0.95
+			d.Samples = append(d.Samples, s)
+			s.Ta *= 1.02
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	if round%5 == 2 {
+		// A brand-new class-1 bin: M = 3 measured on enough PEs and sizes
+		// for both the N-T and P-T fits; composition then mirrors it into
+		// class 0.
+		m := 3 + round/5
+		for _, pe := range []int{1, 2, 4} {
+			p := pe * m
+			for _, n := range []int{800, 1600, 2400, 3200} {
+				nf := float64(n)
+				ta := 7e-10*nf*nf*nf/float64(p) + 0.3
+				tc := 1.5e-9*nf*nf*float64(p)/8 + 0.04
+				d.Samples = append(d.Samples, Sample{N: n, P: p, Class: 1, M: m, Ta: ta, Tc: tc})
+			}
+		}
+	}
+	if round%3 == 1 {
+		d.Calibration = append(d.Calibration, Sample{
+			Class: rng.Intn(2), M: 1, P: 9, N: 6400, Ta: 1, Tc: 0.8 + 0.4*rng.Float64(),
+		})
+	}
+	return d
+}
+
+// TestRefitBitIdenticalToRebuild is the central property: over a chain of
+// randomized deltas, the incremental refit equals a from-scratch rebuild of
+// the concatenated samples bit for bit — models, compositions, adjustment,
+// bins, everything the model file serializes.
+func TestRefitBitIdenticalToRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1004))
+	ms := refitWorld(t)
+	// The fixture itself must satisfy the invariant refit preserves.
+	ref, err := ms.RebuildFromBins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "fixture vs rebuild", ms, ref)
+	for round := 0; round < 20; round++ {
+		delta := randomDelta(rng, ms, round)
+		next, rep, err := ms.Refit(delta)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if ms.Bins.Len()+rep.Appended != next.Bins.Len() {
+			t.Fatalf("round %d: %d stored + %d appended != %d", round, ms.Bins.Len(), rep.Appended, next.Bins.Len())
+		}
+		ref, err := next.RebuildFromBins()
+		if err != nil {
+			t.Fatalf("round %d rebuild: %v", round, err)
+		}
+		assertBitIdentical(t, "refit vs rebuild", next, ref)
+		if err := next.Validate(); err != nil {
+			t.Fatalf("round %d: refit model invalid: %v", round, err)
+		}
+		ms = next // chain: refit-of-refit keeps the invariant
+	}
+}
+
+// TestRefitSharesUntouchedModels: the perf contract — a one-bin delta leaves
+// every other bin's model pointer untouched (no refit work), and the report
+// names exactly the touched bin as changed.
+func TestRefitSharesUntouchedModels(t *testing.T) {
+	ms := refitWorld(t)
+	target := PTKey{Class: 1, M: 2}
+	// Pick an off-diagonal sample (P != M): the composition Ta factor is fit
+	// from diagonal bins only, so it — and with it class 0's M=1 bin — must
+	// stay bit-identical.
+	var s Sample
+	for _, cand := range ms.Bins.Samples(target) {
+		if cand.P != cand.M {
+			s = cand
+			break
+		}
+	}
+	if s.N == 0 {
+		t.Fatal("fixture has no off-diagonal sample in class1/M2")
+	}
+	s.Ta *= 1.25
+	next, rep, err := ms.Refit(SampleDelta{Samples: []Sample{s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Touched) != 1 || rep.Touched[0] != target {
+		t.Fatalf("touched = %v, want [%v]", rep.Touched, target)
+	}
+	if rep.Replaced != 1 || rep.Appended != 0 {
+		t.Fatalf("replaced=%d appended=%d, want 1/0", rep.Replaced, rep.Appended)
+	}
+	// Changed must cover the touched bin; class 0's composed M=2 bin mirrors
+	// class 1's P-T fit, so it changes too. Class-agnostic M=1 bins may not.
+	wantChanged := map[PTKey]bool{{Class: 1, M: 2}: true, {Class: 0, M: 2}: true}
+	for _, k := range rep.Changed {
+		if !wantChanged[k] {
+			t.Fatalf("unexpected changed bin %v (changed=%v)", k, rep.Changed)
+		}
+		delete(wantChanged, k)
+	}
+	if len(wantChanged) != 0 {
+		t.Fatalf("bins not reported changed: %v (changed=%v)", wantChanged, rep.Changed)
+	}
+	// Untouched N-T models are shared pointers, not refits.
+	for _, k := range ms.Keys() {
+		if k.Class == target.Class && k.M == target.M {
+			continue
+		}
+		if next.NT[k] != ms.NT[k] {
+			t.Fatalf("untouched N-T bin %v was refit", k)
+		}
+	}
+	if next.PT[PTKey{Class: 1, M: 1}] != ms.PT[PTKey{Class: 1, M: 1}] {
+		t.Fatal("untouched P-T bin class1/M1 was refit")
+	}
+}
+
+// TestRefitIdenticalSampleChangesNothing: re-measuring a configuration to
+// the same values must produce an empty changed-bin report — the signal the
+// serving layer uses to keep its entire evaluator cache.
+func TestRefitIdenticalSampleChangesNothing(t *testing.T) {
+	ms := refitWorld(t)
+	s := ms.Bins.Samples(PTKey{Class: 1, M: 1})[2]
+	next, rep, err := ms.Refit(SampleDelta{Samples: []Sample{s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Changed) != 0 || len(rep.AdjustChanged) != 0 {
+		t.Fatalf("changed=%v adjustChanged=%v, want none", rep.Changed, rep.AdjustChanged)
+	}
+	assertBitIdentical(t, "identical replacement", ms, next)
+}
+
+// TestRefitNewBin: a delta opening a new (class, M) bin grows new N-T and
+// P-T models, and the composition replay mirrors the bin into the composed
+// class.
+func TestRefitNewBin(t *testing.T) {
+	ms := refitWorld(t)
+	var delta SampleDelta
+	for _, pe := range []int{1, 2, 4} {
+		p := pe * 3
+		for _, n := range []int{800, 1600, 2400, 3200} {
+			nf := float64(n)
+			delta.Samples = append(delta.Samples, Sample{
+				N: n, P: p, Class: 1, M: 3,
+				Ta: 7e-10*nf*nf*nf/float64(p) + 0.3,
+				Tc: 1.5e-9*nf*nf*float64(p)/8 + 0.04,
+			})
+		}
+	}
+	next, rep, err := ms.Refit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NT[Key{Class: 1, P: 3, M: 3}] == nil {
+		t.Fatal("new N-T bin missing")
+	}
+	if pt := next.PT[PTKey{Class: 1, M: 3}]; pt == nil || pt.Composed {
+		t.Fatalf("new P-T bin = %+v, want directly fitted", pt)
+	}
+	if pt := next.PT[PTKey{Class: 0, M: 3}]; pt == nil || !pt.Composed {
+		t.Fatalf("composed mirror bin = %+v, want composed", pt)
+	}
+	changed := map[PTKey]bool{}
+	for _, k := range rep.Changed {
+		changed[k] = true
+	}
+	if !changed[PTKey{Class: 1, M: 3}] || !changed[PTKey{Class: 0, M: 3}] {
+		t.Fatalf("changed = %v, want the new and mirrored bins", rep.Changed)
+	}
+}
+
+// TestRefitCompositionScaleRefitted: changing a single-PE diagonal bin of
+// the composition's source class re-derives the fitted Ta factor, so the
+// composed class's bins change even though no sample touched them.
+func TestRefitCompositionScaleRefitted(t *testing.T) {
+	ms := refitWorld(t)
+	before := ms.Compositions[0].TaScale
+	var delta SampleDelta
+	// Halve class 0's measured speed across both of its single-PE bins: the
+	// work-weighted ratio against class 1 then doubles.
+	for _, m := range []int{1, 2} {
+		for _, s := range ms.Bins.Samples(PTKey{Class: 0, M: m}) {
+			if s.P == s.M {
+				s.Ta *= 2
+				delta.Samples = append(delta.Samples, s)
+			}
+		}
+	}
+	next, rep, err := ms.Refit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := next.Compositions[0].TaScale
+	if math.Abs(after-2*before) > 0.2*before {
+		t.Fatalf("TaScale %v -> %v, want roughly doubled", before, after)
+	}
+	changed := map[PTKey]bool{}
+	for _, k := range rep.Changed {
+		changed[k] = true
+	}
+	for _, m := range []int{1, 2} {
+		if !changed[PTKey{Class: 0, M: m}] {
+			t.Fatalf("composed bin class0/M%d not reported changed (changed=%v)", m, rep.Changed)
+		}
+	}
+}
+
+// TestRefitAdjustmentRecomputed (satellite): the §4.1 transforms are refit
+// from the union calibration set on every refit — deterministically, and
+// reported per class.
+func TestRefitAdjustmentRecomputed(t *testing.T) {
+	ms := refitWorld(t)
+	delta := SampleDelta{Calibration: []Sample{
+		{Class: 1, M: 1, P: 16, N: 6400, Ta: 1, Tc: 2.5},
+	}}
+	next, rep, err := ms.Refit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CalibAppended != 1 {
+		t.Fatalf("calibAppended = %d, want 1", rep.CalibAppended)
+	}
+	if len(rep.Changed) != 0 {
+		t.Fatalf("changed = %v, want none (calibration-only delta)", rep.Changed)
+	}
+	if len(rep.AdjustChanged) != 1 || rep.AdjustChanged[0] != 1 {
+		t.Fatalf("adjustChanged = %v, want [1]", rep.AdjustChanged)
+	}
+	if next.Adjust[0].A != ms.Adjust[0].A {
+		t.Fatal("class 0 transform changed by a class 1 calibration sample")
+	}
+	if next.Adjust[1].A == ms.Adjust[1].A {
+		t.Fatal("class 1 transform did not absorb the new calibration sample")
+	}
+	// Determinism: the same refit from the same base is bit-identical.
+	again, _, err := ms.Refit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "repeated refit", next, again)
+	// And re-running FitAdjustment in place over the stored union set must
+	// reproduce the transforms exactly.
+	manual := next.Adjust
+	if err := next.FitAdjustment(next.Bins.Calibration()); err != nil {
+		t.Fatal(err)
+	}
+	for class, lt := range manual {
+		got := next.Adjust[class]
+		if got == nil || got.A != lt.A || got.B != lt.B {
+			t.Fatalf("class %d: FitAdjustment re-run gave %+v, want %+v", class, got, lt)
+		}
+	}
+}
+
+// TestRefitErrors: the refit API rejects what it cannot digest, without
+// mutating the receiver.
+func TestRefitErrors(t *testing.T) {
+	ms := refitWorld(t)
+	before := jsonBytes(t, ms)
+
+	binless, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := binless.Refit(SampleDelta{Samples: []Sample{{Class: 0, M: 1, P: 1, N: 400, Ta: 1, Tc: 1}}}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("binless refit: %v, want ErrNoModel", err)
+	}
+	if _, _, err := ms.Refit(SampleDelta{}); !errors.Is(err, ErrBadSamples) {
+		t.Fatalf("empty delta: %v, want ErrBadSamples", err)
+	}
+	bad := []Sample{
+		{Class: 7, M: 1, P: 1, N: 400, Ta: 1, Tc: 1},
+		{Class: 0, M: 0, P: 1, N: 400, Ta: 1, Tc: 1},
+		{Class: 0, M: 2, P: 1, N: 400, Ta: 1, Tc: 1},
+		{Class: 0, M: 1, P: 1, N: 400, Ta: math.NaN(), Tc: 1},
+	}
+	for i, s := range bad {
+		if _, _, err := ms.Refit(SampleDelta{Samples: []Sample{s}}); !errors.Is(err, ErrBadSamples) {
+			t.Errorf("bad sample %d accepted (%v)", i, err)
+		}
+	}
+	if !bytes.Equal(before, jsonBytes(t, ms)) {
+		t.Fatal("failed refits mutated the receiver")
+	}
+}
+
+// TestBinStoreLatestWins: appending an already-measured (bin, P, N) replaces
+// the stored sample in place, keeping arrival order stable — the property
+// that makes repeated re-measurements idempotent in shape.
+func TestBinStoreLatestWins(t *testing.T) {
+	ms := refitWorld(t)
+	key := PTKey{Class: 1, M: 1}
+	orig := append([]Sample(nil), ms.Bins.Samples(key)...)
+	s := orig[3]
+	s.Tc *= 3
+	next, rep, err := ms.Refit(SampleDelta{Samples: []Sample{s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replaced != 1 {
+		t.Fatalf("replaced = %d, want 1", rep.Replaced)
+	}
+	got := next.Bins.Samples(key)
+	if len(got) != len(orig) {
+		t.Fatalf("bin grew from %d to %d samples", len(orig), len(got))
+	}
+	sameSample := func(a, b Sample) bool {
+		return a.Class == b.Class && a.M == b.M && a.P == b.P && a.N == b.N &&
+			a.Ta == b.Ta && a.Tc == b.Tc
+	}
+	for i := range got {
+		want := orig[i]
+		if i == 3 {
+			want = s
+		}
+		if !sameSample(got[i], want) {
+			t.Fatalf("bin[%d] = %+v, want %+v", i, got[i], want)
+		}
+	}
+	// The original store is untouched (copy-on-write).
+	if !sameSample(ms.Bins.Samples(key)[3], orig[3]) {
+		t.Fatal("refit mutated the original bin store")
+	}
+}

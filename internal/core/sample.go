@@ -53,16 +53,22 @@ type Sample struct {
 	Wall float64
 }
 
-// Key identifies an N-T model's configuration bin.
+// Key identifies an N-T model's configuration bin. The JSON tags shape
+// the "nt" entries of the persisted model file (unmarshal is
+// case-insensitive, so files written before the tags still load).
 type Key struct {
-	Class, P, M int
+	Class int `json:"class"`
+	P     int `json:"p"`
+	M     int `json:"m"`
 }
 
 func (k Key) String() string { return fmt.Sprintf("class%d/P%d/M%d", k.Class, k.P, k.M) }
 
-// PTKey identifies a P-T model's bin.
+// PTKey identifies a P-T model's bin. The JSON tags shape the refit
+// report's touched/changed lists on the /v1/refit wire format.
 type PTKey struct {
-	Class, M int
+	Class int `json:"class"`
+	M     int `json:"m"`
 }
 
 func (k PTKey) String() string { return fmt.Sprintf("class%d/M%d", k.Class, k.M) }

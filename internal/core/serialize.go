@@ -9,14 +9,27 @@ import (
 )
 
 // modelSetJSON is the stable on-disk representation of a ModelSet (maps
-// keyed by structs are flattened into entry lists).
+// keyed by structs are flattened into entry lists). The bins, calibration
+// and compositions sections carry the incremental-refit state; all three are
+// omitempty, so files written before refit existed — and models built
+// without bins — keep their exact byte representation.
 type modelSetJSON struct {
-	Version    int                            `json:"version"`
-	Classes    int                            `json:"classes"`
-	NT         []*NTModel                     `json:"nt"`
-	PT         []*PTModel                     `json:"pt"`
-	Adjust     map[int]*stats.LinearTransform `json:"adjust,omitempty"`
-	AdjustMinM int                            `json:"adjustMinM"`
+	Version      int                            `json:"version"`
+	Classes      int                            `json:"classes"`
+	NT           []*NTModel                     `json:"nt"`
+	PT           []*PTModel                     `json:"pt"`
+	Adjust       map[int]*stats.LinearTransform `json:"adjust,omitempty"`
+	AdjustMinM   int                            `json:"adjustMinM"`
+	Compositions []Composition                  `json:"compositions,omitempty"`
+	Bins         []binJSON                      `json:"bins,omitempty"`
+	Calibration  []StoredSample                 `json:"calibration,omitempty"`
+}
+
+// binJSON is one persisted (class, M) sample bin, samples in arrival order.
+type binJSON struct {
+	Class   int            `json:"class"`
+	M       int            `json:"m"`
+	Samples []StoredSample `json:"samples"`
 }
 
 const serializeVersion = 1
@@ -24,16 +37,29 @@ const serializeVersion = 1
 // MarshalJSON implements json.Marshaler.
 func (ms *ModelSet) MarshalJSON() ([]byte, error) {
 	out := modelSetJSON{
-		Version:    serializeVersion,
-		Classes:    ms.Classes,
-		Adjust:     ms.Adjust,
-		AdjustMinM: ms.AdjustMinM,
+		Version:      serializeVersion,
+		Classes:      ms.Classes,
+		Adjust:       ms.Adjust,
+		AdjustMinM:   ms.AdjustMinM,
+		Compositions: ms.Compositions,
 	}
 	for _, k := range ms.Keys() {
 		out.NT = append(out.NT, ms.NT[k])
 	}
 	for _, k := range ms.PTKeys() {
 		out.PT = append(out.PT, ms.PT[k])
+	}
+	if ms.Bins != nil {
+		for _, k := range ms.Bins.Keys() {
+			bin := binJSON{Class: k.Class, M: k.M}
+			for _, s := range ms.Bins.Samples(k) {
+				bin.Samples = append(bin.Samples, StoredSample{Class: s.Class, P: s.P, M: s.M, N: s.N, Ta: s.Ta, Tc: s.Tc})
+			}
+			out.Bins = append(out.Bins, bin)
+		}
+		for _, s := range ms.Bins.Calibration() {
+			out.Calibration = append(out.Calibration, StoredSample{Class: s.Class, P: s.P, M: s.M, N: s.N, Ta: s.Ta, Tc: s.Tc})
+		}
 	}
 	return json.Marshal(out)
 }
@@ -66,6 +92,24 @@ func (ms *ModelSet) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("%w: malformed P-T model", ErrBadSamples)
 		}
 		ms.PT[m.Key] = m
+	}
+	ms.Compositions = in.Compositions
+	ms.Bins = nil
+	if len(in.Bins) > 0 || len(in.Calibration) > 0 {
+		var samples, calib []Sample
+		for _, bin := range in.Bins {
+			for _, s := range bin.Samples {
+				if s.Class != bin.Class || s.M != bin.M {
+					return fmt.Errorf("%w: bin class%d/M%d holds sample keyed class%d/M%d",
+						ErrBadSamples, bin.Class, bin.M, s.Class, s.M)
+				}
+				samples = append(samples, s.Sample())
+			}
+		}
+		for _, s := range in.Calibration {
+			calib = append(calib, s.Sample())
+		}
+		ms.Bins = NewBinStore(samples, calib)
 	}
 	return nil
 }

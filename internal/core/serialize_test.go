@@ -51,6 +51,106 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSerializeBinnedRoundTrip: a model carrying its sample bins,
+// compositions and calibration set — the state BuildModels produces —
+// round-trips byte-stably, and the loaded bins support an exact rebuild:
+// RebuildFromBins on the loaded model reproduces it bit for bit, so a
+// reloaded model file is refittable with the same guarantees as the
+// in-memory original.
+func TestSerializeBinnedRoundTrip(t *testing.T) {
+	ms := refitWorld(t)
+	first, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &ModelSet{}
+	if err := json.Unmarshal(first, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("round-tripped binned model invalid: %v", err)
+	}
+	if loaded.Bins == nil {
+		t.Fatal("bins lost in round trip")
+	}
+	if got, want := loaded.Bins.Len(), ms.Bins.Len(); got != want {
+		t.Fatalf("loaded %d binned samples, want %d", got, want)
+	}
+	if got, want := len(loaded.Bins.Calibration()), len(ms.Bins.Calibration()); got != want {
+		t.Fatalf("loaded %d calibration samples, want %d", got, want)
+	}
+	if got, want := len(loaded.Compositions), len(ms.Compositions); got != want {
+		t.Fatalf("loaded %d compositions, want %d", got, want)
+	}
+	second, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("binned serialization is not byte-stable across a round trip")
+	}
+	rebuilt, err := loaded.RebuildFromBins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := json.Marshal(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, third) {
+		t.Error("rebuild from loaded bins does not reproduce the saved model")
+	}
+	// A binless model must keep its pre-refit byte representation: the three
+	// refit sections are omitempty, so old fixtures stay diff-clean.
+	plain, err := Build(2, twoClassWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"bins"`, `"calibration"`, `"compositions"`} {
+		if bytes.Contains(data, []byte(field)) {
+			t.Errorf("binless model serializes %s", field)
+		}
+	}
+}
+
+// TestLoadRejectsMiskeyedBin: a bin whose samples disagree with its header
+// key is corruption, not data.
+func TestLoadRejectsMiskeyedBin(t *testing.T) {
+	ms := refitWorld(t)
+	good, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(good, &m); err != nil {
+		t.Fatal(err)
+	}
+	var bins []map[string]json.RawMessage
+	if err := json.Unmarshal(m["bins"], &bins); err != nil {
+		t.Fatal(err)
+	}
+	bins[0]["class"] = json.RawMessage("1")
+	bins[0]["m"] = json.RawMessage("1")
+	patched, err := json.Marshal(bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m["bins"] = patched
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &ModelSet{}
+	err = got.UnmarshalJSON(data)
+	if !errors.Is(err, ErrBadSamples) || !strings.Contains(err.Error(), "holds sample keyed") {
+		t.Fatalf("miskeyed bin: got %v, want ErrBadSamples mentioning the key mismatch", err)
+	}
+}
+
 // TestLoadModelSetFile: the shared loading path of hetopt/hetserve accepts a
 // valid file and rejects every corruption class with a useful error.
 func TestLoadModelSetFile(t *testing.T) {

@@ -144,11 +144,8 @@ func (c *Context) BuildModel(camp measure.Campaign) (*BuiltModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	taScale, err := ms.FitCompositionScale(0, 1)
+	taScale, err := ms.ComposeClassFitted(0, 1, TcScaleDefault)
 	if err != nil {
-		return nil, err
-	}
-	if err := ms.ComposeClass(0, 1, taScale, TcScaleDefault); err != nil {
 		return nil, err
 	}
 	adjN := camp.Ns[len(camp.Ns)-1]
@@ -166,6 +163,10 @@ func (c *Context) BuildModel(camp measure.Campaign) (*BuiltModel, error) {
 	if err := ms.FitAdjustment(calib); err != nil {
 		return nil, err
 	}
+	// Persist the campaign and calibration samples in (class, M) bins: a
+	// model file written from this set is incrementally refittable
+	// (core.ModelSet.Refit) and exactly rebuildable (RebuildFromBins).
+	ms.Bins = core.NewBinStore(res.Samples, calib)
 	// Memory binning (§3.4): exclude configurations whose predetermined
 	// per-node requirement exceeds physical memory — no training data
 	// exists in the paging regime.

@@ -119,6 +119,44 @@ func (c *evalCache) InvalidateExcept(keep int64) int {
 	return dropped
 }
 
+// Rekey migrates cached evaluators across a model swap whose visible tables
+// did not change: every entry at version from whose size survives drop (nil
+// keeps all sizes) is re-keyed to version to in place — no recompilation, no
+// eviction, LRU position preserved. Entries that fail drop, and stragglers
+// at any other version, are evicted. An in-flight compile re-keys like a
+// resident entry: its waiters hold the entry pointer, and the evaluator it
+// is building answers identically under either version (the caller's
+// contract for re-keying at all). If a query at the new version already
+// started its own compile for a size, that entry wins and the old one is
+// dropped — two resident entries may not share a key.
+func (c *evalCache) Rekey(from, to int64, drop func(n int) bool) (kept, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		e := elem.Value.(*evalEntry)
+		if e.key.version == to {
+			// A query racing ahead of the swap already compiled this size at
+			// the new version; it is current, leave it be.
+			elem = next
+			continue
+		}
+		newKey := evalKey{version: to, n: e.key.n}
+		_, collision := c.entries[newKey]
+		if e.key.version != from || (drop != nil && drop(e.key.n)) || collision {
+			c.evictLocked(elem)
+			dropped++
+		} else {
+			delete(c.entries, e.key)
+			e.key = newKey
+			c.entries[newKey] = e
+			kept++
+		}
+		elem = next
+	}
+	return kept, dropped
+}
+
 // Len returns the number of resident entries (including in-flight compiles).
 func (c *evalCache) Len() int {
 	c.mu.Lock()

@@ -113,6 +113,39 @@ func TestCacheInvalidateExcept(t *testing.T) {
 	}
 }
 
+// TestCacheRekey: entries at the source version migrate to the target
+// version in place (no recompilation), dropped sizes and stragglers at other
+// versions are evicted, and entries already at the target version — a query
+// racing ahead of the swap — survive untouched and win key collisions.
+func TestCacheRekey(t *testing.T) {
+	ms := testModel(t, 2)
+	c := newEvalCache(8)
+	for _, key := range []evalKey{{1, 100}, {1, 200}, {1, 300}, {0, 100}, {2, 400}, {2, 200}} {
+		c.Get(key, func() *core.Evaluator { return ms.Compile(float64(key.n)) })
+	}
+	compiles := c.compiles.Load()
+	// v1 n=100 rekeys; v1 n=200 collides with the racing v2 n=200 and drops;
+	// v1 n=300 fails the drop predicate; v0 n=100 is a straggler.
+	kept, dropped := c.Rekey(1, 2, func(n int) bool { return n == 300 })
+	if kept != 1 || dropped != 3 {
+		t.Fatalf("kept %d dropped %d, want 1/3", kept, dropped)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("%d entries left, want 3 (rekeyed 100 + racing 400, 200)", c.Len())
+	}
+	for _, key := range []evalKey{{2, 100}, {2, 200}, {2, 400}} {
+		if _, hit := c.Get(key, func() *core.Evaluator { return ms.Compile(float64(key.n)) }); !hit {
+			t.Errorf("entry %v missing after rekey", key)
+		}
+	}
+	if got := c.compiles.Load(); got != compiles {
+		t.Errorf("rekey verification compiled %d evaluators, want 0", got-compiles)
+	}
+	if _, hit := c.Get(evalKey{1, 100}, func() *core.Evaluator { return ms.Compile(100) }); hit {
+		t.Error("source-version key still resolves after rekey")
+	}
+}
+
 // TestStoreSwap: versions are unique and monotonic under concurrent swaps,
 // and Current never tears (the model always matches its version).
 func TestStoreSwap(t *testing.T) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +55,16 @@ type QueryResponse struct {
 	Batched  int             `json:"batched"`
 }
 
+// RefitRequest is the JSON body of /v1/refit: new measurements to fold into
+// the served model, as (class, p, m, n, ta, tc) records. A record matching a
+// stored measurement's (class, m, p, n) replaces it (latest wins).
+type RefitRequest struct {
+	// Samples are model-training measurements.
+	Samples []core.StoredSample `json:"samples,omitempty"`
+	// Calibration are §4.1 adjustment measurements.
+	Calibration []core.StoredSample `json:"calibration,omitempty"`
+}
+
 // ReloadRequest is the JSON body of /v1/reload.
 type ReloadRequest struct {
 	// Path names a model file (modelfit JSON) on the server's filesystem.
@@ -76,12 +87,17 @@ type errorResponse struct {
 //	POST|GET /v1/query   best configuration for a size under constraints
 //	POST|GET /v1/topk    ranked K best (default 5)
 //	POST     /v1/reload  load a model file and swap it in without downtime
+//	POST     /v1/refit   fold new measurements into the served model
 //	GET      /v1/healthz liveness + current model version
 //	GET      /v1/stats   cache/batch/admission counters
 //
 // The reload endpoint reads files on the server's host; hetserve is an
 // internal planning service and its API assumes a trusted network, like a
-// metrics or pprof endpoint.
+// metrics or pprof endpoint. The refit endpoint additionally requires the
+// shared secret of Options.RefitAuth in its X-Refit-Auth header and answers
+// 403 until one is configured: it is the only endpoint that mutates the
+// served model from request bodies, so it stays closed by default even on a
+// trusted network.
 func (p *Planner) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +107,7 @@ func (p *Planner) Handler() http.Handler {
 		p.handleQuery(w, r, 5)
 	})
 	mux.HandleFunc("/v1/reload", p.handleReload)
+	mux.HandleFunc("/v1/refit", p.handleRefit)
 	mux.HandleFunc("/v1/healthz", p.handleHealthz)
 	mux.HandleFunc("/v1/stats", p.handleStats)
 	return mux
@@ -166,6 +183,42 @@ func (p *Planner) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ReloadResponse{Version: version, Invalidated: before - p.cache.Len()})
+}
+
+// RefitAuthHeader carries the /v1/refit shared secret.
+const RefitAuthHeader = "X-Refit-Auth"
+
+func (p *Planner) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("refit requires POST"))
+		return
+	}
+	if p.refitAuth == "" {
+		writeError(w, http.StatusForbidden, errors.New("refit disabled: start hetserve with -refit-auth"))
+		return
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get(RefitAuthHeader)), []byte(p.refitAuth)) != 1 {
+		writeError(w, http.StatusForbidden, fmt.Errorf("bad or missing %s header", RefitAuthHeader))
+		return
+	}
+	var req RefitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad refit request: %v", err))
+		return
+	}
+	var delta core.SampleDelta
+	for _, s := range req.Samples {
+		delta.Samples = append(delta.Samples, s.Sample())
+	}
+	for _, s := range req.Calibration {
+		delta.Calibration = append(delta.Calibration, s.Sample())
+	}
+	res, err := p.Refit(delta)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (p *Planner) handleHealthz(w http.ResponseWriter, _ *http.Request) {

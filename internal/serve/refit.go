@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+)
+
+// This file is the serving side of incremental refit: Planner.Refit applies
+// a sample delta to the current model through core.ModelSet.Refit, publishes
+// the result as a new version, and uses the changed-bin report to decide
+// what the evaluator cache has to give up.
+//
+// The surgical part rests on one static fact computed at construction: the
+// grid read set. A compiled search probes the per-class τ tables only at the
+// (class, M) pairs the grid enumerates, so an evaluator's answers over this
+// planner's grid depend on exactly those model bins — independent of the
+// problem size it was compiled for. A refit whose changed bins all fall
+// outside the read set (and whose adjustment changes touch no class at a
+// grid-reachable M ≥ AdjustMinM) therefore leaves every cached evaluator's
+// answers bit-identical, and the cache is re-keyed to the new version
+// wholesale instead of recompiled. Any overlap with the read set invalidates
+// everything, exactly like a full reload: the read set does not vary with N,
+// so there is no per-size middle ground to exploit today. The cache API
+// (evalCache.Rekey's per-size drop predicate) already supports finer
+// policies should a size-dependent read set ever exist.
+
+// readSet is the set of (class, M) model bins a compiled search over the
+// planner's grid can read, plus the largest grid-reachable M per class (for
+// the §4.1 adjustment, which applies only at M ≥ AdjustMinM).
+type readSet struct {
+	bins map[core.PTKey]bool
+	maxM []int
+}
+
+// newReadSet derives the read set from the compiled grid: every (class, M)
+// with at least one grid pair using PEs of that class at that M.
+func newReadSet(grid *cluster.Grid) readSet {
+	rs := readSet{
+		bins: make(map[core.PTKey]bool),
+		maxM: make([]int, grid.Classes()),
+	}
+	for ci := 0; ci < grid.Classes(); ci++ {
+		for _, u := range grid.Pairs(ci) {
+			if u.PEs <= 0 || u.Procs <= 0 {
+				continue
+			}
+			rs.bins[core.PTKey{Class: ci, M: u.Procs}] = true
+			if u.Procs > rs.maxM[ci] {
+				rs.maxM[ci] = u.Procs
+			}
+		}
+	}
+	return rs
+}
+
+// RefitResult reports one applied refit: the published version, the
+// changed-bin report, and the cache outcome (entries re-keyed to the new
+// version without recompilation vs entries dropped).
+type RefitResult struct {
+	Version      int64             `json:"version"`
+	Report       *core.RefitReport `json:"report"`
+	CacheKept    int               `json:"cacheKept"`
+	CacheDropped int               `json:"cacheDropped"`
+}
+
+// Refit applies a sample delta to the served model and publishes the result
+// as the next version without downtime, exactly like Reload — but driven by
+// the changed-bin report: when no changed bin is grid-reachable, the whole
+// evaluator cache is re-keyed to the new version (kept warm); otherwise it
+// is invalidated like a reload. Queries already running finish against their
+// snapshot either way.
+func (p *Planner) Refit(delta core.SampleDelta) (*RefitResult, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	oldVersion, models := p.store.Current()
+	next, report, err := models.Refit(delta)
+	if err != nil {
+		return nil, err
+	}
+	version, err := p.store.Swap(next)
+	if err != nil {
+		return nil, err
+	}
+	p.refits.Add(1)
+	res := &RefitResult{Version: version, Report: report}
+	if p.refitReachesGrid(report, next) {
+		res.CacheDropped = p.cache.InvalidateExcept(version)
+		return res, nil
+	}
+	res.CacheKept, res.CacheDropped = p.cache.Rekey(oldVersion, version, nil)
+	p.cacheRekeyed.Add(int64(res.CacheKept))
+	return res, nil
+}
+
+// refitReachesGrid reports whether any change in the report is visible to a
+// search over the planner's grid: a changed (class, M) bin the grid reads,
+// or an adjustment change for a class whose grid-reachable M reaches the
+// adjustment threshold.
+func (p *Planner) refitReachesGrid(rep *core.RefitReport, next *core.ModelSet) bool {
+	for _, k := range rep.Changed {
+		if p.reads.bins[k] {
+			return true
+		}
+	}
+	for _, class := range rep.AdjustChanged {
+		if class < len(p.reads.maxM) && p.reads.maxM[class] >= next.AdjustMinM {
+			return true
+		}
+	}
+	return false
+}

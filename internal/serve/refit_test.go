@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hetmodel/internal/core"
+)
+
+// binnedTestModel is testModel extended with its sample bins attached and —
+// when maxM exceeds testSpace's largest process count (3) — model bins no
+// grid candidate can read. Those unreachable bins are what surgical
+// invalidation retains the cache across.
+func binnedTestModel(tb testing.TB, classes, maxM int) *core.ModelSet {
+	tb.Helper()
+	var samples []core.Sample
+	for class := 0; class < classes; class++ {
+		speed := 1 + float64(class)/4
+		for m := 1; m <= maxM; m++ {
+			for _, pe := range []int{1, 2, 4} {
+				p := pe * m
+				for _, n := range []int{400, 800, 1600, 2400, 3200} {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p)*speed + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					samples = append(samples, core.Sample{
+						N: n, P: p, Class: class, M: m, Ta: ta, Tc: tc,
+					})
+				}
+			}
+		}
+	}
+	ms, err := core.Build(classes, samples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ms.Bins = core.NewBinStore(samples, nil)
+	return ms
+}
+
+// jitterDelta returns a delta replacing one stored sample of bin with a
+// re-measured value scaled by factor, drawn from p's current model.
+func jitterDelta(tb testing.TB, p *Planner, bin core.PTKey, factor float64) core.SampleDelta {
+	tb.Helper()
+	_, ms := p.store.Current()
+	samples := ms.Bins.Samples(bin)
+	if len(samples) == 0 {
+		tb.Fatalf("fixture has no samples in %v", bin)
+	}
+	s := samples[0]
+	s.Ta *= factor
+	return core.SampleDelta{Samples: []core.Sample{s}}
+}
+
+func warmCache(t *testing.T, p *Planner, sizes []int) {
+	t.Helper()
+	for _, n := range sizes {
+		if _, err := p.Query(context.Background(), Query{N: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.cache.Len() != len(sizes) {
+		t.Fatalf("cache holds %d entries after warming %d sizes", p.cache.Len(), len(sizes))
+	}
+}
+
+// TestRefitRetainsCacheForUnreachableBin: a refit whose changed bins are
+// outside the grid read set keeps every cached evaluator — re-keyed to the
+// new version, zero recompiles — and the retained evaluators answer
+// bit-identically to a fresh search against the refit model.
+func TestRefitRetainsCacheForUnreachableBin(t *testing.T) {
+	ms := binnedTestModel(t, 2, 5)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{800, 1600, 2400}
+	warmCache(t, p, sizes)
+	compilesBefore := p.cache.compiles.Load()
+
+	res, err := p.Refit(jitterDelta(t, p, core.PTKey{Class: 0, M: 5}, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("version %d, want 2", res.Version)
+	}
+	if res.CacheKept != len(sizes) || res.CacheDropped != 0 {
+		t.Fatalf("kept %d dropped %d, want %d/0", res.CacheKept, res.CacheDropped, len(sizes))
+	}
+	if len(res.Report.Changed) == 0 {
+		t.Fatal("report claims nothing changed")
+	}
+	for _, k := range res.Report.Changed {
+		if k.M <= 3 {
+			t.Fatalf("grid-reachable bin %v changed by an M=5 delta", k)
+		}
+	}
+	_, next := p.store.Current()
+	for _, n := range sizes {
+		got, err := p.Query(context.Background(), Query{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.CacheHit {
+			t.Fatalf("N=%d recompiled after a retained refit", n)
+		}
+		if got.Version != 2 {
+			t.Fatalf("N=%d answered by version %d, want 2", n, got.Version)
+		}
+		want, err := next.OptimizeSpace(p.Space(), n, core.SearchOptions{TopK: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBest(t, got.Best, want.Best)
+	}
+	if c := p.cache.compiles.Load(); c != compilesBefore {
+		t.Fatalf("%d compiles after refit, want 0", c-compilesBefore)
+	}
+	st := p.Stats()
+	if st.Refits != 1 || st.CacheRekeyed != int64(len(sizes)) {
+		t.Fatalf("stats refits=%d cacheRekeyed=%d, want 1/%d", st.Refits, st.CacheRekeyed, len(sizes))
+	}
+}
+
+// TestRefitInvalidatesForReachableBin: a refit that changes a bin the grid
+// reads drops the whole cache — retained evaluators would answer from stale
+// tables — and the next queries recompile against the new model, answering
+// bit-identically to a direct search.
+func TestRefitInvalidatesForReachableBin(t *testing.T) {
+	ms := binnedTestModel(t, 2, 5)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{800, 1600}
+	warmCache(t, p, sizes)
+
+	res, err := p.Refit(jitterDelta(t, p, core.PTKey{Class: 1, M: 2}, 1.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheKept != 0 || res.CacheDropped != len(sizes) {
+		t.Fatalf("kept %d dropped %d, want 0/%d", res.CacheKept, res.CacheDropped, len(sizes))
+	}
+	_, next := p.store.Current()
+	for _, n := range sizes {
+		got, err := p.Query(context.Background(), Query{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CacheHit {
+			t.Fatalf("N=%d served from a cache the refit should have dropped", n)
+		}
+		want, err := next.OptimizeSpace(p.Space(), n, core.SearchOptions{TopK: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBest(t, got.Best, want.Best)
+	}
+}
+
+// TestRefitMatchesRebuildReload: serving determinism across refit — after a
+// chain of refits, the planner answers exactly like a second planner that
+// full-rebuilt the same concatenated samples and reloaded.
+func TestRefitMatchesRebuildReload(t *testing.T) {
+	ms := binnedTestModel(t, 2, 4)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []core.SampleDelta{
+		jitterDelta(t, p, core.PTKey{Class: 0, M: 1}, 1.3),
+		jitterDelta(t, p, core.PTKey{Class: 1, M: 3}, 0.8),
+		jitterDelta(t, p, core.PTKey{Class: 0, M: 4}, 2.0),
+	}
+	for _, d := range deltas {
+		if _, err := p.Refit(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, refit := p.store.Current()
+	rebuilt, err := refit.RebuildFromBins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := New(rebuilt, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{400, 800, 1600, 2400, 3200} {
+		got, err := p.Query(context.Background(), Query{N: n, TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.Query(context.Background(), Query{N: n, TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBest(t, got.Best, want.Best)
+	}
+}
+
+// TestRefitErrorsLeaveServingUntouched: a rejected delta neither bumps the
+// version nor disturbs the cache, and a model without bins cannot refit.
+func TestRefitErrorsLeaveServingUntouched(t *testing.T) {
+	ms := binnedTestModel(t, 2, 3)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCache(t, p, []int{1600})
+	if _, err := p.Refit(core.SampleDelta{}); !errors.Is(err, core.ErrBadSamples) {
+		t.Fatalf("empty delta: %v, want ErrBadSamples", err)
+	}
+	if _, err := p.Refit(core.SampleDelta{Samples: []core.Sample{{Class: 9, M: 1, P: 1, N: 400, Ta: 1, Tc: 1}}}); !errors.Is(err, core.ErrBadSamples) {
+		t.Fatalf("bad sample: %v, want ErrBadSamples", err)
+	}
+	if v := p.Version(); v != 1 {
+		t.Fatalf("version %d after rejected refits, want 1", v)
+	}
+	if p.cache.Len() != 1 {
+		t.Fatalf("cache disturbed by rejected refits: %d entries", p.cache.Len())
+	}
+
+	binless, _ := newTestPlanner(t, Options{})
+	if _, err := binless.Refit(jitterDelta(t, p, core.PTKey{Class: 0, M: 1}, 1.1)); !errors.Is(err, core.ErrNoModel) {
+		t.Fatalf("binless refit: %v, want ErrNoModel", err)
+	}
+}
+
+// TestHTTPRefitAuth (satellite): the refit endpoint is closed by default,
+// rejects wrong secrets with 403, and only a POST carrying the exact
+// X-Refit-Auth secret reaches the model.
+func TestHTTPRefitAuth(t *testing.T) {
+	const secret = "calibration-rig-7"
+	ms := binnedTestModel(t, 2, 5)
+	p, err := New(ms, testSpace(2), Options{RefitAuth: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+
+	s := ms.Bins.Samples(core.PTKey{Class: 0, M: 5})[0]
+	body, err := json.Marshal(RefitRequest{Samples: []core.StoredSample{
+		{Class: s.Class, P: s.P, M: s.M, N: s.N, Ta: s.Ta * 1.5, Tc: s.Tc},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(auth string, withHeader bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/refit", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withHeader {
+			req.Header.Set(RefitAuthHeader, auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	for _, tc := range []struct {
+		name       string
+		auth       string
+		withHeader bool
+	}{
+		{"no header", "", false},
+		{"empty header", "", true},
+		{"wrong secret", "guess", true},
+	} {
+		resp := post(tc.auth, tc.withHeader)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s: status %d, want 403", tc.name, resp.StatusCode)
+		}
+	}
+	if v := p.Version(); v != 1 {
+		t.Fatalf("unauthorized requests refit the model: version %d", v)
+	}
+
+	resp := post(secret, true)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized refit: status %d, want 200", resp.StatusCode)
+	}
+	var res RefitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.Report == nil || res.Report.Replaced != 1 {
+		t.Fatalf("refit response %+v, want version 2 with one replacement", res)
+	}
+
+	// Method gate: GET never reaches auth.
+	getResp, err := http.Get(srv.URL + "/v1/refit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/refit: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestHTTPRefitDisabledByDefault (satellite): without -refit-auth the
+// endpoint answers 403 even to requests that guess the empty string.
+func TestHTTPRefitDisabledByDefault(t *testing.T) {
+	ms := binnedTestModel(t, 2, 3)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/refit", bytes.NewReader([]byte(`{"samples":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RefitAuthHeader, "")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status %d, want 403 (endpoint disabled)", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error == "" {
+		t.Fatal("403 carries no explanation")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,12 @@ type Options struct {
 	// the offered-load range a single-host driver can generate; production
 	// deployments leave it zero.
 	Grind time.Duration
+	// RefitAuth is the shared secret the /v1/refit endpoint requires in its
+	// X-Refit-Auth header. Empty (the default) disables the HTTP endpoint
+	// entirely — refit mutates the served model, so unlike the read-only
+	// endpoints it is off until explicitly armed. Planner.Refit, the in-
+	// process API, is not affected.
+	RefitAuth string
 }
 
 // Planner is the long-lived query engine: a versioned model store, an
@@ -61,10 +68,21 @@ type Planner struct {
 	batcher *batcher
 	now     func() time.Time
 
-	queries   atomic.Int64
-	completed atomic.Int64
-	servedNs  atomic.Int64
-	reloads   atomic.Int64
+	// reads is the static grid read set driving surgical cache invalidation
+	// on refit (see refit.go); refitAuth arms the /v1/refit HTTP endpoint.
+	reads     readSet
+	refitAuth string
+	// swapMu serializes model publication with the cache maintenance that
+	// follows it (Reload's invalidation, Refit's re-keying), so two
+	// concurrent swaps cannot interleave their cache updates.
+	swapMu sync.Mutex
+
+	queries      atomic.Int64
+	completed    atomic.Int64
+	servedNs     atomic.Int64
+	reloads      atomic.Int64
+	refits       atomic.Int64
+	cacheRekeyed atomic.Int64
 }
 
 // New validates the model, compiles the planner's configuration space, and
@@ -98,16 +116,18 @@ func New(ms *core.ModelSet, space cluster.Space, opts Options) (*Planner, error)
 		now = time.Now
 	}
 	return &Planner{
-		space:   space,
-		grid:    grid,
-		workers: opts.Workers,
-		timeout: opts.DefaultTimeout,
-		grind:   opts.Grind,
-		store:   store,
-		cache:   newEvalCache(cacheSize),
-		adm:     newAdmission(maxInFlight, maxQueue),
-		batcher: newBatcher(),
-		now:     now,
+		space:     space,
+		grid:      grid,
+		workers:   opts.Workers,
+		timeout:   opts.DefaultTimeout,
+		grind:     opts.Grind,
+		store:     store,
+		cache:     newEvalCache(cacheSize),
+		adm:       newAdmission(maxInFlight, maxQueue),
+		batcher:   newBatcher(),
+		now:       now,
+		reads:     newReadSet(grid),
+		refitAuth: opts.RefitAuth,
 	}, nil
 }
 
@@ -117,11 +137,16 @@ func (p *Planner) Space() cluster.Space { return p.space }
 // Version returns the version of the currently served model.
 func (p *Planner) Version() int64 { return p.store.Version() }
 
+// Current returns the currently served (version, model) snapshot.
+func (p *Planner) Current() (int64, *core.ModelSet) { return p.store.Current() }
+
 // Reload validates and publishes a replacement model without downtime:
 // queries already running finish against their snapshot, new queries see the
 // new version, and evaluators compiled from older versions are evicted
 // eagerly (see evalCache.InvalidateExcept). Returns the new version.
 func (p *Planner) Reload(ms *core.ModelSet) (int64, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
 	version, err := p.store.Swap(ms)
 	if err != nil {
 		return 0, err
@@ -402,6 +427,11 @@ type Stats struct {
 	RejectedQueue    int64 `json:"rejectedQueue"`
 	RejectedDeadline int64 `json:"rejectedDeadline"`
 	Reloads          int64 `json:"reloads"`
+	Refits           int64 `json:"refits"`
+	// CacheRekeyed counts evaluators carried across refits without
+	// recompilation — the surgical-invalidation win, visible as cache hits
+	// that a reload would have turned into compiles.
+	CacheRekeyed int64 `json:"cacheRekeyed"`
 }
 
 // Stats snapshots the planner counters. Counters are read individually (not
@@ -424,5 +454,7 @@ func (p *Planner) Stats() Stats {
 		RejectedQueue:    p.adm.rejectedQueue.Load(),
 		RejectedDeadline: p.adm.rejectedDeadline.Load(),
 		Reloads:          p.reloads.Load(),
+		Refits:           p.refits.Load(),
+		CacheRekeyed:     p.cacheRekeyed.Load(),
 	}
 }
