@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-json bench-compare serve serve-smoke load-smoke saturation cover ci
+.PHONY: all build vet fmt lint test race bench bench-json bench-compare serve serve-smoke router-smoke load-smoke saturation cover ci
 
 all: build test
 
@@ -52,16 +52,16 @@ bench:
 
 # Run the tracked suite (internal/bench) and write a JSON report with
 # speedups against the committed baseline. See EXPERIMENTS.md for the
-# recipe used to regenerate the committed BENCH_6.json.
+# recipe used to regenerate the committed BENCH_7.json.
 bench-json:
-	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_6.json -baseline-ref BENCH_6.json
+	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_7.json -baseline-ref BENCH_7.json
 
 # Regression gate: rerun the tracked suite and fail when any workload shared
 # with the committed baseline is more than 5% slower, or when a zero-alloc
 # workload (EvaluatorTau) starts allocating. Workloads new since the baseline
 # are reported but never fail the gate.
 bench-compare:
-	$(GO) run ./cmd/benchrun -compare BENCH_6.json -regress 5 -gate-allocs
+	$(GO) run ./cmd/benchrun -compare BENCH_7.json -regress 5 -gate-allocs
 
 # Run the planner service against the committed model fixture (ctrl-C to
 # stop). Query it with e.g.:
@@ -73,6 +73,13 @@ serve:
 # bit for bit (same gate as the CI serve-smoke job).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Fleet gate: 3 members + a hetrouter; the router's merged answers must be
+# byte-identical to a whole-grid search, survive a member death via
+# re-scatter, and the coordinated reload must be all-or-none (same gate as
+# the CI router-smoke job).
+router-smoke:
+	sh scripts/router_smoke.sh
 
 # Traffic-harness gate: regenerate the committed smoke trace and replay it
 # in virtual time against a live hetserve; both must match the committed
@@ -91,4 +98,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out
 
-ci: build vet fmt lint test race bench serve-smoke load-smoke
+ci: build vet fmt lint test race bench serve-smoke router-smoke load-smoke

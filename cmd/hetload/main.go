@@ -26,13 +26,20 @@
 // Replay is open-loop: requests fire on schedule whether or not earlier
 // responses have returned, so measured latency is free of coordinated
 // omission (DESIGN.md §12).
+//
+// The target may be a hetserve planner or a hetrouter fleet front end — the
+// two speak the same dialect. Against a router, hetload additionally reports
+// per-member goodput after the run, computed from the delta of each member's
+// completed-query counter in the router's aggregated /v1/stats.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetmodel/internal/fleet"
 	"hetmodel/internal/version"
 	"hetmodel/internal/workload"
 )
@@ -54,7 +62,7 @@ func main() {
 		out      = flag.String("out", "", "output file (-gen: the trace; -saturate: the report); default stdout")
 
 		tracePath = flag.String("trace", "", "trace file to replay")
-		target    = flag.String("target", "", "base URL of a running hetserve (e.g. http://127.0.0.1:8080)")
+		target    = flag.String("target", "", "base URL of a running hetserve or hetrouter (e.g. http://127.0.0.1:8080)")
 		virtual   = flag.Bool("virtual", false, "virtual-time replay: no pacing, latency = response tau (deterministic)")
 		workers   = flag.Int("workers", 64, "max in-flight requests")
 		summary   = flag.String("summary", "", "write the replay summary JSON to this file; default stdout")
@@ -126,6 +134,7 @@ func runReplay(ctx context.Context, tracePath, target string, virtual bool, work
 	}
 	log.Printf("replaying %q (%d requests, %s mode) against %s",
 		trace.Name, len(trace.Requests), opts.Mode, target)
+	before, start := fleetSnapshot(ctx, target), time.Now()
 	outcomes, err := workload.Replay(ctx, workload.NewHTTPClient(target), trace, opts)
 	if err != nil {
 		return err
@@ -133,7 +142,59 @@ func runReplay(ctx context.Context, tracePath, target string, virtual bool, work
 	sum := workload.Summarize(trace, outcomes, workload.SummarizeOptions{Mode: opts.Mode})
 	log.Printf("done: %d ok, %d rejected (429), %d deadline (504), %d errors",
 		sum.Total.OK, sum.Total.Rejected, sum.Total.Deadline, sum.Total.Errors)
+	reportFleet(ctx, target, before, time.Since(start))
 	return writeOut(summaryPath, func() ([]byte, error) { return sum.Marshal() })
+}
+
+// fleetSnapshot reads the target's /v1/stats and returns it when the target
+// is a hetrouter (the answer nests per-member rows); nil for a plain
+// hetserve, whose flat stats decode with no members.
+func fleetSnapshot(ctx context.Context, target string) *fleet.Stats {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st fleet.Stats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil || len(st.Members) == 0 {
+		return nil
+	}
+	return &st
+}
+
+// reportFleet logs per-member goodput over the run: the delta of each
+// member's completed-query counter divided by the run's wall time — how the
+// scatter (or affinity) load actually spread across the fleet.
+func reportFleet(ctx context.Context, target string, before *fleet.Stats, elapsed time.Duration) {
+	if before == nil {
+		return
+	}
+	after := fleetSnapshot(ctx, target)
+	if after == nil || elapsed <= 0 {
+		return
+	}
+	prev := make(map[string]int64, len(before.Members))
+	for _, m := range before.Members {
+		if m.Stats != nil {
+			prev[m.URL] = m.Stats.Completed
+		}
+	}
+	log.Printf("fleet: %d scatters, %d affinity routes, %d re-scatters, %d retries",
+		after.Scatters-before.Scatters, after.Affinity-before.Affinity,
+		after.Rescatters-before.Rescatters, after.Retries-before.Retries)
+	for _, m := range after.Members {
+		if !m.Healthy || m.Stats == nil {
+			log.Printf("fleet: member %s: unhealthy (%s)", m.URL, m.Error)
+			continue
+		}
+		done := m.Stats.Completed - prev[m.URL]
+		log.Printf("fleet: member %s: %d completed, %.1f qps goodput",
+			m.URL, done, float64(done)/elapsed.Seconds())
+	}
 }
 
 func runSaturate(ctx context.Context, target, rates string, step time.Duration, seed int64, workers int, out, svg string) error {
@@ -152,10 +213,12 @@ func runSaturate(ctx context.Context, target, rates string, step time.Duration, 
 		Workers:  workers,
 	}
 	log.Printf("sweeping %d load steps of %s each against %s", len(rateSteps), step, target)
+	before, start := fleetSnapshot(ctx, target), time.Now()
 	report, err := workload.RunSaturation(ctx, workload.NewHTTPClient(target), wallClock{}, spec)
 	if err != nil {
 		return err
 	}
+	reportFleet(ctx, target, before, time.Since(start))
 	for i, s := range report.Steps {
 		log.Printf("step %d: offered %.0f qps -> goodput %.0f qps, %d rejected, %d deadline, p99 %.2f ms",
 			i, s.OfferedQPS, s.GoodputQPS, s.Rejected, s.Deadline, s.P99Ms)

@@ -1,0 +1,103 @@
+// Command hetrouter runs the fleet front end: it compiles the same
+// configuration grid as its hetserve members, partitions the grid-index
+// space into one contiguous range per healthy member, scatters each query as
+// shard-restricted member queries, and merges the member top-K lists under
+// the deterministic (τ, index) order. The merged answer is bit-identical to
+// a single planner searching the whole grid — at any member count
+// (DESIGN.md §14).
+//
+// Usage:
+//
+//	hetrouter -members http://m1:8080,http://m2:8080,http://m3:8080 -addr :8090
+//
+// Endpoints (see internal/fleet):
+//
+//	POST|GET /v1/query   scatter (or affinity-route) a query over the fleet
+//	POST|GET /v1/topk    ranked K best, merged across members
+//	POST     /v1/reload  coordinated two-phase reload: stage on every
+//	                     member, commit only when every stage succeeded
+//	POST     /v1/refit   coordinated two-phase refit (requires -refit-auth)
+//	GET      /v1/healthz router liveness + per-member health and versions
+//	GET      /v1/stats   router counters + per-member stats snapshots
+//
+// The router speaks the member dialect, so hetload (and any other client)
+// can point at it unchanged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/fleet"
+	"hetmodel/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetrouter: ")
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		members     = flag.String("members", "", "comma-separated member base URLs (required)")
+		shardMin    = flag.Int64("shardmin", 4096, "smallest grid size worth scattering; below it queries route whole to the size-affine member (negative: always scatter)")
+		maxInFlight = flag.Int("maxinflight", 0, "concurrent member requests (0 = 4x member count)")
+		timeout     = flag.Duration("timeout", 15*time.Second, "per member-request timeout")
+		healthEvery = flag.Duration("health-interval", 5*time.Second, "membership probe interval (0 = probe only on demand)")
+		refitAuth   = flag.String("refit-auth", "", "members' shared refit secret; forwarded on POST /v1/refit (empty = fleet refit disabled)")
+	)
+	version.AddFlag()
+	flag.Parse()
+	version.MaybePrint("hetrouter")
+	if *members == "" {
+		log.Fatal("-members is required (comma-separated hetserve base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*members, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+
+	router, err := fleet.New(cluster.PaperEvaluationSpace(), fleet.Options{
+		Members:     urls,
+		ShardMin:    *shardMin,
+		MaxInFlight: *maxInFlight,
+		Timeout:     *timeout,
+		RefitAuth:   *refitAuth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	healthy := router.CheckHealth(ctx)
+	log.Printf("routing %d-candidate grid over %d members (%d healthy) on %s",
+		router.Grid().Size(), len(urls), healthy, *addr)
+	if *healthEvery > 0 {
+		go router.HealthLoop(ctx, *healthEvery)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

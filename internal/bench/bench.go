@@ -52,6 +52,9 @@ func Suite() []Case {
 		{"ReplayReloadP99", "the same replay with reloads: each update recompiles the working set", replayReloadP99},
 		{"WorkloadGen10k", "generate a ~10k-request Poisson trace over the smoke cohorts", workloadGen10k},
 		{"ReplaySummarize10k", "summarize 10k replay outcomes (quantile reservoirs + goodput)", replaySummarize10k},
+		{"FleetSweep1B", "1.29e9-candidate sweep sharded 6 ways vs unsharded; merged answers bit-identical (speedup = critical-path ratio)", fleetSweep1B},
+		{"RouterCachedQuery", "hetrouter affinity query over warm HTTP members: routing + round trip + member cache hit", routerCachedQuery},
+		{"RouterScatterTopK", "hetrouter 3-way scatter top-5 over the 1M grid: fan-out + member passes + deterministic merge", routerScatterTopK},
 	}
 }
 

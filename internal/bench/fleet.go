@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/fleet"
+	"hetmodel/internal/parallel"
+	"hetmodel/internal/serve"
+)
+
+// This file holds the fleet workloads: the billion-candidate sharded sweep
+// (FleetSweep1B) and the router's two serving paths (RouterCachedQuery,
+// RouterScatterTopK) over real HTTP members.
+//
+// The container CI runs on has one core, so a fleet's members cannot be
+// timed truly in parallel here (PR 1 established the same caveat for search
+// workers). FleetSweep1B therefore times each member's shard sequentially
+// and reports the scatter's critical-path speedup — the wall-clock ratio an
+// N-member fleet achieves over one member executing the same N shards back
+// to back: speedup = Σ shard time / max shard time. On multi-member
+// hardware the max-shard term is the fleet's real wall clock.
+
+// space1B is the six-class billion-candidate grid: per class, PE counts
+// {0..8} × process counts {1..4} canonicalize to 33 distinct pairs, and
+// 33^6 = 1,291,467,969 grid points.
+func space1B() cluster.Space {
+	s := cluster.Space{PEChoices: make([][]int, 6), ProcChoices: make([][]int, 6)}
+	for ci := range s.PEChoices {
+		s.PEChoices[ci] = []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+		s.ProcChoices[ci] = []int{1, 2, 3, 4}
+	}
+	return s
+}
+
+// samples1B extends the sweep training set to the 1B space's reach: every
+// class measured at M = 1..4 on 1, 2, 4 and 8 PEs (P up to 32 per class).
+func samples1B() []core.Sample {
+	var samples []core.Sample
+	for class := 0; class < 6; class++ {
+		speed := 1 + float64(class)/4
+		for m := 1; m <= 4; m++ {
+			for _, pe := range []int{1, 2, 4, 8} {
+				p := pe * m
+				for _, n := range []int{400, 800, 1600, 2400, 3200} {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p)*speed + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					use := make([]cluster.ClassUse, 6)
+					use[class] = cluster.ClassUse{PEs: pe, Procs: m}
+					samples = append(samples, core.Sample{
+						Config: cluster.Configuration{Use: use},
+						N:      n, P: p, Class: class, M: m,
+						Ta: ta, Tc: tc, Wall: ta + tc,
+					})
+				}
+			}
+		}
+	}
+	return samples
+}
+
+var model1B = sync.OnceValue(func() *core.ModelSet {
+	ms, err := core.Build(6, samples1B())
+	if err != nil {
+		panic(err)
+	}
+	return ms
+})
+
+var grid1B = sync.OnceValue(func() *cluster.Grid {
+	g, err := space1B().Compile()
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+func fleetSweep1B(b *testing.B) {
+	const members = 6
+	const topK = 5
+	ms := model1B()
+	space := space1B()
+	size := grid1B().Size()
+	var sumNs, maxNs, fullNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Single-planner reference: one unsharded pass over all 1.29e9
+		// candidates.
+		t0 := time.Now()
+		full, err := ms.OptimizeSpace(space, 3200, core.SearchOptions{Workers: 1, TopK: topK})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullNs += time.Since(t0).Nanoseconds()
+
+		// The fleet's work: one shard per member, timed individually. The
+		// single core serializes them; a real fleet runs them concurrently
+		// and its wall clock is the slowest shard.
+		var opMax int64
+		lists := make([][]parallel.Candidate, members)
+		for s := int64(0); s < members; s++ {
+			lo, hi := size*s/members, size*(s+1)/members
+			ts := time.Now()
+			res, err := ms.OptimizeSpace(space, 3200, core.SearchOptions{
+				Workers: 1, TopK: topK, Range: &core.IndexRange{Lo: lo, Hi: hi},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := time.Since(ts).Nanoseconds()
+			sumNs += d
+			if d > opMax {
+				opMax = d
+			}
+			lists[s] = make([]parallel.Candidate, len(res.Best))
+			for j := range res.Best {
+				lists[s][j] = parallel.Candidate{Index: res.BestIndex[j], Score: res.Best[j].Tau}
+			}
+		}
+		maxNs += opMax
+
+		// Zero answer drift: the merged shard ranking must be bit-identical
+		// to the unsharded reference.
+		merged := parallel.MergeTopK(topK, lists)
+		if len(merged) != len(full.Best) {
+			b.Fatalf("merged %d candidates, unsharded %d", len(merged), len(full.Best))
+		}
+		for j, c := range merged {
+			if c.Index != full.BestIndex[j] || c.Score != full.Best[j].Tau {
+				b.Fatalf("rank %d: merged (%d, %v) != unsharded (%d, %v)",
+					j, c.Index, c.Score, full.BestIndex[j], full.Best[j].Tau)
+			}
+		}
+	}
+	b.StopTimer()
+	if maxNs > 0 {
+		// Critical-path speedup of the 6-member scatter (see file comment).
+		b.ReportMetric(float64(sumNs)/float64(maxNs), "speedup")
+		// Fleet wall clock vs the unsharded single pass: below 1 when
+		// pruning's shared global minimum beats sharding, above when the
+		// shards' smaller spans win. Advisory — the honest single-core view.
+		b.ReportMetric(float64(fullNs)/float64(maxNs), "vsUnsharded")
+	}
+}
+
+// benchFleet builds a router over n in-process HTTP members, all serving the
+// six-class million-configuration sweep space (the 1B grid would force the
+// guarded per-candidate path on members; the 1M space exercises the same
+// scatter machinery at serving scale).
+func benchFleet(b *testing.B, n int, shardMin int64) (*fleet.Router, func()) {
+	b.Helper()
+	var (
+		urls    []string
+		closers []func()
+	)
+	for i := 0; i < n; i++ {
+		p, err := serve.New(sixClassModel(), sweepSpace(), serve.Options{
+			CacheSize: 16, MaxInFlight: 64, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(p.Handler())
+		urls = append(urls, srv.URL)
+		closers = append(closers, srv.Close)
+	}
+	r, err := fleet.New(sweepSpace(), fleet.Options{Members: urls, ShardMin: shardMin})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+func routerCachedQuery(b *testing.B) {
+	// ShardMin above the grid size: the affinity path, one member, warm
+	// evaluator cache — the router's overhead over ServeCachedQuery is the
+	// HTTP round trip plus routing.
+	r, done := benchFleet(b, 3, 1<<40)
+	defer done()
+	ctx := context.Background()
+	req := serve.QueryRequest{N: 3200, TopK: 1}
+	if _, err := r.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Query(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Best) == 0 {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+func routerScatterTopK(b *testing.B) {
+	// Always scatter: 3 members each search a third of the 1M grid, the
+	// router merges the three top-5 lists. After the first pass every
+	// member answers its shard from cache, so steady state measures
+	// fan-out + member grid passes + merge.
+	r, done := benchFleet(b, 3, -1)
+	defer done()
+	ctx := context.Background()
+	req := serve.QueryRequest{N: 3200, TopK: 5}
+	if _, err := r.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Query(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Members != 3 || len(res.Best) != 5 {
+			b.Fatalf("merged %d members, %d candidates", res.Members, len(res.Best))
+		}
+	}
+}

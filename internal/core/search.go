@@ -20,6 +20,16 @@ type SearchOptions struct {
 	// proves they rank strictly worse than results already in hand — so
 	// this switch exists for benchmarking and for the equivalence tests.
 	NoPrune bool
+	// Range, when non-nil, restricts the search to the grid indices in
+	// [Lo, Hi). Ranking, pruning and filtering are unchanged — candidates
+	// keep their global grid indices — so the union of disjoint ranges
+	// covering the grid scores exactly the candidates of a full search, and
+	// merging per-range results with parallel.MergeTopK reproduces the full
+	// search's top-K bit for bit (the fleet layer's shard/merge invariant).
+	// Unlike a full search, a range holding no scorable candidate is not an
+	// error: it returns an empty Best, because a shard of a scorable grid
+	// can legitimately be barren.
+	Range *IndexRange
 	// Filter, when non-nil, restricts the search to candidates for which it
 	// returns true (the serving layer compiles query constraints — PE-class
 	// subsets, total-process caps, per-PE memory bounds — into one). The
@@ -33,13 +43,26 @@ type SearchOptions struct {
 	Filter func(cfg cluster.Configuration) bool
 }
 
+// IndexRange is a half-open interval [Lo, Hi) of grid indices. The fleet
+// layer partitions a grid into disjoint ranges, one per member planner.
+type IndexRange struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
 // SearchResult is the outcome of a streaming search.
 type SearchResult struct {
 	// Best holds the TopK best candidates, best first, ties broken toward
 	// the earlier enumeration position. Err is nil on every entry.
 	Best []Estimate
-	// Size is the number of distinct candidates in the space (the
-	// all-unused configuration excluded).
+	// BestIndex holds the global grid index of each Best entry. The
+	// (Tau, BestIndex) pairs are what a cross-process merge ranks on:
+	// parallel.MergeTopK over per-shard pairs reproduces the unsharded
+	// ranking exactly.
+	BestIndex []int64
+	// Size is the number of distinct candidates in the searched range (the
+	// all-unused configuration excluded); disjoint ranges covering the grid
+	// have Sizes summing to the full search's.
 	Size int64
 	// Scored counts candidates actually evaluated; Pruned counts
 	// candidates skipped by the bound. Scored+Pruned == Size on an
@@ -148,10 +171,18 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	if k <= 0 {
 		k = 1
 	}
-	res := &SearchResult{Size: grid.Size()}
+	rlo, rhi := int64(0), grid.Size()
+	if opts.Range != nil {
+		if opts.Range.Lo < 0 || opts.Range.Hi < opts.Range.Lo || opts.Range.Hi > grid.Size() {
+			return nil, fmt.Errorf("%w: range [%d, %d) outside grid of %d candidates",
+				ErrNoModel, opts.Range.Lo, opts.Range.Hi, grid.Size())
+		}
+		rlo, rhi = opts.Range.Lo, opts.Range.Hi
+	}
+	res := &SearchResult{Size: rhi - rlo}
 	// The all-unused configuration is a grid point but not a candidate.
 	emptyIdx := int64(-1)
-	if res.Size > 0 {
+	if grid.Size() > 0 {
 		all := true
 		for ci := 0; ci < classes; ci++ {
 			pairs := grid.Pairs(ci)
@@ -162,10 +193,15 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 		}
 		if all {
 			emptyIdx = 0 // the zero pair sorts first in every class
-			res.Size--
+			if rlo <= emptyIdx && emptyIdx < rhi {
+				res.Size--
+			}
 		}
 	}
 	if res.Size <= 0 {
+		if opts.Range != nil {
+			return res, nil // an empty shard of a larger grid is not an error
+		}
 		return nil, fmt.Errorf("%w: no scorable candidate among 0", ErrNoModel)
 	}
 
@@ -178,15 +214,15 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	}
 	prune := !opts.NoPrune && tables != nil
 
-	n := grid.Size()
-	maxW := n
+	span := rhi - rlo
+	maxW := span
 	if maxW > int64(1<<20) {
 		maxW = 1 << 20
 	}
 	workers := parallel.Workers(opts.Workers, int(maxW))
 	// Aim for enough chunks per worker that pruning imbalance load-balances,
 	// without making chunk claiming the bottleneck.
-	chunk := n / int64(workers*64)
+	chunk := span / int64(workers*64)
 	if chunk < 1024 {
 		chunk = 1024
 	}
@@ -195,7 +231,9 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	scored := make([]int64, workers)
 	pruned := make([]int64, workers)
 	shared := parallel.NewSharedMin()
-	parallel.Chunks(n, chunk, workers, func(w int, lo, hi int64) {
+	parallel.Chunks(span, chunk, workers, func(w int, lo, hi int64) {
+		lo += rlo
+		hi += rlo
 		if shards[w] == nil {
 			shards[w] = parallel.NewTopK(k)
 		}
@@ -249,13 +287,18 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	}
 	merged := parallel.MergeTopK(k, lists)
 	if len(merged) == 0 {
+		if opts.Range != nil {
+			return res, nil // a barren shard of a scorable grid is not an error
+		}
 		return nil, fmt.Errorf("%w: no scorable candidate among %d", ErrNoModel, res.Size)
 	}
 	res.Best = make([]Estimate, len(merged))
+	res.BestIndex = make([]int64, len(merged))
 	for i, c := range merged {
 		use := make([]cluster.ClassUse, classes)
 		grid.At(c.Index, use)
 		res.Best[i] = Estimate{Config: cluster.Configuration{Use: use}, Tau: c.Score}
+		res.BestIndex[i] = c.Index
 	}
 	return res, nil
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/parallel"
+)
+
+// This file pins the fleet layer's shard/merge invariant at its source:
+// searching disjoint grid-index ranges independently and merging the
+// per-range top-K lists with parallel.MergeTopK reproduces the unsharded
+// search byte for byte — for any partition, any worker count, and on
+// tie-heavy grids where the (tau, index) tie-break does all the work.
+
+// tieWorld builds a two-class model whose classes are measured identically,
+// so every configuration ties with its mirror image: (a, b) and (b, a) have
+// bit-equal tau, and only the grid-index tie-break orders them.
+func tieWorld(t *testing.T) *ModelSet {
+	t.Helper()
+	var samples []Sample
+	for class := 0; class < 2; class++ {
+		for m := 1; m <= 4; m++ {
+			for _, pe := range []int{1, 2, 4, 8} {
+				p := pe * m
+				for _, n := range paperNs {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p) + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					use := make([]cluster.ClassUse, 2)
+					use[class] = cluster.ClassUse{PEs: pe, Procs: m}
+					samples = append(samples, Sample{
+						Config: cluster.Configuration{Use: use},
+						N:      n, P: p, Class: class, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+					})
+				}
+			}
+		}
+	}
+	ms, err := Build(2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// rankedJSON renders a result's ranked candidates — global index, bit-exact
+// tau, and configuration — as JSON, so byte equality is bit identity.
+func rankedJSON(t *testing.T, best []Estimate, idx []int64) string {
+	t.Helper()
+	type row struct {
+		Index  int64              `json:"index"`
+		Tau    float64            `json:"tau"`
+		Config []cluster.ClassUse `json:"config"`
+	}
+	rows := make([]row, len(best))
+	for i := range best {
+		rows[i] = row{Index: idx[i], Tau: best[i].Tau, Config: best[i].Config.Use}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// randomPartition cuts [0, n) into parts contiguous ranges (some possibly
+// empty), then shuffles their order — the merge must not care.
+func randomPartition(rng *rand.Rand, n int64, parts int) []IndexRange {
+	cuts := make([]int64, 0, parts+1)
+	cuts = append(cuts, 0, n)
+	for i := 1; i < parts; i++ {
+		cuts = append(cuts, rng.Int63n(n+1))
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	ranges := make([]IndexRange, 0, parts)
+	for i := 0; i+1 < len(cuts); i++ {
+		ranges = append(ranges, IndexRange{Lo: cuts[i], Hi: cuts[i+1]})
+	}
+	rng.Shuffle(len(ranges), func(i, j int) { ranges[i], ranges[j] = ranges[j], ranges[i] })
+	return ranges
+}
+
+// searchShards runs one ranged search per partition element and merges the
+// per-shard (tau, index) lists exactly as the fleet router does, also
+// checking the per-shard Size bookkeeping sums to the whole.
+func searchShards(t *testing.T, ev *Evaluator, grid *cluster.Grid, ranges []IndexRange,
+	k, workers int) (string, int64) {
+	t.Helper()
+	lists := make([][]parallel.Candidate, 0, len(ranges))
+	var size int64
+	for _, r := range ranges {
+		r := r
+		res, err := ev.Search(grid, SearchOptions{TopK: k, Workers: workers, Range: &r})
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", r.Lo, r.Hi, err)
+		}
+		size += res.Size
+		list := make([]parallel.Candidate, len(res.Best))
+		for i := range res.Best {
+			list[i] = parallel.Candidate{Index: res.BestIndex[i], Score: res.Best[i].Tau}
+		}
+		lists = append(lists, list)
+	}
+	merged := parallel.MergeTopK(k, lists)
+	best := make([]Estimate, len(merged))
+	idx := make([]int64, len(merged))
+	for i, c := range merged {
+		use := make([]cluster.ClassUse, grid.Classes())
+		grid.At(c.Index, use)
+		best[i] = Estimate{Config: cluster.Configuration{Use: use}, Tau: c.Score}
+		idx[i] = c.Index
+	}
+	return rankedJSON(t, best, idx), size
+}
+
+// TestShardedSearchMatchesUnsharded is the property test: over the paper
+// grid, randomized grids, and the tie-heavy symmetric grid, any contiguous
+// partition of the index range merges to the unsharded answer byte for byte.
+func TestShardedSearchMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type world struct {
+		name string
+		ms   *ModelSet
+	}
+	worlds := []world{{"rich", richWorld(t, nil)}, {"ties", tieWorld(t)}}
+	for _, w := range worlds {
+		for si, space := range evalSpaces() {
+			grid, err := space.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if grid.Size() < 2 {
+				continue
+			}
+			for _, n := range []int{2400, 6400} {
+				ev := w.ms.Compile(float64(n))
+				for _, k := range []int{1, 3, 7} {
+					full, err := ev.Search(grid, SearchOptions{TopK: k, Workers: 1})
+					if err != nil {
+						continue // nothing scorable: every shard must agree below
+					}
+					wantJSON := rankedJSON(t, full.Best, full.BestIndex)
+					for _, parts := range []int{1, 2, 3, 5} {
+						ranges := randomPartition(rng, grid.Size(), parts)
+						workers := 1 + rng.Intn(3)
+						gotJSON, size := searchShards(t, ev, grid, ranges, k, workers)
+						if gotJSON != wantJSON {
+							t.Fatalf("%s space %d n=%d k=%d parts=%d: sharded merge differs\n got %s\nwant %s",
+								w.name, si, n, k, parts, gotJSON, wantJSON)
+						}
+						if size != full.Size {
+							t.Fatalf("%s space %d n=%d parts=%d: shard sizes sum to %d, full search saw %d",
+								w.name, si, n, parts, size, full.Size)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchRangeEdges pins the range-specific contract: empty and barren
+// ranges answer without error, out-of-bounds ranges are rejected, and a
+// full-cover range equals the unranged search exactly.
+func TestSearchRangeEdges(t *testing.T) {
+	ms := richWorld(t, nil)
+	space := cluster.PaperEvaluationSpace()
+	grid, err := space.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ms.Compile(6400)
+	full, err := ev.Search(grid, SearchOptions{TopK: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cover := IndexRange{Lo: 0, Hi: grid.Size()}
+	got, err := ev.Search(grid, SearchOptions{TopK: 3, Workers: 1, Range: &cover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankedJSON(t, got.Best, got.BestIndex) != rankedJSON(t, full.Best, full.BestIndex) || got.Size != full.Size {
+		t.Fatalf("full-cover range differs from unranged search")
+	}
+
+	empty := IndexRange{Lo: 5, Hi: 5}
+	res, err := ev.Search(grid, SearchOptions{Workers: 1, Range: &empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) != 0 || res.Size != 0 {
+		t.Fatalf("empty range returned %d candidates, size %d", len(res.Best), res.Size)
+	}
+
+	for _, bad := range []IndexRange{{Lo: -1, Hi: 2}, {Lo: 4, Hi: 2}, {Lo: 0, Hi: grid.Size() + 1}} {
+		bad := bad
+		if _, err := ev.Search(grid, SearchOptions{Workers: 1, Range: &bad}); err == nil {
+			t.Fatalf("range [%d,%d) accepted on a grid of %d", bad.Lo, bad.Hi, grid.Size())
+		}
+	}
+}

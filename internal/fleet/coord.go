@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"hetmodel/internal/serve"
+)
+
+// This file is the control plane: coordinated model swaps and fleet stats.
+//
+// A scatter query is only correct when every member answers from the same
+// model version, so a fleet swap must be all-or-none. The router drives the
+// members' two-phase endpoints: phase one stages the swap on every
+// configured member (each member validates its copy and parks it — every
+// fallible step happens here); phase two commits, which on the member side
+// is a guarded version bump with nothing left to fail. Any stage failure
+// aborts the already-staged members and the fleet keeps its current version
+// on every member. Coordinated swaps target ALL configured members, healthy
+// or not: a swap that skipped an unreachable member would split the fleet's
+// version the moment it came back.
+
+// MemberSwap is one member's outcome in a coordinated swap.
+type MemberSwap struct {
+	URL     string `json:"url"`
+	Version int64  `json:"version"`
+	// CacheKept/CacheDropped mirror the member's commit answer (refit
+	// surgical invalidation vs reload-style drop).
+	CacheKept    int `json:"cacheKept"`
+	CacheDropped int `json:"cacheDropped"`
+}
+
+// SwapResult is the outcome of a fleet-wide coordinated swap.
+type SwapResult struct {
+	Members []MemberSwap `json:"members"`
+}
+
+// Reload performs a coordinated two-phase reload: every configured member
+// stages the model file at path, and only when every stage succeeded do the
+// members commit. On any stage failure the staged members abort and no
+// member moves.
+func (r *Router) Reload(ctx context.Context, path string) (*SwapResult, error) {
+	return r.coordinate(ctx, serve.StageReload, func(m *member) (string, error) {
+		var resp serve.ReloadResponse
+		err := r.postJSON(ctx, m.url+"/v1/reload", serve.ReloadRequest{Path: path, Stage: true}, &resp)
+		return resp.Staged, err
+	})
+}
+
+// Refit performs a coordinated two-phase refit: every member folds the same
+// sample delta into its model and stages the result; all stages succeed or
+// no member moves. Members fit deterministically, so identical deltas on
+// identical models yield identical staged models — the fleet stays
+// bit-converged without shipping fitted coefficients around.
+func (r *Router) Refit(ctx context.Context, req serve.RefitRequest) (*SwapResult, error) {
+	req.Stage = true
+	return r.coordinate(ctx, serve.StageRefit, func(m *member) (string, error) {
+		var resp serve.RefitStageResponse
+		err := r.postJSON(ctx, m.url+"/v1/refit", req, &resp)
+		return resp.Staged, err
+	})
+}
+
+// coordinate drives one two-phase swap: stage on all members via stage,
+// then commit all (or abort all on any stage failure).
+func (r *Router) coordinate(ctx context.Context, kind string, stage func(*member) (string, error)) (*SwapResult, error) {
+	type staged struct {
+		m     *member
+		token string
+	}
+	var parked []staged
+	abort := func() {
+		for _, s := range parked {
+			// Best effort: an abort that fails leaves a parked stage the
+			// member will reject at its next direct swap anyway.
+			r.postJSON(ctx, s.m.url+"/v1/"+kind+"/abort", serve.StageRequest{Token: s.token}, nil) //nolint:errcheck
+		}
+	}
+	for _, m := range r.members {
+		token, err := stage(m)
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("fleet: stage %s on %s failed (no member moved): %w", kind, m.url, err)
+		}
+		parked = append(parked, staged{m: m, token: token})
+	}
+	res := &SwapResult{Members: make([]MemberSwap, 0, len(parked))}
+	for _, s := range parked {
+		var commit serve.StagedCommit
+		if err := r.postJSON(ctx, s.m.url+"/v1/"+kind+"/commit", serve.StageRequest{Token: s.token}, &commit); err != nil {
+			// Commit is a guarded version bump; failing here means the
+			// member died or swapped behind our back mid-protocol. Report
+			// loudly — the fleet may be split until the member is probed
+			// and reloaded.
+			s.m.fail(err)
+			return res, fmt.Errorf("fleet: commit %s on %s failed after %d commits; fleet may be version-split: %w",
+				kind, s.m.url, len(res.Members), err)
+		}
+		s.m.version.Store(commit.Version)
+		res.Members = append(res.Members, MemberSwap{
+			URL:          s.m.url,
+			Version:      commit.Version,
+			CacheKept:    commit.CacheKept,
+			CacheDropped: commit.CacheDropped,
+		})
+	}
+	return res, nil
+}
+
+// MemberStats is one member's row in the fleet stats answer.
+type MemberStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Stats is the member's /v1/stats snapshot (absent when unreachable).
+	Stats *serve.Stats `json:"stats,omitempty"`
+}
+
+// Stats is the fleet stats answer: router counters plus a per-member stats
+// snapshot — what hetload reads to report per-member goodput.
+type Stats struct {
+	GridSize    int64         `json:"gridSize"`
+	Scatters    int64         `json:"scatters"`
+	Affinity    int64         `json:"affinity"`
+	Rescatters  int64         `json:"rescatters"`
+	Retries     int64         `json:"retries"`
+	Members     []MemberStats `json:"members"`
+	HealthySize int           `json:"healthyMembers"`
+}
+
+// Stats polls every member's /v1/stats and returns the aggregate view.
+// Unreachable members report healthy=false with their error; the router's
+// own counters are always present.
+func (r *Router) Stats(ctx context.Context) Stats {
+	out := Stats{
+		GridSize:   r.grid.Size(),
+		Scatters:   r.scatters.Load(),
+		Affinity:   r.affinity.Load(),
+		Rescatters: r.rescatters.Load(),
+		Retries:    r.retries.Load(),
+		Members:    make([]MemberStats, len(r.members)),
+	}
+	for i, m := range r.members {
+		row := MemberStats{URL: m.url, Healthy: m.healthy.Load(), Error: m.lastError()}
+		var st serve.Stats
+		if err := r.getJSON(ctx, m.url+"/v1/stats", &st); err != nil {
+			row.Healthy = false
+			row.Error = err.Error()
+		} else {
+			row.Stats = &st
+		}
+		out.Members[i] = row
+		if row.Healthy {
+			out.HealthySize++
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package fleet is the scatter-gather front end over a set of hetserve
+// members: one Router owns the compiled configuration grid, partitions its
+// index space into one contiguous range per healthy member, fans a query out
+// as shard-restricted member queries, and merges the member top-K lists with
+// the same deterministic (τ, index) total order the single-planner search
+// uses. The merged answer is bit-identical to one planner searching the
+// whole grid — sharding only moves work, never changes ranking (DESIGN.md
+// §14).
+//
+// Beyond the scatter path the router carries the fleet-operations surface a
+// single planner cannot: health-checked membership with grid-compatibility
+// probes, hash affinity pinning small cached queries to one member,
+// re-scattering a dead member's range across survivors, and coordinated
+// two-phase reload/refit that moves every member to the new model version or
+// none of them.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetmodel/internal/cluster"
+)
+
+// Options configures a Router. Members is required; everything else has a
+// serviceable default.
+type Options struct {
+	// Members are the base URLs of the hetserve planners to scatter over
+	// (e.g. "http://10.0.0.1:8080"). Order is the scatter order: member i
+	// owns the i-th contiguous slice of the grid-index space.
+	Members []string
+	// ShardMin is the smallest grid size worth scattering. Below it the
+	// whole-grid search is cheaper than the fan-out, so queries route to a
+	// single member chosen by hashing the problem size — repeats of a size
+	// land on the same member and hit its warm evaluator cache. Default
+	// 4096; 0 keeps the default, negative always scatters.
+	ShardMin int64
+	// MaxInFlight bounds concurrent member requests across all scatters
+	// (default: 4x member count).
+	MaxInFlight int
+	// Timeout bounds each member request (default 15s).
+	Timeout time.Duration
+	// RefitAuth is the members' shared refit secret, forwarded on the
+	// coordinated refit path. Empty disables fleet refit, exactly like an
+	// unset -refit-auth disables a member's.
+	RefitAuth string
+	// Client overrides the pooled HTTP client (tests).
+	Client *http.Client
+}
+
+// ErrNoMembers is returned when no healthy member is available to serve.
+var ErrNoMembers = errors.New("fleet: no healthy members")
+
+// member is one hetserve planner in the fleet. healthy flips false when a
+// health probe or a scattered request fails, and back true on the next
+// successful probe; the scatter path reads it, the health path writes it.
+type member struct {
+	url     string
+	healthy atomic.Bool
+	version atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (m *member) fail(err error) {
+	m.healthy.Store(false)
+	m.mu.Lock()
+	m.lastErr = err.Error()
+	m.mu.Unlock()
+}
+
+func (m *member) ok(version int64) {
+	m.version.Store(version)
+	m.healthy.Store(true)
+	m.mu.Lock()
+	m.lastErr = ""
+	m.mu.Unlock()
+}
+
+func (m *member) lastError() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// Router is the scatter-gather front end. It is safe for concurrent use.
+type Router struct {
+	grid    *cluster.Grid
+	opts    Options
+	members []*member
+	client  *http.Client
+	sem     chan struct{}
+
+	scatters   atomic.Int64 // queries answered by fan-out + merge
+	affinity   atomic.Int64 // queries routed whole to one member by size hash
+	rescatters atomic.Int64 // dead-member ranges re-scattered to survivors
+	retries    atomic.Int64 // full scatter retries (version races)
+}
+
+// New compiles the search space — the same compilation every member performs
+// — and returns a Router over opts.Members. Members start healthy; call
+// CheckHealth (or run HealthLoop) to probe them for real.
+func New(space cluster.Space, opts Options) (*Router, error) {
+	if len(opts.Members) == 0 {
+		return nil, errors.New("fleet: no members configured")
+	}
+	grid, err := space.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if opts.ShardMin == 0 {
+		opts.ShardMin = 4096
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4 * len(opts.Members)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		// One pooled client; net/http keeps a per-host (so per-member) idle
+		// connection pool under it, sized to survive full-fleet fan-out.
+		client = &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * opts.MaxInFlight,
+				MaxIdleConnsPerHost: opts.MaxInFlight,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	r := &Router{
+		grid:    grid,
+		opts:    opts,
+		client:  client,
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		members: make([]*member, len(opts.Members)),
+	}
+	for i, u := range opts.Members {
+		r.members[i] = &member{url: u}
+		r.members[i].healthy.Store(true)
+	}
+	return r, nil
+}
+
+// Grid exposes the router's compiled grid (tests, handlers).
+func (r *Router) Grid() *cluster.Grid { return r.grid }
+
+// healthyMembers returns the healthy members in configured order. The order
+// is load-bearing: scatter assigns range i to the i-th healthy member, so a
+// stable order keeps range ownership stable while membership is stable.
+func (r *Router) healthyMembers() []*member {
+	out := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.healthy.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// affinityMember hashes a problem size onto the healthy member list: the
+// whole-query route for grids too small to scatter. Same size, same healthy
+// set, same member — repeated sizes reuse one member's evaluator cache
+// instead of compiling on all of them.
+func affinityMember(healthy []*member, n int) *member {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n >> (8 * i))
+	}
+	h.Write(buf[:])
+	return healthy[h.Sum64()%uint64(len(healthy))]
+}
+
+// CheckHealth probes every member's /v1/healthz concurrently and updates the
+// membership: a member is healthy when it answers and its grid size matches
+// the router's compilation — a member searching a different space would
+// silently return ranks from another index universe, so it is excluded
+// outright. Returns the number of healthy members.
+func (r *Router) CheckHealth(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for _, m := range r.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			var hz struct {
+				Status   string `json:"status"`
+				Version  int64  `json:"version"`
+				GridSize int64  `json:"gridSize"`
+			}
+			if err := r.getJSON(ctx, m.url+"/v1/healthz", &hz); err != nil {
+				m.fail(err)
+				return
+			}
+			if hz.GridSize != r.grid.Size() {
+				m.fail(fmt.Errorf("grid size %d, router compiled %d: incompatible space", hz.GridSize, r.grid.Size()))
+				return
+			}
+			m.ok(hz.Version)
+		}(m)
+	}
+	wg.Wait()
+	return len(r.healthyMembers())
+}
+
+// HealthLoop runs CheckHealth every interval until ctx ends. Run it in a
+// goroutine next to the HTTP server.
+func (r *Router) HealthLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.CheckHealth(ctx)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetmodel/internal/cluster"
+	"hetmodel/internal/core"
+	"hetmodel/internal/serve"
+)
+
+// fleetModel fits the same deterministic two-class fixture the serve tests
+// use, with sample bins attached so refit works: class c runs at speed
+// factor 1/(1 + c/4), measured at M = 1..3 on 1, 2 and 4 PEs over five
+// sizes, covering every fleetSpace candidate.
+func fleetModel(tb testing.TB, classes int) *core.ModelSet {
+	tb.Helper()
+	var samples []core.Sample
+	for class := 0; class < classes; class++ {
+		speed := 1 + float64(class)/4
+		for m := 1; m <= 3; m++ {
+			for _, pe := range []int{1, 2, 4} {
+				p := pe * m
+				for _, n := range []int{400, 800, 1600, 2400, 3200} {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p)*speed + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					samples = append(samples, core.Sample{
+						N: n, P: p, Class: class, M: m, Ta: ta, Tc: tc,
+					})
+				}
+			}
+		}
+	}
+	ms, err := core.Build(classes, samples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ms.Bins = core.NewBinStore(samples, nil)
+	return ms
+}
+
+// fleetSpace is the members' (and router's) search space: 10 canonical
+// (PE, procs) pairs per class, 100 grid candidates for 2 classes.
+func fleetSpace(classes int) cluster.Space {
+	s := cluster.Space{PEChoices: make([][]int, classes), ProcChoices: make([][]int, classes)}
+	for ci := range s.PEChoices {
+		s.PEChoices[ci] = []int{0, 1, 2, 4}
+		s.ProcChoices[ci] = []int{1, 2, 3}
+	}
+	return s
+}
+
+// testFleet is a router over n in-process members plus one standalone
+// reference planner that never sees fleet traffic.
+type testFleet struct {
+	router   *Router
+	planners []*serve.Planner
+	servers  []*httptest.Server
+	ref      *serve.Planner
+}
+
+func newTestFleet(t *testing.T, n int, opts Options) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		p, err := serve.New(fleetModel(t, 2), fleetSpace(2), serve.Options{RefitAuth: opts.RefitAuth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(p.Handler())
+		t.Cleanup(srv.Close)
+		f.planners = append(f.planners, p)
+		f.servers = append(f.servers, srv)
+		opts.Members = append(opts.Members, srv.URL)
+	}
+	ref, err := serve.New(fleetModel(t, 2), fleetSpace(2), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ref = ref
+	r, err := New(fleetSpace(2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = r
+	return f
+}
+
+// bestJSON renders a candidate list the way the HTTP layer does — the byte
+// string the parity tests compare.
+func bestJSON(t *testing.T, best []serve.CandidateJSON) string {
+	t.Helper()
+	b, err := json.Marshal(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// refBest asks the reference planner directly and renders its answer in the
+// member JSON shape.
+func refBest(t *testing.T, p *serve.Planner, req serve.QueryRequest) string {
+	t.Helper()
+	res, err := p.Query(context.Background(), serve.Query{
+		N:    req.N,
+		TopK: req.TopK,
+		Constraints: serve.Constraints{
+			Classes:       req.Classes,
+			MaxTotalProcs: req.MaxTotalProcs,
+			MaxBytesPerPE: req.MaxBytesPerPE,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := make([]serve.CandidateJSON, len(res.Best))
+	for i, e := range res.Best {
+		best[i] = serve.CandidateJSON{Config: e.Config.String(), Use: e.Config.Use, Tau: e.Tau, Index: res.BestIndex[i]}
+	}
+	return bestJSON(t, best)
+}
+
+// TestScatterParity is the fleet invariant: at every member count, the
+// router's merged answer is byte-identical (as JSON) to a single planner
+// searching the whole grid, constraints included.
+func TestScatterParity(t *testing.T) {
+	reqs := []serve.QueryRequest{
+		{N: 1600, TopK: 1},
+		{N: 2400, TopK: 7},
+		{N: 3200, TopK: 200}, // K beyond the candidate count: full ranking
+		{N: 2400, TopK: 5, Classes: []int{1}},
+		{N: 3200, TopK: 4, MaxTotalProcs: 4},
+		{N: 1600, TopK: 3, MaxBytesPerPE: 80e6},
+	}
+	for _, members := range []int{1, 2, 3, 4} {
+		f := newTestFleet(t, members, Options{ShardMin: -1})
+		for _, req := range reqs {
+			t.Run(fmt.Sprintf("m%d/n%d/k%d", members, req.N, req.TopK), func(t *testing.T) {
+				res, err := f.router.Query(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Members != members {
+					t.Errorf("merged %d member answers, want %d", res.Members, members)
+				}
+				got, want := bestJSON(t, res.Best), refBest(t, f.ref, req)
+				if got != want {
+					t.Errorf("fleet answer diverges from single planner:\n got %s\nwant %s", got, want)
+				}
+				if wantSize := f.router.Grid().Size() - 1; res.Size != wantSize && req.Classes == nil {
+					// -1: the all-unused configuration is not a candidate.
+					t.Errorf("aggregate size %d, want %d", res.Size, wantSize)
+				}
+			})
+		}
+	}
+}
+
+// TestKillMemberRescatter: a member dying mid-fleet re-scatters its range
+// over the survivors and the answer stays bit-identical.
+func TestKillMemberRescatter(t *testing.T) {
+	f := newTestFleet(t, 3, Options{ShardMin: -1})
+	req := serve.QueryRequest{N: 2400, TopK: 7}
+	want := refBest(t, f.ref, req)
+
+	res, err := f.router.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bestJSON(t, res.Best); got != want {
+		t.Fatalf("pre-kill parity broken:\n got %s\nwant %s", got, want)
+	}
+
+	f.servers[1].Close()
+	res, err = f.router.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bestJSON(t, res.Best); got != want {
+		t.Errorf("post-kill answer diverges:\n got %s\nwant %s", got, want)
+	}
+	if res.Rescattered == 0 {
+		t.Error("no range was re-scattered after a member death")
+	}
+	if res.Members != 3 {
+		// 2 surviving first-round answers + the dead range re-split in 2,
+		// minus empty shards — at minimum 3 non-empty answers for 100/3.
+		t.Logf("merged %d answers after re-scatter", res.Members)
+	}
+	if f.router.members[1].healthy.Load() {
+		t.Error("dead member still marked healthy")
+	}
+
+	// With everyone dead, the query fails with ErrNoMembers semantics.
+	f.servers[0].Close()
+	f.servers[2].Close()
+	if _, err := f.router.Query(context.Background(), req); err == nil {
+		t.Error("query succeeded with every member dead")
+	}
+}
+
+// TestAffinityRouting: grids below ShardMin route whole queries to the
+// size-affine member, and repeats of a size reuse that member's cache.
+func TestAffinityRouting(t *testing.T) {
+	f := newTestFleet(t, 3, Options{ShardMin: 1 << 40})
+	req := serve.QueryRequest{N: 2400, TopK: 3}
+	want := refBest(t, f.ref, req)
+	for i := 0; i < 4; i++ {
+		res, err := f.router.Query(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Members != 1 {
+			t.Fatalf("affinity answer merged %d members, want 1", res.Members)
+		}
+		if got := bestJSON(t, res.Best); got != want {
+			t.Fatalf("affinity answer diverges:\n got %s\nwant %s", got, want)
+		}
+	}
+	served := 0
+	for _, p := range f.planners {
+		if q := p.Stats().Queries; q > 0 {
+			served++
+			if q != 4 {
+				t.Errorf("affine member served %d queries, want all 4", q)
+			}
+		}
+	}
+	if served != 1 {
+		t.Errorf("%d members served traffic, want exactly 1 (stable affinity)", served)
+	}
+}
+
+// TestCoordinatedReload: the fleet-wide two-phase reload moves every member
+// or none. A dead member fails the stage phase and the survivors keep their
+// version; after the member list is healthy again the reload lands
+// everywhere.
+func TestCoordinatedReload(t *testing.T) {
+	f := newTestFleet(t, 3, Options{ShardMin: -1})
+	path := filepath.Join(t.TempDir(), "model.json")
+	buf, err := json.Marshal(fleetModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := f.router.Reload(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 3 {
+		t.Fatalf("reload committed on %d members, want 3", len(res.Members))
+	}
+	for i, p := range f.planners {
+		if v := p.Version(); v != 2 {
+			t.Errorf("member %d at version %d after fleet reload, want 2", i, v)
+		}
+	}
+
+	// All-or-none: with one member dead the stage phase fails and nobody
+	// moves — including members staged before the failure.
+	f.servers[1].Close()
+	if _, err := f.router.Reload(context.Background(), path); err == nil {
+		t.Fatal("fleet reload succeeded with a dead member")
+	}
+	for _, i := range []int{0, 2} {
+		if v := f.planners[i].Version(); v != 2 {
+			t.Errorf("survivor %d moved to version %d during failed reload, want 2", i, v)
+		}
+	}
+
+	// The aborted stages freed the members' stage slots: a later healthy
+	// reload (dead member dropped from config is not supported — restart
+	// it instead) still works on a fresh fleet.
+	f2 := newTestFleet(t, 2, Options{ShardMin: -1})
+	if _, err := f2.router.Reload(context.Background(), path); err != nil {
+		t.Fatalf("reload on healthy fleet after aborted attempt: %v", err)
+	}
+
+	// A bad path fails at stage on the first member; nobody moves.
+	if _, err := f2.router.Reload(context.Background(), filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("reload of a missing file succeeded")
+	}
+	for i, p := range f2.planners {
+		if v := p.Version(); v != 2 {
+			t.Errorf("member %d at version %d after failed reload, want 2", i, v)
+		}
+	}
+}
+
+// TestCoordinatedRefit: the fleet refit folds the same delta into every
+// member; versions move together and scatter answers keep matching a
+// reference planner given the same delta.
+func TestCoordinatedRefit(t *testing.T) {
+	const auth = "fleet-secret"
+	f := newTestFleet(t, 3, Options{ShardMin: -1, RefitAuth: auth})
+	// Jitter one stored sample, as a client would re-measure it.
+	src := fleetModel(t, 2)
+	s := src.Bins.Samples(core.PTKey{Class: 0, M: 2})[0]
+	s.Ta *= 1.25
+	stored := core.StoredSample{Class: s.Class, P: s.P, M: s.M, N: s.N, Ta: s.Ta, Tc: s.Tc}
+
+	res, err := f.router.Refit(context.Background(), serve.RefitRequest{Samples: []core.StoredSample{stored}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 3 {
+		t.Fatalf("refit committed on %d members, want 3", len(res.Members))
+	}
+	for i, p := range f.planners {
+		if v := p.Version(); v != 2 {
+			t.Errorf("member %d at version %d after fleet refit, want 2", i, v)
+		}
+	}
+
+	// Reference planner takes the same delta directly.
+	if _, err := f.ref.Refit(core.SampleDelta{Samples: []core.Sample{s}}); err != nil {
+		t.Fatal(err)
+	}
+	req := serve.QueryRequest{N: 2400, TopK: 7}
+	out, err := f.router.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bestJSON(t, out.Best), refBest(t, f.ref, req); got != want {
+		t.Errorf("post-refit fleet answer diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMergeVersionRace: answers from mixed model versions refuse to merge
+// (the scatter path retries once on this signal).
+func TestMergeVersionRace(t *testing.T) {
+	mk := func(version int64) serve.QueryResponse {
+		return serve.QueryResponse{Version: version, N: 100}
+	}
+	_, err := mergeAnswers(serve.QueryRequest{TopK: 1}, []memberAnswer{
+		{shard: core.IndexRange{Lo: 0, Hi: 50}, resp: mk(1)},
+		{shard: core.IndexRange{Lo: 50, Hi: 100}, resp: mk(2)},
+	})
+	if !isVersionRace(err) {
+		t.Fatalf("mixed versions merged: %v", err)
+	}
+	if _, err := mergeAnswers(serve.QueryRequest{TopK: 1}, nil); err == nil {
+		t.Fatal("empty answer set merged")
+	}
+}
+
+// TestPartition: contiguous, disjoint, covering, ordered — for spans both
+// above and below the part count.
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi int64
+		parts  int
+	}{
+		{0, 100, 3}, {0, 100, 1}, {0, 7, 16}, {40, 53, 4}, {0, 0, 2},
+	} {
+		got := partition(core.IndexRange{Lo: tc.lo, Hi: tc.hi}, tc.parts)
+		if len(got) != tc.parts {
+			t.Fatalf("partition(%d..%d, %d): %d parts", tc.lo, tc.hi, tc.parts, len(got))
+		}
+		cursor := tc.lo
+		for _, r := range got {
+			if r.Lo != cursor || r.Hi < r.Lo {
+				t.Fatalf("partition(%d..%d, %d): bad range [%d, %d) at cursor %d",
+					tc.lo, tc.hi, tc.parts, r.Lo, r.Hi, cursor)
+			}
+			cursor = r.Hi
+		}
+		if cursor != tc.hi {
+			t.Fatalf("partition(%d..%d, %d): covers to %d", tc.lo, tc.hi, tc.parts, cursor)
+		}
+	}
+}
+
+// TestFleetStats: the aggregate view carries the router counters and one
+// stats row per member, dead members flagged unhealthy.
+func TestFleetStats(t *testing.T) {
+	f := newTestFleet(t, 3, Options{ShardMin: -1})
+	if _, err := f.router.Query(context.Background(), serve.QueryRequest{N: 2400, TopK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.router.Stats(context.Background())
+	if st.Scatters != 1 {
+		t.Errorf("scatters %d, want 1", st.Scatters)
+	}
+	if len(st.Members) != 3 || st.HealthySize != 3 {
+		t.Fatalf("stats rows %d (healthy %d), want 3/3", len(st.Members), st.HealthySize)
+	}
+	var queries int64
+	for _, m := range st.Members {
+		if m.Stats == nil {
+			t.Fatalf("member %s has no stats", m.URL)
+		}
+		queries += m.Stats.Queries
+	}
+	if queries == 0 {
+		t.Error("no member reported served queries")
+	}
+
+	f.servers[2].Close()
+	st = f.router.Stats(context.Background())
+	if st.HealthySize != 2 || st.Members[2].Healthy || st.Members[2].Error == "" {
+		t.Errorf("dead member not reflected: healthy=%d row=%+v", st.HealthySize, st.Members[2])
+	}
+}
+
+// TestHealthGridMismatch: a member compiled over a different space is
+// excluded from membership even though it answers health probes.
+func TestHealthGridMismatch(t *testing.T) {
+	p, err := serve.New(fleetModel(t, 2), fleetSpace(2), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	bigger := fleetSpace(2)
+	bigger.ProcChoices[0] = []int{1, 2, 3, 4}
+	r, err := New(bigger, Options{Members: []string{srv.URL}, ShardMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.CheckHealth(context.Background()); n != 0 {
+		t.Fatalf("incompatible member counted healthy (%d)", n)
+	}
+	if _, err := r.Query(context.Background(), serve.QueryRequest{N: 2400}); err == nil {
+		t.Fatal("query over an incompatible fleet succeeded")
+	}
+}

@@ -1,0 +1,310 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"hetmodel/internal/core"
+	"hetmodel/internal/parallel"
+	"hetmodel/internal/serve"
+)
+
+// This file is the query path: partition, fan out, gather, merge, retry.
+//
+// Correctness rests on two facts. First, SearchOptions.Range restriction is
+// exact: a member searching [lo, hi) scores precisely the candidates with
+// those global grid indices, so a partition of [0, size) covers every
+// candidate once. Second, parallel.MergeTopK ranks on the same (τ, index)
+// total order the unsharded search uses, and a total order makes the merged
+// K-best independent of how candidates were distributed over members. The
+// router therefore returns candidates bit-identical to a single planner —
+// including ties, which the strict-compare order breaks by grid index on
+// both paths.
+
+// QueryResponse is the router's answer: the member QueryResponse shape plus
+// fleet bookkeeping. Size/Scored/Pruned sum over members; CacheHit is true
+// only when every member answered from cache; Batched sums member batch
+// sizes.
+type QueryResponse struct {
+	serve.QueryResponse
+	// Members is the number of member answers merged (1 on the affinity
+	// path); Rescattered counts ranges re-assigned after a member failure
+	// while answering this query.
+	Members     int `json:"members"`
+	Rescattered int `json:"rescattered,omitempty"`
+}
+
+// memberAnswer pairs one member's response with the shard it covered.
+type memberAnswer struct {
+	shard core.IndexRange
+	resp  serve.QueryResponse
+}
+
+// Query answers a planning query over the fleet. Large grids scatter over
+// the healthy members and merge; grids below ShardMin route whole to the
+// size-affine member.
+func (r *Router) Query(ctx context.Context, req serve.QueryRequest) (*QueryResponse, error) {
+	if req.ShardLo != 0 || req.ShardHi != 0 {
+		return nil, fmt.Errorf("fleet: shard parameters are owned by the router; query members directly to restrict ranges")
+	}
+	healthy := r.healthyMembers()
+	if len(healthy) == 0 {
+		// Membership may just be stale (e.g. every member restarted since
+		// the last probe): re-probe once before giving up.
+		if r.CheckHealth(ctx) == 0 {
+			return nil, ErrNoMembers
+		}
+		healthy = r.healthyMembers()
+	}
+	if r.grid.Size() < r.opts.ShardMin {
+		return r.queryAffine(ctx, req, healthy)
+	}
+	res, err := r.queryScatter(ctx, req, healthy)
+	if err == nil || !isVersionRace(err) {
+		return res, err
+	}
+	// Version mismatch across members: a reload/refit landed mid-scatter.
+	// The fleet converges (coordinated swaps move everyone), so one full
+	// retry against fresh membership resolves the race.
+	r.retries.Add(1)
+	return r.queryScatter(ctx, req, r.healthyMembers())
+}
+
+// queryAffine forwards the whole query to the size-affine member.
+func (r *Router) queryAffine(ctx context.Context, req serve.QueryRequest, healthy []*member) (*QueryResponse, error) {
+	m := affinityMember(healthy, req.N)
+	var resp serve.QueryResponse
+	if err := r.postJSON(ctx, m.url+"/v1/query", req, &resp); err != nil {
+		m.fail(err)
+		return nil, fmt.Errorf("fleet: affine member %s: %w", m.url, err)
+	}
+	r.affinity.Add(1)
+	return &QueryResponse{QueryResponse: resp, Members: 1}, nil
+}
+
+// queryScatter fans req out shard-by-shard over members and merges. A failed
+// member drops out of the membership and its range re-scatters across the
+// survivors (one level deep — a failure during re-scatter fails the query).
+func (r *Router) queryScatter(ctx context.Context, req serve.QueryRequest, healthy []*member) (*QueryResponse, error) {
+	if len(healthy) == 0 {
+		return nil, ErrNoMembers
+	}
+	full := core.IndexRange{Lo: 0, Hi: r.grid.Size()}
+	answers, failed := r.fanOut(ctx, req, healthy, partition(full, len(healthy)))
+	rescattered := 0
+	if len(failed) > 0 {
+		survivors := r.healthyMembers()
+		if len(survivors) == 0 {
+			return nil, fmt.Errorf("fleet: all members failed (first: %w)", failed[0].err)
+		}
+		for _, f := range failed {
+			r.rescatters.Add(1)
+			rescattered++
+			sub, subFailed := r.fanOut(ctx, req, survivors, partition(f.shard, len(survivors)))
+			if len(subFailed) > 0 {
+				return nil, fmt.Errorf("fleet: re-scatter of [%d, %d) failed: %w",
+					f.shard.Lo, f.shard.Hi, subFailed[0].err)
+			}
+			answers = append(answers, sub...)
+		}
+	}
+	res, err := mergeAnswers(req, answers)
+	if err != nil {
+		return nil, err
+	}
+	res.Rescattered = rescattered
+	r.scatters.Add(1)
+	return res, nil
+}
+
+// failedShard is one member request that did not produce an answer.
+type failedShard struct {
+	shard core.IndexRange
+	err   error
+}
+
+// fanOut sends req restricted to shards[i] to members[i] (lists are the same
+// length), bounded by the router's in-flight semaphore, and splits the
+// outcomes. Members that fail are marked unhealthy here; barren shards
+// (zero-length after partitioning fewer candidates than members) are skipped
+// outright.
+func (r *Router) fanOut(ctx context.Context, req serve.QueryRequest, members []*member, shards []core.IndexRange) ([]memberAnswer, []failedShard) {
+	var (
+		mu      sync.Mutex
+		answers []memberAnswer
+		failed  []failedShard
+		wg      sync.WaitGroup
+	)
+	for i := range members {
+		if shards[i].Lo >= shards[i].Hi {
+			continue
+		}
+		wg.Add(1)
+		go func(m *member, shard core.IndexRange) {
+			defer wg.Done()
+			sub := req
+			sub.ShardLo, sub.ShardHi = shard.Lo, shard.Hi
+			var resp serve.QueryResponse
+			err := r.postJSON(ctx, m.url+"/v1/query", sub, &resp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				m.fail(err)
+				failed = append(failed, failedShard{shard: shard, err: fmt.Errorf("%s: %w", m.url, err)})
+				return
+			}
+			m.version.Store(resp.Version)
+			answers = append(answers, memberAnswer{shard: shard, resp: resp})
+		}(members[i], shards[i])
+	}
+	wg.Wait()
+	return answers, failed
+}
+
+// versionRaceError marks a scatter whose members answered from different
+// model versions; Query retries these once.
+type versionRaceError struct{ low, high int64 }
+
+func (e *versionRaceError) Error() string {
+	return fmt.Sprintf("fleet: members answered from versions %d..%d; fleet not converged", e.low, e.high)
+}
+
+func isVersionRace(err error) bool {
+	var v *versionRaceError
+	return errors.As(err, &v)
+}
+
+// mergeAnswers folds member answers into the fleet response: counters sum,
+// candidate lists merge under the global (τ, index) order. Member candidate
+// objects are re-emitted as received — encoding/json prints float64 in
+// shortest-round-trip form, so decode + re-encode preserves every byte the
+// member produced.
+func mergeAnswers(req serve.QueryRequest, answers []memberAnswer) (*QueryResponse, error) {
+	if len(answers) == 0 {
+		return nil, ErrNoMembers
+	}
+	// Deterministic fold order regardless of arrival order.
+	sort.Slice(answers, func(i, j int) bool { return answers[i].shard.Lo < answers[j].shard.Lo })
+	k := req.TopK
+	if k <= 0 {
+		k = 1
+	}
+	out := &QueryResponse{Members: len(answers)}
+	out.CacheHit = true
+	minV, maxV := answers[0].resp.Version, answers[0].resp.Version
+	lists := make([][]parallel.Candidate, len(answers))
+	byIndex := make(map[int64]serve.CandidateJSON)
+	for i, a := range answers {
+		if a.resp.Version < minV {
+			minV = a.resp.Version
+		}
+		if a.resp.Version > maxV {
+			maxV = a.resp.Version
+		}
+		out.N = a.resp.N
+		out.Size += a.resp.Size
+		out.Scored += a.resp.Scored
+		out.Pruned += a.resp.Pruned
+		out.Batched += a.resp.Batched
+		out.CacheHit = out.CacheHit && a.resp.CacheHit
+		lists[i] = make([]parallel.Candidate, len(a.resp.Best))
+		for j, c := range a.resp.Best {
+			if c.Index < a.shard.Lo || c.Index >= a.shard.Hi {
+				return nil, fmt.Errorf("fleet: member returned index %d outside its shard [%d, %d)",
+					c.Index, a.shard.Lo, a.shard.Hi)
+			}
+			lists[i][j] = parallel.Candidate{Index: c.Index, Score: c.Tau}
+			byIndex[c.Index] = c
+		}
+	}
+	if minV != maxV {
+		return nil, &versionRaceError{low: minV, high: maxV}
+	}
+	out.Version = minV
+	merged := parallel.MergeTopK(k, lists)
+	out.Best = make([]serve.CandidateJSON, len(merged))
+	for i, c := range merged {
+		out.Best[i] = byIndex[c.Index]
+	}
+	return out, nil
+}
+
+// partition splits [r.Lo, r.Hi) into parts contiguous ranges of near-equal
+// length, in order. Ranges may be empty when parts exceeds the span.
+func partition(r core.IndexRange, parts int) []core.IndexRange {
+	span := r.Hi - r.Lo
+	out := make([]core.IndexRange, parts)
+	for i := range out {
+		out[i] = core.IndexRange{
+			Lo: r.Lo + span*int64(i)/int64(parts),
+			Hi: r.Lo + span*int64(i+1)/int64(parts),
+		}
+	}
+	return out
+}
+
+// getJSON / postJSON are the member client: bounded by the in-flight
+// semaphore, JSON in and out, member error bodies surfaced as errors.
+
+func (r *Router) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return r.do(req, out)
+}
+
+func (r *Router) postJSON(ctx context.Context, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.opts.RefitAuth != "" && strings.Contains(url, "/v1/refit") {
+		req.Header.Set(serve.RefitAuthHeader, r.opts.RefitAuth)
+	}
+	return r.do(req, out)
+}
+
+func (r *Router) do(req *http.Request, out any) error {
+	select {
+	case r.sem <- struct{}{}:
+		defer func() { <-r.sem }()
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -3,16 +3,22 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+
+	"hetmodel/internal/core"
 )
 
 // batchKey identifies queries that one grid pass can answer: same model
-// version, same problem size, same canonical constraint signature. TopK is
-// deliberately absent — the top-K ranking is a total order on (τ, index),
-// so the K-best list of any member is a prefix of the batch's max-K list.
+// version, same problem size, same canonical constraint signature, same
+// grid-index shard (zero-valued with sharded=false for whole-grid queries).
+// TopK is deliberately absent — the top-K ranking is a total order on
+// (τ, index), so the K-best list of any member is a prefix of the batch's
+// max-K list.
 type batchKey struct {
 	version int64
 	n       int
 	sig     string
+	shard   core.IndexRange
+	sharded bool
 }
 
 // batch collects queries for one grid pass. A batch is open from creation

@@ -81,15 +81,22 @@ func (p *Planner) Refit(delta core.SampleDelta) (*RefitResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.finishRefitSwapLocked(oldVersion, version, next, report), nil
+}
+
+// finishRefitSwapLocked is the post-swap half of a refit (counters plus the
+// report-driven cache maintenance), shared by Refit and CommitStaged.
+// Callers hold swapMu and have already published next as version.
+func (p *Planner) finishRefitSwapLocked(oldVersion, version int64, next *core.ModelSet, report *core.RefitReport) *RefitResult {
 	p.refits.Add(1)
 	res := &RefitResult{Version: version, Report: report}
 	if p.refitReachesGrid(report, next) {
 		res.CacheDropped = p.cache.InvalidateExcept(version)
-		return res, nil
+		return res
 	}
 	res.CacheKept, res.CacheDropped = p.cache.Rekey(oldVersion, version, nil)
 	p.cacheRekeyed.Add(int64(res.CacheKept))
-	return res, nil
+	return res
 }
 
 // refitReachesGrid reports whether any change in the report is visible to a

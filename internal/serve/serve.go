@@ -74,8 +74,11 @@ type Planner struct {
 	refitAuth string
 	// swapMu serializes model publication with the cache maintenance that
 	// follows it (Reload's invalidation, Refit's re-keying), so two
-	// concurrent swaps cannot interleave their cache updates.
-	swapMu sync.Mutex
+	// concurrent swaps cannot interleave their cache updates. It also
+	// guards the staged two-phase swap state below (see stage.go).
+	swapMu   sync.Mutex
+	pending  *stagedOp
+	stageSeq int64
 
 	queries      atomic.Int64
 	completed    atomic.Int64
@@ -270,6 +273,13 @@ type Query struct {
 	// Constraints restrict the candidate set; the zero value allows every
 	// candidate of the planner's space.
 	Constraints Constraints
+	// Shard, when non-nil, restricts the search to the grid indices in
+	// [Lo, Hi) — the fleet router's scatter unit. Candidates keep their
+	// global grid indices and the (τ, index) ranking, so merging disjoint
+	// shard answers with parallel.MergeTopK reproduces the unsharded
+	// answer bit for bit. A shard holding no scorable candidate returns an
+	// empty Best, not an error.
+	Shard *core.IndexRange
 }
 
 // Result is the answer to a Query. Best, Size, Version and N are
@@ -285,6 +295,9 @@ type Result struct {
 	// Best holds the TopK best candidates, best first (core's (τ, index)
 	// total order).
 	Best []core.Estimate
+	// BestIndex holds the global grid index of each Best entry — what a
+	// fleet router merges shard answers on.
+	BestIndex []int64
 	// Size, Scored and Pruned mirror core.SearchResult.
 	Size, Scored, Pruned int64
 	// CacheHit reports whether the evaluator came from the cache (or an
@@ -312,6 +325,14 @@ func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	key := batchKey{version: version, n: q.N, sig: cons.signature()}
+	if q.Shard != nil {
+		if q.Shard.Lo < 0 || q.Shard.Hi < q.Shard.Lo || q.Shard.Hi > p.grid.Size() {
+			return nil, fmt.Errorf("serve: shard [%d, %d) outside grid of %d candidates",
+				q.Shard.Lo, q.Shard.Hi, p.grid.Size())
+		}
+		key.shard, key.sharded = *q.Shard, true
+	}
 	if p.timeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -322,7 +343,7 @@ func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
 	p.queries.Add(1)
 	start := p.now()
 
-	b, leader := p.batcher.join(batchKey{version: version, n: q.N, sig: cons.signature()}, k)
+	b, leader := p.batcher.join(key, k)
 	if !leader {
 		select {
 		case <-b.done:
@@ -345,7 +366,7 @@ func (p *Planner) Query(ctx context.Context, q Query) (*Result, error) {
 		// admission-control knee (see Options.Grind).
 		time.Sleep(p.grind)
 	}
-	b.res, b.err = p.execute(version, models, q.N, cons, b.maxK, b.members)
+	b.res, b.err = p.execute(version, models, q.N, cons, q.Shard, b.maxK, b.members)
 	close(b.done)
 	p.adm.release()
 	return p.finish(b, k, start)
@@ -366,7 +387,7 @@ func (p *Planner) finish(b *batch, k int, start time.Time) (*Result, error) {
 // execute runs one grid pass: evaluator from the cache (singleflight
 // compile), then the pruned streaming search with the constraints compiled
 // to a filter.
-func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Constraints, k, members int) (*Result, error) {
+func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Constraints, shard *core.IndexRange, k, members int) (*Result, error) {
 	ev, hit := p.cache.Get(evalKey{version: version, n: n}, func() *core.Evaluator {
 		return models.Compile(float64(n))
 	})
@@ -375,19 +396,21 @@ func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Cons
 		Workers: p.workers,
 		TopK:    k,
 		Filter:  cons.Filter(float64(n), models.Classes),
+		Range:   shard,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Version:  version,
-		N:        n,
-		Best:     res.Best,
-		Size:     res.Size,
-		Scored:   res.Scored,
-		Pruned:   res.Pruned,
-		CacheHit: hit,
-		Batched:  members,
+		Version:   version,
+		N:         n,
+		Best:      res.Best,
+		BestIndex: res.BestIndex,
+		Size:      res.Size,
+		Scored:    res.Scored,
+		Pruned:    res.Pruned,
+		CacheHit:  hit,
+		Batched:   members,
 	}, nil
 }
 
@@ -401,6 +424,7 @@ func sliceResult(b *batch, k int) (*Result, error) {
 	r := *b.res
 	if k < len(r.Best) {
 		r.Best = r.Best[:k:k]
+		r.BestIndex = r.BestIndex[:k:k]
 	}
 	return &r, nil
 }

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmodel/internal/core"
+)
+
+// This file is the two-phase-commit primitive behind coordinated fleet
+// reload and refit. A fleet router must never let a scatter query observe
+// mixed model versions across members, so a swap is split in two: Stage
+// validates the replacement and parks it (everything that can fail, fails
+// here), Commit publishes it (a version bump plus cache maintenance —
+// nothing left to fail short of the process dying). The router stages on
+// every member first and commits only when every stage succeeded; any stage
+// failure aborts the staged members and no member moves.
+//
+// One stage may be pending per planner at a time. A commit whose base model
+// changed since the stage (a direct Reload/Refit slipped in between) is
+// rejected and the stage is dropped — the staged model was derived from a
+// snapshot that is no longer current.
+
+// Stage kinds, doubling as the HTTP route family that may commit the stage
+// (reload commits are open like /v1/reload; refit commits require the same
+// shared secret as /v1/refit).
+const (
+	StageReload = "reload"
+	StageRefit  = "refit"
+)
+
+// ErrStagePending is returned by Stage* while another stage is pending.
+var ErrStagePending = errors.New("serve: a staged swap is already pending; commit or abort it first")
+
+// ErrNoStage is returned by Commit/Abort when no stage matches the token.
+var ErrNoStage = errors.New("serve: no staged swap matches the token")
+
+// stagedOp is one parked swap. Guarded by swapMu, like every store write.
+type stagedOp struct {
+	kind        string
+	token       string
+	baseVersion int64
+	next        *core.ModelSet
+	report      *core.RefitReport // refit only
+}
+
+// StagedCommit is the outcome of CommitStaged: the published version and
+// the cache maintenance that followed, plus the refit report for refit
+// stages (nil for reloads).
+type StagedCommit struct {
+	Version      int64             `json:"version"`
+	Report       *core.RefitReport `json:"report,omitempty"`
+	CacheKept    int               `json:"cacheKept"`
+	CacheDropped int               `json:"cacheDropped"`
+}
+
+// StageReload validates a replacement model and parks it for a later
+// CommitStaged. The returned token names the stage; nothing is published
+// and queries keep seeing the current model.
+func (p *Planner) StageReload(ms *core.ModelSet) (string, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	if p.pending != nil {
+		return "", ErrStagePending
+	}
+	version, cur := p.store.Current()
+	if err := ms.Validate(); err != nil {
+		return "", fmt.Errorf("serve: rejected model: %w", err)
+	}
+	if ms.Classes != cur.Classes {
+		return "", fmt.Errorf("serve: rejected model: %d classes, serving %d", ms.Classes, cur.Classes)
+	}
+	p.stageSeq++
+	p.pending = &stagedOp{
+		kind:        StageReload,
+		token:       fmt.Sprintf("reload-%d-%d", version, p.stageSeq),
+		baseVersion: version,
+		next:        ms,
+	}
+	return p.pending.token, nil
+}
+
+// StageRefit applies a sample delta to the current model and parks the
+// result for a later CommitStaged, returning the stage token and the
+// changed-bin report the commit will act on.
+func (p *Planner) StageRefit(delta core.SampleDelta) (string, *core.RefitReport, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	if p.pending != nil {
+		return "", nil, ErrStagePending
+	}
+	version, models := p.store.Current()
+	next, report, err := models.Refit(delta)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := next.Validate(); err != nil {
+		return "", nil, fmt.Errorf("serve: refit produced an invalid model: %w", err)
+	}
+	p.stageSeq++
+	p.pending = &stagedOp{
+		kind:        StageRefit,
+		token:       fmt.Sprintf("refit-%d-%d", version, p.stageSeq),
+		baseVersion: version,
+		next:        next,
+		report:      report,
+	}
+	return p.pending.token, report, nil
+}
+
+// CommitStaged publishes the pending stage named by (kind, token): the
+// model swaps in atomically and the evaluator cache is maintained exactly
+// as the direct Reload/Refit would have (invalidation for reloads and
+// grid-reachable refits, re-keying for unreachable refits). The stage is
+// consumed either way.
+func (p *Planner) CommitStaged(kind, token string) (*StagedCommit, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	st := p.pending
+	if st == nil || st.kind != kind || st.token != token {
+		return nil, ErrNoStage
+	}
+	p.pending = nil
+	oldVersion := p.store.Version()
+	if oldVersion != st.baseVersion {
+		return nil, fmt.Errorf("serve: model moved to version %d since stage %s (staged at %d); stage dropped",
+			oldVersion, token, st.baseVersion)
+	}
+	version, err := p.store.Swap(st.next)
+	if err != nil {
+		return nil, err
+	}
+	out := &StagedCommit{Version: version, Report: st.report}
+	if st.kind == StageRefit {
+		rr := p.finishRefitSwapLocked(oldVersion, version, st.next, st.report)
+		out.CacheKept, out.CacheDropped = rr.CacheKept, rr.CacheDropped
+	} else {
+		p.reloads.Add(1)
+		out.CacheDropped = p.cache.InvalidateExcept(version)
+	}
+	return out, nil
+}
+
+// AbortStaged drops the pending stage named by (kind, token). Nothing was
+// published, so there is nothing else to undo.
+func (p *Planner) AbortStaged(kind, token string) error {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	if p.pending == nil || p.pending.kind != kind || p.pending.token != token {
+		return ErrNoStage
+	}
+	p.pending = nil
+	return nil
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hetmodel/internal/core"
+	"hetmodel/internal/parallel"
+)
+
+// TestQueryShardedParity is the serving half of the fleet invariant: queries
+// restricted to a contiguous partition of the grid-index space, merged with
+// parallel.MergeTopK, reproduce the unsharded answer bit-for-bit, and the
+// per-shard Size fields sum to the full candidate count.
+func TestQueryShardedParity(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{})
+	ctx := context.Background()
+	const n, k = 2400, 7
+	full, err := p.Query(ctx, Query{N: n, TopK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := p.grid.Size()
+	for _, parts := range []int{1, 2, 3, 5} {
+		lists := make([][]parallel.Candidate, 0, parts)
+		var sizeSum int64
+		for s := 0; s < parts; s++ {
+			lo := size * int64(s) / int64(parts)
+			hi := size * int64(s+1) / int64(parts)
+			res, err := p.Query(ctx, Query{N: n, TopK: k, Shard: &core.IndexRange{Lo: lo, Hi: hi}})
+			if err != nil {
+				t.Fatalf("parts=%d shard [%d,%d): %v", parts, lo, hi, err)
+			}
+			list := make([]parallel.Candidate, len(res.Best))
+			for i := range res.Best {
+				if idx := res.BestIndex[i]; idx < lo || idx >= hi {
+					t.Fatalf("parts=%d shard [%d,%d) returned index %d outside its range", parts, lo, hi, idx)
+				}
+				list[i] = parallel.Candidate{Index: res.BestIndex[i], Score: res.Best[i].Tau}
+			}
+			lists = append(lists, list)
+			sizeSum += res.Size
+		}
+		merged := parallel.MergeTopK(k, lists)
+		if len(merged) != len(full.Best) {
+			t.Fatalf("parts=%d: merged %d candidates, want %d", parts, len(merged), len(full.Best))
+		}
+		for i, c := range merged {
+			if c.Index != full.BestIndex[i] || c.Score != full.Best[i].Tau {
+				t.Fatalf("parts=%d rank %d: merged (%d, %v), unsharded (%d, %v)",
+					parts, i, c.Index, c.Score, full.BestIndex[i], full.Best[i].Tau)
+			}
+		}
+		if sizeSum != full.Size {
+			t.Errorf("parts=%d: shard sizes sum to %d, unsharded Size %d", parts, sizeSum, full.Size)
+		}
+	}
+}
+
+// TestQueryShardValidation: malformed shards are rejected before any search
+// runs; an empty in-bounds shard answers cleanly with no candidates.
+func TestQueryShardValidation(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{})
+	ctx := context.Background()
+	size := p.grid.Size()
+	for _, bad := range []core.IndexRange{{Lo: -1, Hi: 3}, {Lo: 5, Hi: 2}, {Lo: 0, Hi: size + 1}} {
+		if _, err := p.Query(ctx, Query{N: 2400, Shard: &bad}); err == nil {
+			t.Errorf("shard [%d,%d) accepted, want error", bad.Lo, bad.Hi)
+		}
+	}
+	res, err := p.Query(ctx, Query{N: 2400, TopK: 3, Shard: &core.IndexRange{Lo: 3, Hi: 3}})
+	if err != nil {
+		t.Fatalf("empty shard: %v", err)
+	}
+	if len(res.Best) != 0 || res.Size != 0 {
+		t.Errorf("empty shard returned %d candidates (size %d), want none", len(res.Best), res.Size)
+	}
+}
+
+// TestStagedReloadLifecycle drives the two-phase swap end to end: staging
+// publishes nothing, commit bumps the version and invalidates the cache, and
+// a consumed token is gone.
+func TestStagedReloadLifecycle(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{})
+	ctx := context.Background()
+	if _, err := p.Query(ctx, Query{N: 2400}); err != nil {
+		t.Fatal(err)
+	}
+
+	token, err := p.StageReload(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Version(); v != 1 {
+		t.Fatalf("staging moved the version to %d", v)
+	}
+	if got := p.Stats().CacheEntries; got != 1 {
+		t.Fatalf("staging touched the cache (%d entries, want 1)", got)
+	}
+
+	// A second stage is refused while one is pending; aborting the wrong
+	// kind or token leaves the stage alone.
+	if _, err := p.StageReload(testModel(t, 2)); !errors.Is(err, ErrStagePending) {
+		t.Fatalf("second stage: %v, want ErrStagePending", err)
+	}
+	if err := p.AbortStaged(StageRefit, token); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("abort with wrong kind: %v, want ErrNoStage", err)
+	}
+	if err := p.AbortStaged(StageReload, "reload-bogus"); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("abort with wrong token: %v, want ErrNoStage", err)
+	}
+
+	res, err := p.CommitStaged(StageReload, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || p.Version() != 2 {
+		t.Fatalf("commit published version %d (planner %d), want 2", res.Version, p.Version())
+	}
+	if res.CacheDropped != 1 || p.Stats().CacheEntries != 0 {
+		t.Errorf("commit dropped %d cache entries (%d left), want 1 dropped and 0 left",
+			res.CacheDropped, p.Stats().CacheEntries)
+	}
+	if _, err := p.CommitStaged(StageReload, token); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("double commit: %v, want ErrNoStage", err)
+	}
+}
+
+// TestStagedReloadValidation: stage-time rejection mirrors Reload's, and an
+// aborted stage publishes nothing.
+func TestStagedReloadValidation(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{})
+	if _, err := p.StageReload(&core.ModelSet{Classes: 2}); err == nil {
+		t.Fatal("invalid model staged")
+	}
+	if _, err := p.StageReload(testModel(t, 3)); err == nil {
+		t.Fatal("model with mismatched class count staged")
+	}
+	token, err := p.StageReload(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AbortStaged(StageReload, token); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Version(); v != 1 {
+		t.Fatalf("aborted stage left version %d, want 1", v)
+	}
+	// The slot is free again after the abort.
+	if _, err := p.StageReload(testModel(t, 2)); err != nil {
+		t.Fatalf("stage after abort: %v", err)
+	}
+}
+
+// TestStagedCommitBaseVersionConflict: a direct swap landing between stage
+// and commit drops the stage — the staged model was derived from a snapshot
+// that is no longer current.
+func TestStagedCommitBaseVersionConflict(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{})
+	token, err := p.StageReload(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reload(testModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CommitStaged(StageReload, token); err == nil {
+		t.Fatal("commit succeeded over a moved base version")
+	}
+	if v := p.Version(); v != 2 {
+		t.Fatalf("version %d after rejected commit, want 2", v)
+	}
+	// The conflicting commit consumed the stage.
+	if _, err := p.CommitStaged(StageReload, token); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("retry after conflict: %v, want ErrNoStage", err)
+	}
+}
+
+// TestStagedRefit: the staged path lands exactly where the direct Refit
+// would — including the surgical cache outcome driven by the changed-bin
+// report (grid-unreachable delta keeps the cache, reachable drops it).
+func TestStagedRefit(t *testing.T) {
+	p, err := New(binnedTestModel(t, 2, 5), testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before, err := p.Query(ctx, Query{N: 2400, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grid-unreachable delta: M=5 is beyond every grid pair's Procs (max 3).
+	unreachable := jitterDelta(t, p, core.PTKey{Class: 0, M: 5}, 1.5)
+	token, report, err := p.StageRefit(unreachable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Changed) == 0 {
+		t.Fatal("refit report shows no changed bins")
+	}
+	if v := p.Version(); v != 1 {
+		t.Fatalf("staging a refit moved the version to %d", v)
+	}
+	res, err := p.CommitStaged(StageRefit, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.CacheKept != 1 || res.CacheDropped != 0 {
+		t.Fatalf("unreachable refit commit: version %d, kept %d, dropped %d; want 2, 1, 0",
+			res.Version, res.CacheKept, res.CacheDropped)
+	}
+	after, err := p.Query(ctx, Query{N: 2400, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBest(t, after.Best, before.Best)
+	if s := p.Stats(); s.Compiles != 1 {
+		t.Errorf("%d compiles after re-keyed commit, want 1 (cache stayed warm)", s.Compiles)
+	}
+}

@@ -21,11 +21,12 @@ REFIT_SECRET=smoke-refit-secret
 N=9600
 TOPK=3
 BIN=$(mktemp -d)
-# The PIDs are empty until each server starts; the guards keep the trap
-# safe under `set -u` when a build step fails before that point.
-SERVER_PID=""
-SERVER2_PID=""
-trap 'for pid in "$SERVER_PID" "$SERVER2_PID"; do [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; done; rm -rf "$BIN"' EXIT
+# Every spawned server appends its PID to this list, so the trap kills
+# whatever is still running no matter where the script dies — adding a
+# server cannot silently leak a process the way per-PID trap vars could.
+PIDS=""
+# shellcheck disable=SC2086 # word-splitting the PID list is the point
+trap 'for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done; rm -rf "$BIN"' EXIT
 
 echo "== build"
 go build -o "$BIN/hetserve" ./cmd/hetserve
@@ -41,6 +42,7 @@ grep -Eo '\([0-9,]+\) +tau = [0-9.]+' "$BIN/direct.txt" > "$BIN/direct.pairs"
 echo "== start hetserve on :$PORT"
 "$BIN/hetserve" -model "$MODEL" -addr "127.0.0.1:$PORT" -refit-auth "$REFIT_SECRET" &
 SERVER_PID=$!
+PIDS="$PIDS $SERVER_PID"
 for _ in $(seq 1 50); do
 	if curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1; then break; fi
 	sleep 0.1
@@ -112,6 +114,7 @@ grep -Eo '\([0-9,]+\) +tau = [0-9.]+' "$BIN/direct2.txt" > "$BIN/direct2.pairs"
 # to diff byte for byte against the refit server's.
 "$BIN/hetserve" -model "$BIN/rebuilt.json" -addr "127.0.0.1:$PORT2" &
 SERVER2_PID=$!
+PIDS="$PIDS $SERVER2_PID"
 for _ in $(seq 1 50); do
 	if curl -fsS "http://127.0.0.1:$PORT2/v1/healthz" >/dev/null 2>&1; then break; fi
 	sleep 0.1
