@@ -52,16 +52,16 @@ bench:
 
 # Run the tracked suite (internal/bench) and write a JSON report with
 # speedups against the committed baseline. See EXPERIMENTS.md for the
-# recipe used to regenerate the committed BENCH_7.json.
+# recipe used to regenerate the committed BENCH_8.json.
 bench-json:
-	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_7.json -baseline-ref BENCH_7.json
+	$(GO) run ./cmd/benchrun -out bench.json -baseline BENCH_8.json -baseline-ref BENCH_8.json
 
 # Regression gate: rerun the tracked suite and fail when any workload shared
 # with the committed baseline is more than 5% slower, or when a zero-alloc
-# workload (EvaluatorTau) starts allocating. Workloads new since the baseline
+# workload (EvaluatorTau, SearchKernel1M) starts allocating. Workloads new since the baseline
 # are reported but never fail the gate.
 bench-compare:
-	$(GO) run ./cmd/benchrun -compare BENCH_7.json -regress 5 -gate-allocs
+	$(GO) run ./cmd/benchrun -compare BENCH_8.json -regress 5 -gate-allocs
 
 # Run the planner service against the committed model fixture (ctrl-C to
 # stop). Query it with e.g.:

@@ -13,14 +13,18 @@
 // With -space the search runs over the paper's full evaluation grid through
 // the compiled-evaluator streaming search (ModelSet.OptimizeSpace) instead
 // of materializing the candidate list, and reports how many candidates the
-// monotone lower bound pruned; -noprune disables the pruning (the winners
-// are identical either way, it only costs time).
+// monotone lower bound pruned; -noprune disables the bound pruning (the
+// winners are identical either way, it only costs time). The -classes,
+// -maxprocs and -maxbytes flags restrict the candidate set structurally —
+// the kernel prunes whole subtrees that cannot satisfy them, and the ranking
+// is bit-identical to filtering the unconstrained stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
 	"hetmodel/internal/cluster"
@@ -46,6 +50,9 @@ func main() {
 		topk      = flag.Int("topk", 1, "report the K best configurations instead of only the winner")
 		space     = flag.Bool("space", false, "stream the full evaluation grid through the compiled search instead of the 62-candidate list")
 		noprune   = flag.Bool("noprune", false, "with -space: disable lower-bound pruning (same winners, more work)")
+		classesCS = flag.String("classes", "", "with -space: comma-separated PE classes a candidate may use (empty = all)")
+		maxprocs  = flag.Int("maxprocs", 0, "with -space: cap on the total process count P (0 = no cap)")
+		maxbytes  = flag.Float64("maxbytes", 0, "with -space: cap on the per-PE resident set in bytes, M·8N²/P (0 = no cap)")
 	)
 	prof := profiling.AddFlags(nil)
 	version.AddFlag()
@@ -91,6 +98,13 @@ func main() {
 	if *heuristic && (*space || *topk > 1) {
 		log.Fatal("-heuristic tracks a single incumbent; it cannot be combined with -space or -topk")
 	}
+	cons, err := parseConstraints(*classesCS, *maxprocs, *maxbytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cons != nil && !*space {
+		log.Fatal("-classes/-maxprocs/-maxbytes constrain the streaming search; combine them with -space")
+	}
 	candidates := experiments.EvalConfigs()
 	var best cluster.Configuration
 	var tau float64
@@ -104,13 +118,17 @@ func main() {
 		fmt.Printf("heuristic search: %d model evaluations\n", evals)
 	case *space:
 		res, err := models.OptimizeSpace(cluster.PaperEvaluationSpace(), *n, core.SearchOptions{
-			Workers: *workers, TopK: *topk, NoPrune: *noprune,
+			Workers: *workers, TopK: *topk, NoPrune: *noprune, Constraints: cons,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("streaming search: %d candidates, %d scored, %d pruned\n",
-			res.Size, res.Scored, res.Pruned)
+		ratio := 0.0
+		if res.Size > 0 {
+			ratio = 100 * float64(res.Pruned) / float64(res.Size)
+		}
+		fmt.Printf("streaming search: %d candidates, %d scored, %d pruned (%.1f%% pruned)\n",
+			res.Size, res.Scored, res.Pruned, ratio)
 		if *topk > 1 {
 			printRanked(res.Best, *n)
 		}
@@ -190,4 +208,23 @@ func printRanked(best []core.Estimate, n int) {
 // truncated model list).
 func loadModelSet(path string) (*core.ModelSet, error) {
 	return core.LoadModelSetFile(path)
+}
+
+// parseConstraints assembles the structured search constraints from the
+// -classes/-maxprocs/-maxbytes flags; nil when all three are unset.
+func parseConstraints(classesCS string, maxProcs int, maxBytes float64) (*core.Constraints, error) {
+	c := &core.Constraints{MaxTotalProcs: maxProcs, MaxBytesPerPE: maxBytes}
+	if classesCS != "" {
+		for _, f := range strings.Split(classesCS, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad -classes entry %q: %v", f, err)
+			}
+			c.Classes = append(c.Classes, v)
+		}
+	}
+	if len(c.Classes) == 0 && c.MaxTotalProcs == 0 && c.MaxBytesPerPE == 0 {
+		return nil, nil
+	}
+	return c, nil
 }

@@ -53,6 +53,9 @@ type (
 	SearchOptions = core.SearchOptions
 	// SearchResult carries the ranked winners and search statistics.
 	SearchResult = core.SearchResult
+	// Constraints restricts a search structurally (allowed classes, total
+	// process cap, per-PE memory bound); see SearchOptions.Constraints.
+	Constraints = core.Constraints
 )
 
 // Cluster and configuration types.

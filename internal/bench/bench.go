@@ -40,6 +40,9 @@ func Suite() []Case {
 		{"SweepWorkers1", "62-candidate sweep at N=2400, sequential", sweepW1},
 		{"Sweep1MEstimate", "1M-config 6-class optimize via per-candidate ModelSet.Estimate (pre-evaluator path), sequential", sweep1MEstimate},
 		{"Sweep1MSearch", "1M-config 6-class optimize via compiled evaluator + pruned streaming search, sequential", sweep1MSearch},
+		{"Sweep1MTopK8", "1M-config 6-class top-8 via the shared-threshold pruned search, sequential", sweep1MTopK8},
+		{"Sweep1MConstrained", "1M-config 6-class optimize under class-subset + total-process constraints (structural pruning), sequential", sweep1MConstrained},
+		{"SearchKernel1M", "steady-state 1M-config top-8 through SearchReuse: odometer kernel only, zero allocs", searchKernel1M},
 		{"EvaluatorTau", "score one 6-class candidate through a compiled evaluator", evaluatorTau},
 		{"ServeCachedQuery", "warm planner query, 1M-config space, evaluator cache hit", serveCachedQuery},
 		{"ServeColdCompile", "planner query after a model reload: compile + grid pass", serveColdCompile},

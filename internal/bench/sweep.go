@@ -134,3 +134,64 @@ func evaluatorTau(b *testing.B) {
 		}
 	}
 }
+
+func sweep1MTopK8(b *testing.B) {
+	ms := sixClassModel()
+	space := sweepSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ms.OptimizeSpace(space, 3200, core.SearchOptions{Workers: 1, TopK: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Best) != 8 {
+			b.Fatalf("%d winners", len(res.Best))
+		}
+	}
+}
+
+func sweep1MConstrained(b *testing.B) {
+	ms := sixClassModel()
+	space := sweepSpace()
+	// A realistic serving-layer restriction: four of the six classes allowed
+	// and a total-process cap — the kernel prunes the excluded subtrees
+	// structurally instead of decoding and filtering a million candidates.
+	cons := &core.Constraints{Classes: []int{0, 1, 2, 3}, MaxTotalProcs: 24}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ms.OptimizeSpace(space, 3200, core.SearchOptions{Workers: 1, Constraints: cons})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Best) == 0 {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+func searchKernel1M(b *testing.B) {
+	ev := sixClassModel().Compile(3200)
+	grid, err := sweepSpace().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r core.Reusable
+	opts := core.SearchOptions{TopK: 8}
+	// Warm the reused buffers and the evaluator's grid-tables cache so the
+	// timed loop measures the steady-state kernel (0 allocs/op, which the
+	// benchrun alloc gate pins).
+	if _, err := ev.SearchReuse(grid, opts, &r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ev.SearchReuse(grid, opts, &r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Best) != 8 {
+			b.Fatalf("%d winners", len(res.Best))
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hetmodel/internal/cluster"
+)
+
+// multiClassWorld builds a model set with the given class count, every class
+// measured at M = 1..3 on 1, 2 and 4 PEs (class c at speed factor 1+c/4),
+// so grids over several classes have full coverage and a non-trivial τ
+// landscape — the shape structural pruning needs exercising against.
+func multiClassWorld(t *testing.T, classes int) *ModelSet {
+	t.Helper()
+	var samples []Sample
+	for class := 0; class < classes; class++ {
+		speed := 1 + float64(class)/4
+		for m := 1; m <= 3; m++ {
+			for _, pe := range []int{1, 2, 4} {
+				p := pe * m
+				for _, n := range []int{400, 800, 1600, 2400, 3200} {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p)*speed + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					use := make([]cluster.ClassUse, classes)
+					use[class] = cluster.ClassUse{PEs: pe, Procs: m}
+					samples = append(samples, Sample{
+						Config: cluster.Configuration{Use: use},
+						N:      n, P: p, Class: class, M: m,
+						Ta: ta, Tc: tc, Wall: ta + tc,
+					})
+				}
+			}
+		}
+	}
+	ms, err := Build(classes, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// multiClassSpace is a grid over the multiClassWorld model: per class,
+// PE counts {0, 1, 2, 4} × process counts {1, 2, 3}, i.e. 10 canonical
+// pairs per class.
+func multiClassSpace(classes int) cluster.Space {
+	s := cluster.Space{PEChoices: make([][]int, classes), ProcChoices: make([][]int, classes)}
+	for ci := range s.PEChoices {
+		s.PEChoices[ci] = []int{0, 1, 2, 4}
+		s.ProcChoices[ci] = []int{1, 2, 3}
+	}
+	return s
+}
+
+// randomConstraints draws a constraint set spanning the structural cases:
+// class subsets (including subsets that exclude every class), total-process
+// caps from generous to unsatisfiable-on-most-shards, and per-PE memory caps
+// bracketing the demand range of the spaces under test.
+func randomConstraints(rng *rand.Rand, classes int, n float64) *Constraints {
+	c := &Constraints{}
+	if rng.Intn(2) == 0 {
+		for ci := 0; ci < classes; ci++ {
+			if rng.Intn(2) == 0 {
+				c.Classes = append(c.Classes, ci)
+			}
+		}
+		if len(c.Classes) == 0 && rng.Intn(2) == 0 {
+			c.Classes = []int{rng.Intn(classes)} // single-class subset
+		}
+	}
+	switch rng.Intn(3) {
+	case 1:
+		c.MaxTotalProcs = 1 + rng.Intn(8) // tight: excludes most candidates
+	case 2:
+		c.MaxTotalProcs = 8 + rng.Intn(24)
+	}
+	if rng.Intn(2) == 0 {
+		// Per-PE demand over these spaces is M·8n²/P with M in 1..3 and P up
+		// to a few dozen — caps around 8n² cut through the middle of it.
+		c.MaxBytesPerPE = 8 * n * n * []float64{0.1, 0.5, 1.5, 4}[rng.Intn(4)]
+	}
+	return c
+}
+
+// TestConstrainedSearchMatchesFilterOracle is the tentpole's property test:
+// a structurally constrained search — ranged, pruned, at several worker
+// counts — is byte-identical to the unpruned search that applies the same
+// constraints as their defining filter closure, over randomized spaces,
+// constraints and partitions, including constraints that empty a shard or
+// the whole grid.
+func TestConstrainedSearchMatchesFilterOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, classes := range []int{1, 2, 3} {
+		ms := multiClassWorld(t, classes)
+		ev := ms.Compile(2400)
+		grid, err := multiClassSpace(classes).Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 24; trial++ {
+			cons := randomConstraints(rng, classes, 2400)
+			k := 1 + rng.Intn(5)
+			ranges := append([]IndexRange{{Lo: 0, Hi: grid.Size()}},
+				randomPartition(rng, grid.Size(), 1+rng.Intn(3))...)
+			for _, rr := range ranges {
+				rr := rr
+				var shard *IndexRange
+				if rr.Lo != 0 || rr.Hi != grid.Size() {
+					shard = &rr
+				}
+				want, wantErr := ev.Search(grid, SearchOptions{
+					Workers: 1, TopK: k, NoPrune: true, Range: shard,
+					Filter: cons.FilterFunc(2400, classes),
+				})
+				for _, workers := range []int{1, 2, 7} {
+					for _, noprune := range []bool{false, true} {
+						got, err := ev.Search(grid, SearchOptions{
+							Workers: workers, TopK: k, NoPrune: noprune, Range: shard,
+							Constraints: cons,
+						})
+						if (err == nil) != (wantErr == nil) {
+							t.Fatalf("classes=%d trial=%d [%d,%d) w=%d noprune=%v cons=%+v: err %v, oracle err %v",
+								classes, trial, rr.Lo, rr.Hi, workers, noprune, cons, err, wantErr)
+						}
+						if err != nil {
+							continue
+						}
+						if rankedJSON(t, got.Best, got.BestIndex) != rankedJSON(t, want.Best, want.BestIndex) {
+							t.Fatalf("classes=%d trial=%d [%d,%d) w=%d noprune=%v cons=%+v:\n got %s\nwant %s",
+								classes, trial, rr.Lo, rr.Hi, workers, noprune, cons,
+								rankedJSON(t, got.Best, got.BestIndex), rankedJSON(t, want.Best, want.BestIndex))
+						}
+						if got.Size != want.Size {
+							t.Fatalf("classes=%d trial=%d: size %d vs oracle %d", classes, trial, got.Size, want.Size)
+						}
+						if got.Scored+got.Pruned != got.Size {
+							t.Fatalf("classes=%d trial=%d cons=%+v: accounting %d scored + %d pruned != %d size",
+								classes, trial, cons, got.Scored, got.Pruned, got.Size)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConstraintsComposeWithFilter pins that Constraints and a user Filter
+// compose (both must accept) and equal the conjoined closures.
+func TestConstraintsComposeWithFilter(t *testing.T) {
+	ms := multiClassWorld(t, 2)
+	ev := ms.Compile(2400)
+	grid, err := multiClassSpace(2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := &Constraints{MaxTotalProcs: 10}
+	oddOnly := func(cfg cluster.Configuration) bool {
+		p := 0
+		for _, u := range cfg.Use {
+			p += u.PEs * u.Procs
+		}
+		return p%2 == 1
+	}
+	want, err := ev.Search(grid, SearchOptions{
+		Workers: 1, TopK: 4, NoPrune: true,
+		Filter: andFilter(cons.FilterFunc(2400, 2), oddOnly),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Search(grid, SearchOptions{
+		Workers: 2, TopK: 4, Constraints: cons, Filter: oddOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankedJSON(t, got.Best, got.BestIndex) != rankedJSON(t, want.Best, want.BestIndex) {
+		t.Fatalf("constraints+filter differ from conjoined closures:\n got %s\nwant %s",
+			rankedJSON(t, got.Best, got.BestIndex), rankedJSON(t, want.Best, want.BestIndex))
+	}
+}
+
+// TestConstraintsGuardedFallback pins the closure fallback: a memory-guarded
+// evaluator has no dense tables, so structured constraints must run as their
+// closure and still match the explicit-filter oracle.
+func TestConstraintsGuardedFallback(t *testing.T) {
+	guard := func(cfg cluster.Configuration, n float64) float64 { return 1 }
+	ms := richWorld(t, guard)
+	ev := ms.Compile(6400)
+	grid, err := cluster.PaperEvaluationSpace().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := &Constraints{Classes: []int{1}, MaxTotalProcs: 6}
+	want, err := ev.Search(grid, SearchOptions{Workers: 1, TopK: 3, Filter: cons.FilterFunc(6400, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Search(grid, SearchOptions{Workers: 1, TopK: 3, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankedJSON(t, got.Best, got.BestIndex) != rankedJSON(t, want.Best, want.BestIndex) {
+		t.Fatalf("guarded fallback differs:\n got %s\nwant %s",
+			rankedJSON(t, got.Best, got.BestIndex), rankedJSON(t, want.Best, want.BestIndex))
+	}
+}
+
+// TestConstraintsEmptyingSearch pins the edge the fleet cares about: a
+// constraint set excluding every candidate errors on a full search (like an
+// unscorable grid) but answers an empty Best on a shard.
+func TestConstraintsEmptyingSearch(t *testing.T) {
+	ms := multiClassWorld(t, 2)
+	ev := ms.Compile(2400)
+	grid, err := multiClassSpace(2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	impossible := &Constraints{MaxBytesPerPE: 1} // one byte per PE: nothing fits
+	if _, err := ev.Search(grid, SearchOptions{Workers: 1, Constraints: impossible}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("full search under impossible constraints: err = %v, want ErrNoModel", err)
+	}
+	shard := IndexRange{Lo: 1, Hi: grid.Size() / 2}
+	res, err := ev.Search(grid, SearchOptions{Workers: 1, Constraints: impossible, Range: &shard})
+	if err != nil {
+		t.Fatalf("emptied shard errored: %v", err)
+	}
+	if len(res.Best) != 0 {
+		t.Fatalf("emptied shard returned %d candidates", len(res.Best))
+	}
+	if res.Scored+res.Pruned != res.Size {
+		t.Fatalf("emptied shard accounting: %d + %d != %d", res.Scored, res.Pruned, res.Size)
+	}
+}
+
+// TestConstraintsValidation pins the error cases shared with the serving
+// layer: negative caps and out-of-range classes are rejected up front.
+func TestConstraintsValidation(t *testing.T) {
+	ms := multiClassWorld(t, 2)
+	ev := ms.Compile(2400)
+	grid, err := multiClassSpace(2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*Constraints{
+		{MaxTotalProcs: -1},
+		{MaxBytesPerPE: -0.5},
+		{Classes: []int{2}},
+		{Classes: []int{-1}},
+	} {
+		if _, err := ev.Search(grid, SearchOptions{Workers: 1, Constraints: bad}); err == nil {
+			t.Fatalf("constraints %+v accepted", bad)
+		}
+	}
+	// A nil or zero Constraints restricts nothing.
+	want, err := ev.Search(grid, SearchOptions{Workers: 1, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Search(grid, SearchOptions{Workers: 1, TopK: 2, Constraints: &Constraints{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankedJSON(t, got.Best, got.BestIndex) != rankedJSON(t, want.Best, want.BestIndex) {
+		t.Fatal("zero constraints changed the answer")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"hetmodel/internal/cluster"
+)
+
+// tieWorldN generalizes tieWorld to any class count with every class
+// identical, so a grid over it is saturated with exact τ ties across classes
+// and across symmetric configurations — the adversarial input for the shared
+// top-K threshold, where a sloppy non-strict prune would drop tied
+// candidates on some schedules and not others.
+func tieWorldN(t *testing.T, classes int) *ModelSet {
+	t.Helper()
+	var samples []Sample
+	for class := 0; class < classes; class++ {
+		for m := 1; m <= 3; m++ {
+			for _, pe := range []int{1, 2, 4} {
+				p := pe * m
+				for _, n := range []int{400, 800, 1600, 2400, 3200} {
+					nf := float64(n)
+					ta := 6e-10*nf*nf*nf/float64(p) + 0.2
+					tc := 1e-9 * nf * nf
+					if pe > 1 {
+						tc = 2e-9*nf*nf*float64(p) + 1e-8*nf*nf/float64(p) + 0.05
+					}
+					use := make([]cluster.ClassUse, classes)
+					use[class] = cluster.ClassUse{PEs: pe, Procs: m}
+					samples = append(samples, Sample{
+						Config: cluster.Configuration{Use: use},
+						N:      n, P: p, Class: class, M: m, Ta: ta, Tc: tc, Wall: ta + tc,
+					})
+				}
+			}
+		}
+	}
+	ms, err := Build(classes, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// TestSharedThresholdDeterminism is the shared-bound property test: on a
+// tie-heavy four-class grid (10⁴ candidates, so worker chunking is real),
+// ranked answers for k > 1 are byte-identical across 1, 2, 8 and 32 workers
+// and across repeated runs — the cross-worker threshold publishes in a
+// schedule-dependent order, but strict-compare pruning keeps every tie, so
+// no schedule can change the (τ, index) ranking. Constraints ride along to
+// exercise structural pruning under the shared bound.
+func TestSharedThresholdDeterminism(t *testing.T) {
+	const classes = 4
+	ms := tieWorldN(t, classes)
+	ev := ms.Compile(2400)
+	grid, err := multiClassSpace(classes).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cons := range []*Constraints{nil, {MaxTotalProcs: 12}} {
+		for _, k := range []int{2, 8} {
+			base, err := ev.Search(grid, SearchOptions{Workers: 1, TopK: k, Constraints: cons})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(base.Best) != k {
+				t.Fatalf("k=%d: baseline returned %d candidates", k, len(base.Best))
+			}
+			want := rankedJSON(t, base.Best, base.BestIndex)
+			for _, workers := range []int{2, 8, 32} {
+				for run := 0; run < 3; run++ {
+					res, err := ev.Search(grid, SearchOptions{Workers: workers, TopK: k, Constraints: cons})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := rankedJSON(t, res.Best, res.BestIndex); got != want {
+						t.Fatalf("cons=%+v k=%d workers=%d run=%d: ranking diverged\n got %s\nwant %s",
+							cons, k, workers, run, got, want)
+					}
+					if res.Size != base.Size || res.Scored+res.Pruned != res.Size {
+						t.Fatalf("cons=%+v k=%d workers=%d: accounting %d+%d vs size %d",
+							cons, k, workers, res.Scored, res.Pruned, res.Size)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hetmodel/internal/cluster"
 	"hetmodel/internal/lsq"
@@ -30,6 +31,10 @@ type Evaluator struct {
 	// pt[class][m] is the compiled P-T entry of bin {class, m}.
 	pt    [][]ptEval
 	guard MemoryGuard
+	// tcache is the one-slot grid-tables cache (see Evaluator.tables). It is
+	// the evaluator's only mutable state; recomputing on a racing miss is
+	// idempotent, so the model snapshot semantics above are unaffected.
+	tcache atomic.Pointer[gridTablesEntry]
 }
 
 // ptEval is one compiled P-T bin. With the precomputed fields, the model's

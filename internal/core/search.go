@@ -19,6 +19,8 @@ type SearchOptions struct {
 	// changes the returned candidates — it only skips subtrees whose bound
 	// proves they rank strictly worse than results already in hand — so
 	// this switch exists for benchmarking and for the equivalence tests.
+	// Structural constraint exclusions (see Constraints) are not bounds and
+	// stay active: they define the candidate set, they do not approximate it.
 	NoPrune bool
 	// Range, when non-nil, restricts the search to the grid indices in
 	// [Lo, Hi). Ranking, pruning and filtering are unchanged — candidates
@@ -31,16 +33,26 @@ type SearchOptions struct {
 	// can legitimately be barren.
 	Range *IndexRange
 	// Filter, when non-nil, restricts the search to candidates for which it
-	// returns true (the serving layer compiles query constraints — PE-class
-	// subsets, total-process caps, per-PE memory bounds — into one). The
-	// filter must be a pure function of the configuration: it runs
-	// concurrently from every worker and its verdict, like τ, must not
-	// depend on scheduling. Filtering composes soundly with pruning because
-	// both only remove candidates — a pruned subtree holds no candidate that
-	// could outrank an already-offered (filter-passing) one. The
-	// configuration passed in shares a per-worker buffer; the filter must
-	// not retain it.
+	// returns true. The filter must be a pure function of the configuration:
+	// it runs concurrently from every worker and its verdict, like τ, must
+	// not depend on scheduling. Filtering composes soundly with pruning
+	// because both only remove candidates — a pruned subtree holds no
+	// candidate that could outrank an already-offered (filter-passing) one.
+	// The configuration passed in shares a per-worker buffer; the filter
+	// must not retain it. Prefer Constraints for the structured rules the
+	// serving layer uses — a closure forces every candidate to be decoded
+	// and visited, Constraints prune structurally.
 	Filter func(cfg cluster.Configuration) bool
+	// Constraints, when non-nil and non-zero, restrict the candidate set to
+	// configurations the equivalent FilterFunc closure accepts — but the
+	// walker enforces them structurally: disallowed (class, pair) choices
+	// zero their subtrees, the total-process cap prunes on prefix-P plus
+	// minimum suffix-P, and the per-PE memory bound excludes pairs and
+	// subtrees by exact corner bounds. Results are bit-identical to passing
+	// FilterFunc as Filter; Constraints and Filter compose (both must
+	// accept). On the per-candidate fallback path (no dense tables) the
+	// constraints run as their closure.
+	Constraints *Constraints
 }
 
 // IndexRange is a half-open interval [Lo, Hi) of grid indices. The fleet
@@ -64,10 +76,12 @@ type SearchResult struct {
 	// all-unused configuration excluded); disjoint ranges covering the grid
 	// have Sizes summing to the full search's.
 	Size int64
-	// Scored counts candidates actually evaluated; Pruned counts
-	// candidates skipped by the bound. Scored+Pruned == Size on an
-	// unpruned search; with pruning and multiple workers the split between
-	// the two depends on timing (the results never do).
+	// Scored counts candidates actually visited (including ones a Filter or
+	// a leaf-level scorability check rejected); Pruned counts candidates
+	// skipped wholesale — by the τ lower bounds or by structural constraint
+	// exclusion. Scored+Pruned == Size always; with pruning and multiple
+	// workers the split between the two depends on timing (the results
+	// never do).
 	Scored, Pruned int64
 }
 
@@ -85,27 +99,72 @@ func (ms *ModelSet) OptimizeSpace(space cluster.Space, n int, opts SearchOptions
 	return ms.Compile(float64(n)).Search(grid, opts)
 }
 
-// maxGridTableP bounds the per-(class, pair, P) contribution tables: a
-// space whose total process count exceeds this falls back to per-candidate
+// maxGridTableP bounds the per-(class, M, P) contribution tables: a space
+// whose total process count exceeds this falls back to per-candidate
 // evaluation (still streamed and sharded, but without pruning bounds).
 const maxGridTableP = 1 << 16
 
-// gridTables holds the per-grid dense precomputation: for every class,
-// canonical pair and achievable total process count P, the class's
-// contribution to τ — and per (class, pair) the minimum contribution over
-// all P, a monotone lower bound on τ for any candidate using that pair
-// (τ is the max of per-class contributions, and each contribution depends
-// only on (class, M, P)).
+// gridTables holds the per-grid dense precomputation the walker reads: for
+// every class and distinct process count M, the class contribution to τ at
+// every achievable total process count P; per (class, pair) the pair's
+// process weight and a lower bound on its contribution; and per depth the
+// suffix accumulators that bound what the remaining classes can still do.
 type gridTables struct {
-	// pw[ci][j] is the process count the pair contributes to P.
+	// pw[ci][j] is the process count pair j of class ci contributes to P.
 	pw [][]int
 	// contrib[ci][j][P] is the class contribution; NaN marks "no model".
-	// nil for unused pairs (they contribute nothing).
+	// nil for unused pairs (they contribute nothing). Pairs of one class
+	// with equal Procs share one row: the contribution depends only on
+	// (class, M, P), and a leaf always reads the row at a total P covering
+	// the pair's own process weight, so the rows' low-P entries (below the
+	// sharing pair's weight) are never consulted on its behalf.
 	contrib [][][]float64
-	// lb[ci][j] is min over P of contrib (>= the pair's own process
-	// count); -Inf for unused pairs, +Inf when no P is scorable.
-	lb   [][]float64
+	// lb[ci][j] is min over P >= pw[ci][j] of contrib (the τ lower bound of
+	// any candidate using the pair); -Inf for unused pairs, +Inf when no P
+	// is scorable.
+	lb [][]float64
+	// winmin[ci][j][p] is min over q in [p, p+W] of contrib[ci][j][q] (NaN
+	// entries ignored, +Inf when none are scorable, window clamped to maxP),
+	// where W = sufMaxP[ci+1]-sufMinP[ci+1] is the process-count spread the
+	// classes after ci can add. A class sits at exactly one odometer depth,
+	// so one window width per class suffices; shared per (class, M) like
+	// contrib, nil for unused pairs. The walker evaluates it at the
+	// subtree's minimum reachable total P — prefix P + pair weight + the
+	// remaining classes' minimum weight — so the window spans exactly the
+	// total process counts the subtree's leaves can reach, a per-subtree
+	// bound far sharper than the static lb (the same row's minimum over
+	// every P the pair could ever see).
+	winmin [][][]float64
+	// colmin[ci][q] aggregates winmin across the class's scorable pairs:
+	// min over every pair j with a contribution row of winmin[ci][j][q+pw],
+	// where q is the subtree's minimum reachable total P before choosing
+	// the class's pair. One compare at node entry against colmin bounds all
+	// of the class's scorable pairs at once — when it exceeds the shared
+	// threshold, the walker skips the whole contiguous run of non-zero
+	// pairs and only descends the zero pair (whose subtree the prefix and
+	// suffix bounds still govern). Entries whose q+pw would exceed maxP are
+	// unreachable at the class's depth and excluded from the min.
+	colmin [][]float64
+	// firstNZ[ci] is the index of the class's first pair with a
+	// contribution row. Zero pairs sort first in the canonical pair order,
+	// so [firstNZ, np) is exactly the contiguous run colmin covers.
+	firstNZ []int
+	// procs[ci][j], strides[ci] and np[ci] mirror the grid's pair process
+	// counts, strides and pair counts in flat arrays, so the walk's hot loops
+	// touch no grid accessors.
+	procs   [][]int
+	strides []int64
+	np      []int
+	// maxP is the maximum achievable total process count of the grid.
 	maxP int
+	// Suffix accumulators over classes >= d (entry len(classes) covers the
+	// empty suffix): sufLB[d] is the unavoidable τ contribution of the
+	// remaining classes — the max over those classes of their cheapest
+	// pair's lb — and sufMinP/sufMaxP the minimum and maximum process count
+	// the remaining classes can add.
+	sufLB   []float64
+	sufMinP []int
+	sufMaxP []int
 }
 
 func (ev *Evaluator) compileGrid(grid *cluster.Grid) *gridTables {
@@ -113,14 +172,22 @@ func (ev *Evaluator) compileGrid(grid *cluster.Grid) *gridTables {
 	t := &gridTables{
 		pw:      make([][]int, classes),
 		contrib: make([][][]float64, classes),
+		winmin:  make([][][]float64, classes),
 		lb:      make([][]float64, classes),
+		procs:   make([][]int, classes),
+		strides: make([]int64, classes),
+		np:      make([]int, classes),
 	}
 	for ci := 0; ci < classes; ci++ {
 		pairs := grid.Pairs(ci)
 		t.pw[ci] = make([]int, len(pairs))
+		t.procs[ci] = make([]int, len(pairs))
+		t.strides[ci] = grid.Stride(ci)
+		t.np[ci] = len(pairs)
 		maxPW := 0
 		for j, u := range pairs {
 			t.pw[ci][j] = u.PEs * u.Procs
+			t.procs[ci][j] = u.Procs
 			if t.pw[ci][j] > maxPW {
 				maxPW = t.pw[ci][j]
 			}
@@ -130,34 +197,330 @@ func (ev *Evaluator) compileGrid(grid *cluster.Grid) *gridTables {
 	if t.maxP > maxGridTableP {
 		return nil
 	}
+	// The suffix process-count envelopes need only the pair weights, and the
+	// rows pass below needs them to size each class's lookahead window.
+	t.sufMinP = make([]int, classes+1)
+	t.sufMaxP = make([]int, classes+1)
+	for ci := classes - 1; ci >= 0; ci-- {
+		minPW, maxPW := 0, 0
+		for j, w := range t.pw[ci] {
+			if j == 0 || w < minPW {
+				minPW = w
+			}
+			if w > maxPW {
+				maxPW = w
+			}
+		}
+		t.sufMinP[ci] = t.sufMinP[ci+1] + minPW
+		t.sufMaxP[ci] = t.sufMaxP[ci+1] + maxPW
+	}
+	// windowMin's deque and NaN-clean scratch are sized once and shared by
+	// every row: each call fully overwrites what it reads.
+	winScratch := make([]float64, t.maxP+1)
+	winDeque := make([]int, 0, t.maxP+1)
 	for ci := 0; ci < classes; ci++ {
 		pairs := grid.Pairs(ci)
 		t.contrib[ci] = make([][]float64, len(pairs))
+		t.winmin[ci] = make([][]float64, len(pairs))
 		t.lb[ci] = make([]float64, len(pairs))
+		maxM := 0
+		for _, u := range pairs {
+			if u.Procs > maxM {
+				maxM = u.Procs
+			}
+		}
+		// One row per distinct M, shared by every pair running M processes
+		// per PE; each pair's lb is the row's suffix minimum at the pair's
+		// own process weight (the smallest P a candidate using it can have),
+		// and its windowed minima span the later classes' weight spread.
+		width := t.sufMaxP[ci+1] - t.sufMinP[ci+1]
+		rows := make([][]float64, maxM+1)
+		mins := make([][]float64, maxM+1)
+		wins := make([][]float64, maxM+1)
 		for j, u := range pairs {
 			if u.PEs == 0 {
 				t.lb[ci][j] = math.Inf(-1)
 				continue
 			}
-			row := make([]float64, t.maxP+1)
-			lb := math.Inf(1)
-			for p := 0; p <= t.maxP; p++ {
-				row[p] = math.NaN()
-				if p < t.pw[ci][j] {
-					continue
-				}
-				if v, ok := ev.classTau(ci, u.Procs, p); ok {
-					row[p] = v
-					if v < lb {
-						lb = v
-					}
+			if rows[u.Procs] == nil {
+				rows[u.Procs], mins[u.Procs] = ev.compileRow(ci, u.Procs, t.maxP)
+				wins[u.Procs] = windowMin(rows[u.Procs], width, winScratch, winDeque)
+			}
+			t.contrib[ci][j] = rows[u.Procs]
+			t.winmin[ci][j] = wins[u.Procs]
+			t.lb[ci][j] = mins[u.Procs][t.pw[ci][j]]
+		}
+	}
+	t.colmin = make([][]float64, classes)
+	t.firstNZ = make([]int, classes)
+	for ci := 0; ci < classes; ci++ {
+		fnz := len(t.winmin[ci])
+		for j := range t.winmin[ci] {
+			if t.winmin[ci][j] != nil {
+				fnz = j
+				break
+			}
+		}
+		t.firstNZ[ci] = fnz
+		col := make([]float64, t.maxP+1)
+		inf := math.Inf(1)
+		for q := range col {
+			col[q] = inf
+		}
+		// Pair-major accumulation: each pair folds its shifted winmin row
+		// into col with a branch-free reachability bound (q + pw <= maxP
+		// becomes the loop limit), instead of re-testing every pair per q.
+		for j := fnz; j < len(t.winmin[ci]); j++ {
+			wm := t.winmin[ci][j]
+			pwj := t.pw[ci][j]
+			for q := 0; q+pwj <= t.maxP; q++ {
+				if v := wm[q+pwj]; v < col[q] {
+					col[q] = v
 				}
 			}
-			t.contrib[ci][j] = row
-			t.lb[ci][j] = lb
+		}
+		t.colmin[ci] = col
+	}
+	t.sufLB = make([]float64, classes+1)
+	t.sufLB[classes] = math.Inf(-1)
+	for ci := classes - 1; ci >= 0; ci-- {
+		minLB := math.Inf(1)
+		for j := range grid.Pairs(ci) {
+			if t.lb[ci][j] < minLB {
+				minLB = t.lb[ci][j]
+			}
+		}
+		t.sufLB[ci] = t.sufLB[ci+1]
+		if minLB > t.sufLB[ci] {
+			t.sufLB[ci] = minLB
 		}
 	}
 	return t
+}
+
+// windowMin computes out[p] = min over q in [p, min(p+w, len(row)-1)] of
+// row[q], with NaN entries ignored (+Inf when the whole window is NaN) — the
+// sliding-window minimum the walker reads as a subtree bound. Monotone-deque
+// scan, O(len(row)) regardless of w. xbuf (len >= len(row)) and dqbuf
+// (cap >= len(row)) are caller-owned scratch, fully overwritten here, so one
+// grid compile allocates them once across all its rows.
+func windowMin(row []float64, w int, xbuf []float64, dqbuf []int) []float64 {
+	n := len(row)
+	out := make([]float64, n)
+	x := xbuf[:n]
+	for i, v := range row {
+		if math.IsNaN(v) {
+			x[i] = math.Inf(1)
+		} else {
+			x[i] = v
+		}
+	}
+	// dq holds indices of the current window [i, i+w] whose values strictly
+	// increase front to back; dq[0] is the window minimum. Iterating i
+	// downward mirrors the classic rightward sliding window.
+	dq := dqbuf[:0]
+	for i := n - 1; i >= 0; i-- {
+		for len(dq) > 0 && x[dq[len(dq)-1]] >= x[i] {
+			dq = dq[:len(dq)-1]
+		}
+		dq = append(dq, i)
+		for dq[0] > i+w {
+			dq = dq[1:]
+		}
+		out[i] = x[dq[0]]
+	}
+	return out
+}
+
+// seedScratch holds the probe buffers seedThreshold reuses across calls, so
+// steady-state SearchReuse stays allocation-free.
+type seedScratch struct {
+	cur []int
+	tk  *parallel.TopK
+}
+
+// seedThreshold publishes an upper bound on the grid's k-th best τ before
+// the walk starts, so subtree pruning bites from the first node instead of
+// waiting for the index-ordered odometer to reach competitive candidates.
+// The probe set is deterministic coordinate descent over the contribution
+// tables: starting from every class at its lightest scorable pair, each
+// class in turn tries its whole pair list (including the zero pair) while
+// the others hold still, moves to the strict best, and the sweep repeats
+// until a full round improves nothing. Every probe is the exact τ of a real
+// grid point, computed with leafRun's arithmetic and offered into a scratch
+// selection under its grid ordinal — deduplicated via Contains, since one
+// configuration filling two slots would push the scratch k-th below the
+// true subset k-th. Only the shared threshold is seeded, never the result
+// top-K: the probes are re-scored by the walk like any candidate, Offer
+// acceptance is untouched, and pruning stays a strict compare against a
+// value that upper-bounds the final k-th best (the k-th best of a candidate
+// subset), so the ranked results are bit-identical to an unseeded search.
+// Callers gate on the unrestricted candidate set — a range, filter or
+// constraint could exclude probes while keeping worse-τ candidates in its
+// top K, turning the seed into an under-bound. With fewer than k scorable
+// probes the threshold stays +Inf.
+func seedThreshold(t *gridTables, s *seedScratch, k int, shared *parallel.SharedThreshold) {
+	classes := len(t.np)
+	if cap(s.cur) < classes {
+		s.cur = make([]int, classes)
+	}
+	cur := s.cur[:classes]
+	if s.tk == nil || s.tk.K() != k {
+		s.tk = parallel.NewTopK(k)
+	} else {
+		s.tk.Reset()
+	}
+	curP := 0
+	for ci := 0; ci < classes; ci++ {
+		j := t.firstNZ[ci]
+		if j >= t.np[ci] {
+			j = 0 // no scorable pair: the class sits at its zero pair
+		}
+		cur[ci] = j
+		curP += t.pw[ci][j]
+	}
+	// seedRounds caps the sweeps so a long descent chain cannot rival the
+	// walk it is meant to accelerate; descent usually converges in two.
+	const seedRounds = 4
+	curTau := math.Inf(1)
+	for round := 0; round < seedRounds; round++ {
+		improved := false
+		for c := 0; c < classes; c++ {
+			bestJ := cur[c]
+			for j := 0; j < t.np[c]; j++ {
+				p := curP - t.pw[c][cur[c]] + t.pw[c][j]
+				tau := math.Inf(-1)
+				ok := true
+				for ci := 0; ci < classes; ci++ {
+					jj := cur[ci]
+					if ci == c {
+						jj = j
+					}
+					row := t.contrib[ci][jj]
+					if row == nil {
+						continue
+					}
+					v := row[p]
+					if math.IsNaN(v) {
+						ok = false
+						break
+					}
+					if v > tau {
+						tau = v
+					}
+				}
+				// Unscorable probes and the no-rows (empty) configuration
+				// seed nothing and never become the descent point.
+				if !ok || math.IsInf(tau, -1) {
+					continue
+				}
+				ord := int64(0)
+				for ci := 0; ci < classes; ci++ {
+					jj := cur[ci]
+					if ci == c {
+						jj = j
+					}
+					ord += int64(jj) * t.strides[ci]
+				}
+				if !s.tk.Contains(ord) {
+					s.tk.Offer(ord, tau)
+				}
+				if tau < curTau {
+					curTau, bestJ = tau, j
+				}
+			}
+			if bestJ != cur[c] {
+				curP += t.pw[c][bestJ] - t.pw[c][cur[c]]
+				cur[c] = bestJ
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	shared.Update(s.tk.Threshold())
+}
+
+// compileRow fills the dense contribution row of one (class, M) bin over
+// P in [0, maxP] — NaN below M and wherever the model has no entry, the
+// N-T estimate at P == M, the P-T formula beyond — plus the row's suffix
+// minima (min over q >= p, NaN ignored, +Inf when empty), from which each
+// pair sharing the row derives its lower bound. The P-T coefficients are
+// hoisted out of the loop; the per-entry arithmetic is classTau's exact
+// operation sequence, so rows are bit-identical to per-candidate scoring.
+func (ev *Evaluator) compileRow(class, m, maxP int) (row, sufMin []float64) {
+	row = make([]float64, maxP+1)
+	for p := range row {
+		row[p] = math.NaN()
+	}
+	if nt := ev.nt[class]; m < len(nt) && m <= maxP {
+		row[m] = nt[m] // NaN already marks a missing single-PE bin
+	}
+	if pt := ev.pt[class]; m < len(pt) {
+		e := &pt[m]
+		if e.ok {
+			for p := m + 1; p <= maxP; p++ {
+				pf := float64(p)
+				ta := e.taScale * (e.a0/pf + e.ka1)
+				tc := e.tcScale * (e.kc0*pf*e.rc + e.c1/pf + e.kc2)
+				if e.adjust && (e.extrapAll || p > e.maxFitP) {
+					tc = e.adjA*tc + e.adjB
+					if tc < 0 {
+						tc = 0
+					}
+				}
+				row[p] = ta + tc
+			}
+		}
+	}
+	sufMin = make([]float64, maxP+2)
+	min := math.Inf(1)
+	sufMin[maxP+1] = min
+	for p := maxP; p >= 0; p-- {
+		if v := row[p]; !math.IsNaN(v) && v < min {
+			min = v
+		}
+		sufMin[p] = min
+	}
+	return row, sufMin
+}
+
+// gridTablesEntry is the one-slot cache mapping a grid (by pointer) to its
+// compiled tables; t is nil when the grid exceeds maxGridTableP.
+type gridTablesEntry struct {
+	grid *cluster.Grid
+	t    *gridTables
+}
+
+// tables returns the grid's compiled tables, reusing the evaluator's cached
+// slot when the same grid searches again (the planner's steady state: one
+// long-lived grid, many queries). compileGrid is a pure function of
+// (evaluator, grid), so a racing recompute stores an identical value and
+// determinism is unaffected.
+func (ev *Evaluator) tables(grid *cluster.Grid) *gridTables {
+	if e := ev.tcache.Load(); e != nil && e.grid == grid {
+		return e.t
+	}
+	t := ev.compileGrid(grid)
+	ev.tcache.Store(&gridTablesEntry{grid: grid, t: t})
+	return t
+}
+
+// emptyIndex returns the grid index of the all-unused configuration, or -1
+// when the grid has none. The zero pair sorts first in every class, so when
+// present the empty configuration is always index 0.
+func emptyIndex(grid *cluster.Grid) int64 {
+	if grid.Size() == 0 {
+		return -1
+	}
+	for ci := 0; ci < grid.Classes(); ci++ {
+		pairs := grid.Pairs(ci)
+		if len(pairs) == 0 || pairs[0].PEs != 0 {
+			return -1
+		}
+	}
+	return 0
 }
 
 // Search streams every candidate of the grid through the evaluator and
@@ -179,24 +542,14 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 		}
 		rlo, rhi = opts.Range.Lo, opts.Range.Hi
 	}
+	if err := opts.Constraints.validate(classes); err != nil {
+		return nil, err
+	}
 	res := &SearchResult{Size: rhi - rlo}
 	// The all-unused configuration is a grid point but not a candidate.
-	emptyIdx := int64(-1)
-	if grid.Size() > 0 {
-		all := true
-		for ci := 0; ci < classes; ci++ {
-			pairs := grid.Pairs(ci)
-			if len(pairs) == 0 || pairs[0].PEs != 0 {
-				all = false
-				break
-			}
-		}
-		if all {
-			emptyIdx = 0 // the zero pair sorts first in every class
-			if rlo <= emptyIdx && emptyIdx < rhi {
-				res.Size--
-			}
-		}
+	emptyIdx := emptyIndex(grid)
+	if emptyIdx >= 0 && rlo <= emptyIdx && emptyIdx < rhi {
+		res.Size--
 	}
 	if res.Size <= 0 {
 		if opts.Range != nil {
@@ -210,9 +563,20 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	// path (which applies the guard) and never prune.
 	var tables *gridTables
 	if ev.guard == nil {
-		tables = ev.compileGrid(grid)
+		tables = ev.tables(grid)
 	}
 	prune := !opts.NoPrune && tables != nil
+	filter := opts.Filter
+	var plan *conPlan
+	if c := opts.Constraints; !c.zero() {
+		if tables != nil {
+			plan = c.compile(grid, tables, ev.n)
+		} else {
+			// No dense tables, no structural pruning: the constraints run as
+			// their defining closure, composed with any user filter.
+			filter = andFilter(c.FilterFunc(ev.n, classes), filter)
+		}
+	}
 
 	span := rhi - rlo
 	maxW := span
@@ -227,63 +591,34 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 		chunk = 1024
 	}
 
-	shards := make([]*parallel.TopK, workers)
-	scored := make([]int64, workers)
-	pruned := make([]int64, workers)
-	shared := parallel.NewSharedMin()
-	parallel.Chunks(span, chunk, workers, func(w int, lo, hi int64) {
+	walkers := make([]*walker, workers)
+	shared := parallel.NewSharedThreshold()
+	if prune && plan == nil && filter == nil && rlo == 0 && rhi == grid.Size() {
+		var seed seedScratch
+		seedThreshold(tables, &seed, k, shared)
+	}
+	parallel.Chunks(span, chunk, workers, func(wi int, lo, hi int64) {
 		lo += rlo
 		hi += rlo
-		if shards[w] == nil {
-			shards[w] = parallel.NewTopK(k)
-		}
-		sh := shards[w]
-		bound := func() float64 {
-			if k == 1 {
-				return shared.Load()
-			}
-			return sh.Threshold()
-		}
-		offer := func(idx int64, tau float64) {
-			sh.Offer(idx, tau)
-			if k == 1 {
-				shared.Update(tau)
-			}
+		w := walkers[wi]
+		if w == nil {
+			w = newWalker(ev, grid, tables, plan, filter, k, shared, emptyIdx, prune)
+			walkers[wi] = w
 		}
 		if tables != nil {
-			scoredW, prunedW := ev.searchRange(grid, tables, lo, hi, emptyIdx, prune, opts.Filter, bound, offer)
-			scored[w] += scoredW
-			pruned[w] += prunedW
-			return
-		}
-		// Fallback for spaces too large for the dense tables: evaluate each
-		// candidate through the compiled formulas, no pruning bounds.
-		use := make([]cluster.ClassUse, classes)
-		cfg := cluster.Configuration{Use: use}
-		for idx := lo; idx < hi; idx++ {
-			if idx == emptyIdx {
-				continue
-			}
-			grid.At(idx, use)
-			scored[w]++
-			if opts.Filter != nil && !opts.Filter(cfg) {
-				continue
-			}
-			if tau, ok := ev.Tau(cfg); ok {
-				offer(idx, tau)
-			}
+			w.walk(lo, hi)
+		} else {
+			w.scanRange(lo, hi)
 		}
 	})
 
 	lists := make([][]parallel.Candidate, 0, workers)
-	for _, sh := range shards {
-		if sh != nil {
-			lists = append(lists, sh.Sorted())
+	for _, w := range walkers {
+		if w != nil {
+			lists = append(lists, w.topk.Sorted())
+			res.Scored += w.scored
+			res.Pruned += w.pruned
 		}
-	}
-	for w := range scored {
-		res.Scored += scored[w]
-		res.Pruned += pruned[w]
 	}
 	merged := parallel.MergeTopK(k, lists)
 	if len(merged) == 0 {
@@ -303,95 +638,640 @@ func (ev *Evaluator) Search(grid *cluster.Grid, opts SearchOptions) (*SearchResu
 	return res, nil
 }
 
-// searchRange walks the grid indices in [lo, hi) in ascending order through
-// the dense tables, pruning subtrees whose lower bound proves every
-// candidate inside ranks strictly worse than the current bound. Pruning
-// with a strict comparison can never drop a candidate that would tie the
-// incumbent, so the surviving (tau, index) ranking — and therefore the
-// merged result — is identical with pruning on or off. A non-nil filter
-// excludes candidates before scoring; filtered candidates still count as
-// scored (they were visited, not proven redundant by a bound).
+// walker is one worker's reusable search kernel: the iterative odometer's
+// per-depth accumulators, the stack of contribution rows chosen so far, the
+// worker-private top-K selection, and the scratch configuration the
+// filter/fallback paths decode into. A walker is built once per worker and
+// reused across every chunk the worker claims, so the steady-state walk
+// allocates nothing.
+type walker struct {
+	ev     *Evaluator
+	grid   *cluster.Grid
+	t      *gridTables
+	cons   *conPlan
+	filter func(cfg cluster.Configuration) bool
+	topk   *parallel.TopK
+	shared *parallel.SharedThreshold
+
+	emptyIdx int64
+	prune    bool
+
+	// Per-depth odometer state (index d describes the subtree whose classes
+	// < d are fixed): digits[d] is the pair index being tried at depth d,
+	// ibase[d] the subtree's first grid index, prefP[d] the prefix process
+	// count, prefM[d] the prefix maximum per-PE process count (the memory
+	// law's Mi), bnd[d] the running max of the chosen pairs' τ lower
+	// bounds, and nrows[d] how many contribution rows the used prefix pairs
+	// pushed onto rows. Descending overwrites the next depth's entries, so
+	// ascending needs no undo.
+	digits []int
+	ibase  []int64
+	prefP  []int
+	prefM  []int
+	bnd    []float64
+	nrows  []int
+	// nlim[d] is the pair-index limit at depth d: np normally, firstNZ when
+	// a node-entry colmin check wholesale-pruned the class's scorable pairs.
+	nlim []int
+	rows [][]float64
+	fuse cluster.Configuration // decode scratch; Use is nil when unneeded
+
+	scored, pruned int64
+}
+
+func newWalker(ev *Evaluator, grid *cluster.Grid, t *gridTables, cons *conPlan,
+	filter func(cfg cluster.Configuration) bool, k int,
+	shared *parallel.SharedThreshold, emptyIdx int64, prune bool) *walker {
+	classes := grid.Classes()
+	w := &walker{
+		ev: ev, grid: grid, t: t, cons: cons, filter: filter,
+		topk: parallel.NewTopK(k), shared: shared,
+		emptyIdx: emptyIdx, prune: prune,
+		digits: make([]int, classes+1),
+		ibase:  make([]int64, classes+1),
+		prefP:  make([]int, classes+1),
+		prefM:  make([]int, classes+1),
+		bnd:    make([]float64, classes+1),
+		nrows:  make([]int, classes+1),
+		nlim:   make([]int, classes+1),
+		rows:   make([][]float64, classes),
+	}
+	if filter != nil || t == nil {
+		w.fuse = cluster.Configuration{Use: make([]cluster.ClassUse, classes)}
+	}
+	return w
+}
+
+// walk streams the grid indices in [lo, hi) in ascending order: a flat
+// odometer over the class digits whose per-depth accumulators (prefix-P,
+// prefix max-M, running bound, pushed contribution rows) replace the
+// recursive walker's per-leaf re-summation. Subtrees are skipped wholesale
+// when disjoint from the range, structurally excluded by the constraints,
+// or — with pruning on — bounded strictly worse than the shared top-K
+// threshold. Every skip is exact: structural exclusions remove exactly the
+// candidates the constraint closure rejects (corner bounds are justified by
+// the weak monotonicity of IEEE division and multiplication, leaf checks
+// evaluate the closure's own float expressions), and bound pruning uses
+// strict compares against a threshold that is always an upper bound on the
+// global k-th best, so it can never drop a tie. The surviving (τ, index)
+// ranking — and therefore the merged result — is identical with pruning on
+// or off, constrained structurally or through the equivalent filter
+// closure, at any worker count.
 //
 //het:hotpath
-func (ev *Evaluator) searchRange(grid *cluster.Grid, t *gridTables, lo, hi, emptyIdx int64,
-	prune bool, filter func(cfg cluster.Configuration) bool,
-	bound func() float64, offer func(idx int64, tau float64)) (scored, pruned int64) {
-	classes := grid.Classes()
-	digits := make([]int, classes)
-	var fcfg cluster.Configuration
-	if filter != nil {
-		fcfg = cluster.Configuration{Use: make([]cluster.ClassUse, classes)}
+func (w *walker) walk(lo, hi int64) {
+	t := w.t
+	cons := w.cons
+	last := w.grid.Classes() - 1
+	if last == 0 {
+		w.leafRun(0, lo, hi, 0, 0, math.Inf(-1), 0)
+		return
 	}
-	var walk func(depth int, base int64, curMax float64)
-	walk = func(depth int, base int64, curMax float64) { //het:allow hotpath -- one closure per range, amortized over >=1024 candidates; recursion needs the self-reference
-
-		if depth == classes {
-			if base == emptyIdx {
-				return
-			}
-			if filter != nil {
-				for ci, j := range digits {
-					fcfg.Use[ci] = grid.Pairs(ci)[j]
-				}
-				if !filter(fcfg) {
-					scored++
-					return
-				}
-			}
-			// Leaf: P and τ from the digit contributions.
-			p := 0
-			for ci, j := range digits {
-				p += t.pw[ci][j]
-			}
-			tau := math.Inf(-1)
-			for ci, j := range digits {
-				row := t.contrib[ci][j]
-				if row == nil {
-					continue // unused class
-				}
-				v := row[p]
-				if math.IsNaN(v) {
-					scored++
-					return // unscorable candidate, skipped like Optimize does
-				}
-				if v > tau {
-					tau = v
-				}
-			}
-			scored++
-			offer(base, tau)
-			return
+	pen := last - 1 // tailRun covers the two innermost classes
+	digits, ibase := w.digits, w.ibase
+	prefP, prefM, bnd, nrows := w.prefP, w.prefM, w.bnd, w.nrows
+	nlim := w.nlim
+	d := 0
+	digits[0] = 0
+	ibase[0] = 0
+	prefP[0] = 0
+	prefM[0] = 0
+	bnd[0] = math.Inf(-1)
+	nrows[0] = 0
+	nlim[0] = t.np[0]
+	if w.prune && pen > 0 {
+		// Node-entry aggregate bound: if even the best scorable pair of the
+		// root class bounds every subtree out, only the zero pair's subtree
+		// is walked and the rest is skipped in one span. (When the root is
+		// the penultimate class, tailRun's own entry check covers it.)
+		eff := t.colmin[0][t.sufMinP[1]]
+		if v := t.sufLB[1]; v > eff {
+			eff = v
 		}
-		stride := grid.Stride(depth)
-		pairs := grid.Pairs(depth)
-		for j := range pairs {
-			s := base + int64(j)*stride
-			e := s + stride
-			if e <= lo || s >= hi {
+		if eff > w.shared.Load() {
+			fnz := t.firstNZ[0]
+			st := t.strides[0]
+			w.skipSpan(int64(fnz)*st, int64(t.np[0])*st, lo, hi)
+			nlim[0] = fnz
+		}
+	}
+	for d >= 0 {
+		if d == pen {
+			w.tailRun(lo, hi)
+			d--
+			if d >= 0 {
+				digits[d]++
+			}
+			continue
+		}
+		j := digits[d]
+		if j >= nlim[d] {
+			d--
+			if d >= 0 {
+				digits[d]++
+			}
+			continue
+		}
+		stride := t.strides[d]
+		s := ibase[d] + int64(j)*stride
+		e := s + stride
+		if e <= lo || s >= hi {
+			digits[d]++
+			continue
+		}
+		pw := t.pw[d][j]
+		pm := prefM[d]
+		if pr := t.procs[d][j]; pr > pm {
+			pm = pr
+		}
+		if cons != nil {
+			if cons.pairOK != nil && !cons.pairOK[d][j] {
+				w.skipSpan(s, e, lo, hi)
+				digits[d]++
 				continue
 			}
-			b := curMax
-			if v := t.lb[depth][j]; v > b {
+			// Every leaf below adds at least the remaining classes' minimum
+			// process weight, so prefix + pair + min-suffix over the cap
+			// means every candidate inside violates it.
+			if cons.maxP > 0 && prefP[d]+pw+t.sufMinP[d+1] > cons.maxP {
+				w.skipSpan(s, e, lo, hi)
+				digits[d]++
+				continue
+			}
+			if cons.memCap > 0 && pm > 0 {
+				// Corner bound: per-PE demand Mi·8N²/P is weakly decreasing
+				// in P and increasing in Mi. At the subtree's maximum
+				// possible P with only the prefix's Mi, the demand is a
+				// lower bound on every leaf's — above the cap, all violate.
+				pmax := prefP[d] + pw + t.sufMaxP[d+1]
+				if cons.mat/float64(pmax)*float64(pm) > cons.memCap {
+					w.skipSpan(s, e, lo, hi)
+					digits[d]++
+					continue
+				}
+			}
+		}
+		b := bnd[d]
+		if wm := t.winmin[d][j]; wm != nil {
+			// Dynamic pair bound: every leaf below runs at a total P inside
+			// [prefix+pair+min-suffix, prefix+pair+max-suffix], so the row's
+			// windowed minimum there floors the pair's contribution for this
+			// whole subtree.
+			if v := wm[prefP[d]+pw+t.sufMinP[d+1]]; v > b {
 				b = v
 			}
-			if prune && b > bound() {
-				olo, ohi := s, e
-				if olo < lo {
-					olo = lo
-				}
-				if ohi > hi {
-					ohi = hi
-				}
-				pruned += ohi - olo
-				if olo <= emptyIdx && emptyIdx < ohi {
-					pruned-- // the empty configuration is not a candidate
-				}
+		}
+		if w.prune {
+			// The remaining classes contribute at least sufLB no matter
+			// which pairs they choose, so the subtree's τ floor is the max
+			// of the prefix bound and the suffix bound.
+			eff := b
+			if v := t.sufLB[d+1]; v > eff {
+				eff = v
+			}
+			if eff > w.shared.Load() {
+				w.skipSpan(s, e, lo, hi)
+				digits[d]++
 				continue
 			}
-			digits[depth] = j
-			walk(depth+1, s, b)
+		}
+		nr := nrows[d]
+		if row := t.contrib[d][j]; row != nil {
+			w.rows[nr] = row
+			nr++
+		}
+		if w.fuse.Use != nil {
+			w.fuse.Use[d] = w.grid.Pairs(d)[j]
+		}
+		d++
+		digits[d] = 0
+		ibase[d] = s
+		prefP[d] = prefP[d-1] + pw
+		prefM[d] = pm
+		bnd[d] = b
+		nrows[d] = nr
+		nlim[d] = t.np[d]
+		if d != pen && w.prune {
+			// Same node-entry aggregate bound for the child: one colmin
+			// compare covers all of its scorable pairs (tailRun does its own
+			// entry check for the penultimate class).
+			eff := b
+			if v := t.colmin[d][prefP[d]+t.sufMinP[d+1]]; v > eff {
+				eff = v
+			}
+			if v := t.sufLB[d+1]; v > eff {
+				eff = v
+			}
+			if eff > w.shared.Load() {
+				fnz := t.firstNZ[d]
+				st := t.strides[d]
+				w.skipSpan(s+int64(fnz)*st, s+int64(t.np[d])*st, lo, hi)
+				nlim[d] = fnz
+			}
 		}
 	}
-	walk(0, 0, math.Inf(-1))
-	return scored, pruned
+}
+
+// tailRun walks the two innermost classes of the subtree fixed by the
+// prefix digits (the odometer's hottest levels — for a C-class grid they
+// hold all but a 1/(pairs²) fraction of the nodes) with every table row
+// hoisted into locals: the penultimate class is a plain loop applying the
+// same subtree checks as walk, the innermost a consecutive index run
+// delegated to leafRun. Check order, operands and float expressions are
+// identical to walk's, so the offer stream is unchanged.
+//
+//het:hotpath
+func (w *walker) tailRun(lo, hi int64) {
+	t := w.t
+	cons := w.cons
+	d := w.grid.Classes() - 2
+	stride := t.strides[d]
+	np := t.np[d]
+	pwRow := t.pw[d]
+	smRow := t.winmin[d]
+	ctRow := t.contrib[d]
+	procRow := t.procs[d]
+	var okRow []bool
+	if cons != nil && cons.pairOK != nil {
+		okRow = cons.pairOK[d]
+	}
+	base := w.ibase[d]
+	pp := w.prefP[d]
+	pm0 := w.prefM[d]
+	b0 := w.bnd[d]
+	nr0 := w.nrows[d]
+	sufMinP := t.sufMinP[d+1]
+	sufMaxP := t.sufMaxP[d+1]
+	sufLB := t.sufLB[d+1]
+	prune := w.prune
+	if prune {
+		// Node-entry aggregate bound: one colmin compare covers all the
+		// class's scorable pairs; when it fires, only the zero pairs'
+		// subtrees remain to walk.
+		eff := b0
+		if v := t.colmin[d][pp+sufMinP]; v > eff {
+			eff = v
+		}
+		if sufLB > eff {
+			eff = sufLB
+		}
+		if eff > w.shared.Load() {
+			fnz := t.firstNZ[d]
+			w.skipSpan(base+int64(fnz)*stride, base+int64(np)*stride, lo, hi)
+			np = fnz
+		}
+	}
+	for j := 0; j < np; j++ {
+		s := base + int64(j)*stride
+		e := s + stride
+		if e <= lo || s >= hi {
+			continue
+		}
+		pw := pwRow[j]
+		pm := pm0
+		if pr := procRow[j]; pr > pm {
+			pm = pr
+		}
+		if cons != nil {
+			if okRow != nil && !okRow[j] {
+				w.skipSpan(s, e, lo, hi)
+				continue
+			}
+			if cons.maxP > 0 && pp+pw+sufMinP > cons.maxP {
+				w.skipSpan(s, e, lo, hi)
+				continue
+			}
+			if cons.memCap > 0 && pm > 0 {
+				pmax := pp + pw + sufMaxP
+				if cons.mat/float64(pmax)*float64(pm) > cons.memCap {
+					w.skipSpan(s, e, lo, hi)
+					continue
+				}
+			}
+		}
+		b := b0
+		if sm := smRow[j]; sm != nil {
+			// Same dynamic bound as walk: the row's windowed minimum at the
+			// subtree's minimum reachable total P.
+			if v := sm[pp+pw+sufMinP]; v > b {
+				b = v
+			}
+		}
+		if prune {
+			eff := b
+			if sufLB > eff {
+				eff = sufLB
+			}
+			if eff > w.shared.Load() {
+				w.skipSpan(s, e, lo, hi)
+				continue
+			}
+		}
+		nr := nr0
+		if row := ctRow[j]; row != nil {
+			w.rows[nr] = row
+			nr++
+		}
+		if w.fuse.Use != nil {
+			w.fuse.Use[d] = w.grid.Pairs(d)[j]
+		}
+		w.leafRun(s, lo, hi, pp+pw, pm, b, nr)
+	}
+}
+
+// leafRun scores the innermost class of the subtree starting at base: its
+// stride is 1, so the subtree is one consecutive index run and the whole
+// pair list is a tight loop of contribution-row lookups against the prefix
+// accumulators (prefix-P pp, prefix max-M pm, running bound b0, nr pushed
+// rows) — no per-leaf re-summation, no closure calls, no allocation.
+//
+//het:hotpath
+func (w *walker) leafRun(base, lo, hi int64, pp, pm int, b0 float64, nr int) {
+	d := w.grid.Classes() - 1
+	t := w.t
+	j0, j1 := 0, t.np[d]
+	if base < lo {
+		j0 = int(lo - base)
+	}
+	if base+int64(j1) > hi {
+		j1 = int(hi - base)
+	}
+	cons := w.cons
+	pwRow := t.pw[d]
+	ctRow := t.contrib[d]
+	procRow := t.procs[d]
+	var okRow []bool
+	if cons != nil && cons.pairOK != nil {
+		okRow = cons.pairOK[d]
+	}
+	rows := w.rows
+	if w.prune && j0 < j1 {
+		// Node-entry aggregate bound: at a leaf the reachable total P is
+		// exact, so colmin is the minimum over the class's scorable pairs of
+		// their exact contribution at their own P — one compare prunes the
+		// whole scorable run (NaN entries count +Inf here: those candidates
+		// never offer either way, only the Scored/Pruned split shifts).
+		eff := b0
+		if v := t.colmin[d][pp]; v > eff {
+			eff = v
+		}
+		if eff > w.shared.Load() {
+			fnz := t.firstNZ[d]
+			if fnz < j0 {
+				fnz = j0
+			}
+			if fnz < j1 {
+				w.pruned += int64(j1 - fnz)
+				j1 = fnz
+			}
+		}
+	}
+pairLoop:
+	for j := j0; j < j1; j++ {
+		idx := base + int64(j)
+		if idx == w.emptyIdx {
+			continue
+		}
+		if okRow != nil && !okRow[j] {
+			w.pruned++
+			continue
+		}
+		p := pp + pwRow[j]
+		if cons != nil {
+			if cons.maxP > 0 && p > cons.maxP {
+				w.pruned++
+				continue
+			}
+			if cons.memCap > 0 {
+				mm := pm
+				if pr := procRow[j]; pr > mm {
+					mm = pr
+				}
+				// The closure's own expression on its own operands, so the
+				// accept/reject decision is bit-identical to FilterFunc.
+				if mm > 0 && cons.mat/float64(p)*float64(mm) > cons.memCap {
+					w.pruned++
+					continue
+				}
+			}
+		}
+		if w.prune {
+			// At a leaf P is exact, so the pair's own contribution row at p
+			// is the sharpest valid floor (NaN compares false and falls back
+			// to the prefix bound; the candidate is then scored and skipped
+			// by the NaN check below, exactly as without pruning).
+			b := b0
+			if row := ctRow[j]; row != nil {
+				if v := row[p]; v > b {
+					b = v
+				}
+			}
+			if b > w.shared.Load() {
+				w.pruned++
+				continue
+			}
+		}
+		w.scored++
+		if w.filter != nil {
+			w.fuse.Use[d] = w.grid.Pairs(d)[j]
+			if !w.filter(w.fuse) {
+				continue
+			}
+		}
+		tau := math.Inf(-1)
+		for r := 0; r < nr; r++ {
+			v := rows[r][p]
+			if math.IsNaN(v) {
+				continue pairLoop // unscorable candidate, skipped like Optimize does
+			}
+			if v > tau {
+				tau = v
+			}
+		}
+		if row := ctRow[j]; row != nil {
+			v := row[p]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > tau {
+				tau = v
+			}
+		}
+		if w.topk.Offer(idx, tau) {
+			w.shared.Update(w.topk.Threshold())
+		}
+	}
+}
+
+// skipSpan accounts a wholesale-skipped subtree, clamped to the searched
+// range, with the empty configuration excluded: it is a grid point but
+// never a candidate.
+func (w *walker) skipSpan(s, e, lo, hi int64) {
+	if s < lo {
+		s = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	w.pruned += e - s
+	if s <= w.emptyIdx && w.emptyIdx < e {
+		w.pruned--
+	}
+}
+
+// scanRange is the per-candidate fallback for grids without dense tables
+// (memory-guarded evaluators, or total P beyond maxGridTableP): decode each
+// index, filter, score through the compiled formulas. No pruning bounds.
+//
+//het:hotpath
+func (w *walker) scanRange(lo, hi int64) {
+	use := w.fuse.Use
+	for idx := lo; idx < hi; idx++ {
+		if idx == w.emptyIdx {
+			continue
+		}
+		w.grid.At(idx, use)
+		w.scored++
+		if w.filter != nil && !w.filter(w.fuse) {
+			continue
+		}
+		if tau, ok := w.ev.Tau(w.fuse); ok {
+			if w.topk.Offer(idx, tau) {
+				w.shared.Update(w.topk.Threshold())
+			}
+		}
+	}
+}
+
+// Reusable holds the buffers of a sequential search so repeated searches
+// over one (evaluator, grid) pair allocate nothing after the first call:
+// the walker scratch, the top-K selection, the shared bound and the result
+// backing arrays are all recycled. The zero value is ready to use. Not safe
+// for concurrent use, and the returned result — including its Best
+// configurations — aliases the buffers, valid only until the next call.
+type Reusable struct {
+	w      *walker
+	grid   *cluster.Grid
+	ev     *Evaluator
+	shared *parallel.SharedThreshold
+	cons   *Constraints
+	plan   *conPlan
+	seed   seedScratch
+	sorted []parallel.Candidate
+	best   []Estimate
+	bidx   []int64
+	use    []cluster.ClassUse
+	res    SearchResult
+}
+
+// SearchReuse is the sequential (Workers forced to 1) Search writing into
+// r's reused buffers: same validation, same candidate set, bit-identical
+// Best/BestIndex/Size/Scored/Pruned to Search with Workers: 1 and the same
+// options. Steady-state calls with a stable grid, TopK and Constraints
+// pointer allocate nothing (the benchrun SearchKernel1M gate pins this).
+func (ev *Evaluator) SearchReuse(grid *cluster.Grid, opts SearchOptions, r *Reusable) (*SearchResult, error) {
+	classes := grid.Classes()
+	if classes != ev.classes {
+		return nil, fmt.Errorf("%w: space has %d classes, model set has %d", ErrNoModel, classes, ev.classes)
+	}
+	k := opts.TopK
+	if k <= 0 {
+		k = 1
+	}
+	rlo, rhi := int64(0), grid.Size()
+	if opts.Range != nil {
+		if opts.Range.Lo < 0 || opts.Range.Hi < opts.Range.Lo || opts.Range.Hi > grid.Size() {
+			return nil, fmt.Errorf("%w: range [%d, %d) outside grid of %d candidates",
+				ErrNoModel, opts.Range.Lo, opts.Range.Hi, grid.Size())
+		}
+		rlo, rhi = opts.Range.Lo, opts.Range.Hi
+	}
+	if err := opts.Constraints.validate(classes); err != nil {
+		return nil, err
+	}
+	size := rhi - rlo
+	emptyIdx := emptyIndex(grid)
+	if emptyIdx >= 0 && rlo <= emptyIdx && emptyIdx < rhi {
+		size--
+	}
+	if size <= 0 {
+		if opts.Range != nil {
+			r.best, r.bidx = r.best[:0], r.bidx[:0]
+			return r.result(size, 0, 0), nil
+		}
+		return nil, fmt.Errorf("%w: no scorable candidate among 0", ErrNoModel)
+	}
+	var tables *gridTables
+	if ev.guard == nil {
+		tables = ev.tables(grid)
+	}
+	prune := !opts.NoPrune && tables != nil
+	filter := opts.Filter
+	var plan *conPlan
+	if c := opts.Constraints; !c.zero() {
+		if tables != nil {
+			// The plan's memory exclusions depend on the problem size, so the
+			// cache key includes the evaluator alongside constraints and grid.
+			if c == r.cons && grid == r.grid && ev == r.ev {
+				plan = r.plan
+			} else {
+				plan = c.compile(grid, tables, ev.n)
+			}
+		} else {
+			filter = andFilter(c.FilterFunc(ev.n, classes), filter)
+		}
+	}
+	r.cons, r.plan = opts.Constraints, plan
+
+	if r.shared == nil {
+		r.shared = parallel.NewSharedThreshold()
+	} else {
+		r.shared.Reset()
+	}
+	w := r.w
+	if w == nil || r.grid != grid || r.ev != ev || w.topk.K() != k {
+		w = newWalker(ev, grid, tables, plan, filter, k, r.shared, emptyIdx, prune)
+		r.w, r.grid, r.ev = w, grid, ev
+	} else {
+		w.t, w.cons, w.filter, w.emptyIdx, w.prune = tables, plan, filter, emptyIdx, prune
+		if w.fuse.Use == nil && (filter != nil || tables == nil) {
+			w.fuse = cluster.Configuration{Use: make([]cluster.ClassUse, classes)}
+		}
+		w.topk.Reset()
+		w.scored, w.pruned = 0, 0
+	}
+	if prune && plan == nil && filter == nil && rlo == 0 && rhi == grid.Size() {
+		seedThreshold(tables, &r.seed, k, r.shared)
+	}
+	if tables != nil {
+		w.walk(rlo, rhi)
+	} else {
+		w.scanRange(rlo, rhi)
+	}
+
+	r.sorted = w.topk.SortInto(r.sorted[:0])
+	if len(r.sorted) == 0 {
+		if opts.Range != nil {
+			r.best, r.bidx = r.best[:0], r.bidx[:0]
+			return r.result(size, w.scored, w.pruned), nil
+		}
+		return nil, fmt.Errorf("%w: no scorable candidate among %d", ErrNoModel, size)
+	}
+	if need := len(r.sorted) * classes; cap(r.use) < need {
+		r.use = make([]cluster.ClassUse, need)
+	}
+	r.best, r.bidx = r.best[:0], r.bidx[:0]
+	for i, c := range r.sorted {
+		use := r.use[i*classes : (i+1)*classes : (i+1)*classes]
+		grid.At(c.Index, use)
+		r.best = append(r.best, Estimate{Config: cluster.Configuration{Use: use}, Tau: c.Score})
+		r.bidx = append(r.bidx, c.Index)
+	}
+	return r.result(size, w.scored, w.pruned), nil
+}
+
+// result assembles the reused SearchResult view over r's buffers.
+func (r *Reusable) result(size, scored, pruned int64) *SearchResult {
+	r.res = SearchResult{Best: r.best, BestIndex: r.bidx, Size: size, Scored: scored, Pruned: pruned}
+	return &r.res
 }

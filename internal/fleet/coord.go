@@ -119,11 +119,17 @@ type MemberStats struct {
 // Stats is the fleet stats answer: router counters plus a per-member stats
 // snapshot — what hetload reads to report per-member goodput.
 type Stats struct {
-	GridSize    int64         `json:"gridSize"`
-	Scatters    int64         `json:"scatters"`
-	Affinity    int64         `json:"affinity"`
-	Rescatters  int64         `json:"rescatters"`
-	Retries     int64         `json:"retries"`
+	GridSize   int64 `json:"gridSize"`
+	Scatters   int64 `json:"scatters"`
+	Affinity   int64 `json:"affinity"`
+	Rescatters int64 `json:"rescatters"`
+	Retries    int64 `json:"retries"`
+	// Scored and Pruned sum the reachable members' search-kernel counters;
+	// PruneRatio is Pruned over their sum — the fleet-wide view of how much
+	// of the scattered search space the kernel's bounds elided.
+	Scored      int64         `json:"scored"`
+	Pruned      int64         `json:"pruned"`
+	PruneRatio  float64       `json:"pruneRatio"`
 	Members     []MemberStats `json:"members"`
 	HealthySize int           `json:"healthyMembers"`
 }
@@ -148,11 +154,16 @@ func (r *Router) Stats(ctx context.Context) Stats {
 			row.Error = err.Error()
 		} else {
 			row.Stats = &st
+			out.Scored += st.Scored
+			out.Pruned += st.Pruned
 		}
 		out.Members[i] = row
 		if row.Healthy {
 			out.HealthySize++
 		}
+	}
+	if total := out.Scored + out.Pruned; total > 0 {
+		out.PruneRatio = float64(out.Pruned) / float64(total)
 	}
 	return out
 }

@@ -397,15 +397,27 @@ func TestFleetStats(t *testing.T) {
 	if len(st.Members) != 3 || st.HealthySize != 3 {
 		t.Fatalf("stats rows %d (healthy %d), want 3/3", len(st.Members), st.HealthySize)
 	}
-	var queries int64
+	var queries, scored, pruned int64
 	for _, m := range st.Members {
 		if m.Stats == nil {
 			t.Fatalf("member %s has no stats", m.URL)
 		}
 		queries += m.Stats.Queries
+		scored += m.Stats.Scored
+		pruned += m.Stats.Pruned
 	}
 	if queries == 0 {
 		t.Error("no member reported served queries")
+	}
+	if st.Scored != scored || st.Pruned != pruned {
+		t.Errorf("aggregate (%d, %d) does not sum member rows (%d, %d)",
+			st.Scored, st.Pruned, scored, pruned)
+	}
+	if scored+pruned == 0 {
+		t.Error("scattered query left no search accounting")
+	}
+	if want := float64(pruned) / float64(scored+pruned); st.PruneRatio != want {
+		t.Errorf("PruneRatio = %v, want %v", st.PruneRatio, want)
 	}
 
 	f.servers[2].Close()

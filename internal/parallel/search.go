@@ -50,25 +50,35 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, h: make([]Candidate, 0, k)}
 }
 
-// Offer considers one candidate; scores of +Inf and NaN are never kept
-// (+Inf means "excluded" and NaN is unordered, so neither can ever win the
-// optimizer's strict-improvement scan).
-func (t *TopK) Offer(idx int64, score float64) {
+// Offer considers one candidate and reports whether it entered the
+// selection (so callers know the Threshold may have tightened). Scores of
+// +Inf and NaN are never kept (+Inf means "excluded" and NaN is unordered,
+// so neither can ever win the optimizer's strict-improvement scan).
+func (t *TopK) Offer(idx int64, score float64) bool {
 	if math.IsInf(score, 1) || math.IsNaN(score) {
-		return
+		return false
 	}
 	c := Candidate{Index: idx, Score: score}
 	if len(t.h) < t.k {
 		t.h = append(t.h, c)
 		t.up(len(t.h) - 1)
-		return
+		return true
 	}
 	if !t.h[0].ranksAfter(c) {
-		return
+		return false
 	}
 	t.h[0] = c
 	t.down(0)
+	return true
 }
+
+// K returns the selection size the selector was built for.
+func (t *TopK) K() int { return t.k }
+
+// Reset empties the selection, keeping the heap's capacity, so
+// buffer-reusing searches (core's SearchReuse) stay allocation-free across
+// calls.
+func (t *TopK) Reset() { t.h = t.h[:0] }
 
 // Threshold returns the score of the current k-th best candidate, or +Inf
 // while fewer than k candidates are held. A candidate whose score is
@@ -86,6 +96,45 @@ func (t *TopK) Sorted() []Candidate {
 	out := append([]Candidate(nil), t.h...)
 	sort.Slice(out, func(i, j int) bool { return out[j].ranksAfter(out[i]) })
 	return out
+}
+
+// SortInto appends the held candidates best-first to dst and returns the
+// extended slice. Unlike Sorted it allocates only when dst must grow, so
+// buffer-reusing callers extract results allocation-free; the insertion
+// sort is O(k²) with the small k a selection is built for. The (score,
+// index) ranking is a total order over distinct candidates, so the output
+// order matches Sorted exactly.
+func (t *TopK) SortInto(dst []Candidate) []Candidate {
+	start := len(dst)
+	dst = append(dst, t.h...)
+	out := dst[start:]
+	for i := 1; i < len(out); i++ {
+		c := out[i]
+		j := i - 1
+		for j >= 0 && out[j].ranksAfter(c) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = c
+	}
+	return dst
+}
+
+// Contains reports whether a candidate with the given index is currently
+// held — a linear scan over at most k entries. Threshold seeding uses it to
+// avoid offering one candidate twice: a duplicate would let a single
+// configuration fill two selection slots and push the k-th score below the
+// true subset k-th, breaking the pruning-bound guarantee. The scan covers
+// only held entries, which suffices: a candidate evicted once can never
+// re-enter (it ranked after every survivor, and the selection only
+// tightens), so a re-offer of an evicted index is rejected by Offer anyway.
+func (t *TopK) Contains(idx int64) bool {
+	for i := range t.h {
+		if t.h[i].Index == idx {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *TopK) up(i int) {
@@ -159,6 +208,30 @@ func (m *SharedMin) Update(v float64) {
 			return
 		}
 	}
+}
+
+// Reset returns the bound to +Inf, so buffer-reusing sequential searches can
+// recycle one instance. Never call it while workers still publish.
+func (m *SharedMin) Reset() { m.bits.Store(math.Float64bits(math.Inf(1))) }
+
+// SharedThreshold is the cross-worker pruning bound of a sharded top-K
+// search: an atomic minimum over the per-worker k-th-best thresholds the
+// workers publish after each accepted offer. Load is an upper bound on the
+// global k-th best score — some single worker already holds k candidates at
+// or below it — so a subtree whose τ lower bound is strictly greater than
+// Load holds only candidates that rank strictly after at least k others
+// globally and can never enter the merged top-K. Strict-compare pruning
+// against it is therefore result-identical at any worker count; with k == 1
+// it degenerates to SharedMin's incumbent bound. Publishing +Inf (a worker
+// holding fewer than k candidates) never lowers the bound, and per-worker
+// thresholds are monotone non-increasing, so the bound only tightens.
+type SharedThreshold struct{ SharedMin }
+
+// NewSharedThreshold returns a shared top-K threshold initialized to +Inf.
+func NewSharedThreshold() *SharedThreshold {
+	t := &SharedThreshold{}
+	t.bits.Store(math.Float64bits(math.Inf(1)))
+	return t
 }
 
 // Chunks runs fn over ascending chunks of [0, n) on up to `workers`

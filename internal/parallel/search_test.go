@@ -195,3 +195,119 @@ func (b *atomicBitmap) firstUnset(n int64) int64 {
 	}
 	return -1
 }
+
+func TestSharedThreshold(t *testing.T) {
+	th := NewSharedThreshold()
+	if !math.IsInf(th.Load(), 1) {
+		t.Fatal("fresh SharedThreshold must be +Inf (no bound)")
+	}
+	th.Update(math.Inf(1)) // unfilled selectors publish +Inf: no-op
+	if !math.IsInf(th.Load(), 1) {
+		t.Fatal("+Inf publish moved the bound")
+	}
+	th.Update(8)
+	th.Update(12)         // weaker bound: ignored
+	th.Update(math.NaN()) // ignored
+	if th.Load() != 8 {
+		t.Fatalf("Load() = %v, want 8", th.Load())
+	}
+	th.Update(3)
+	if th.Load() != 3 {
+		t.Fatalf("Load() = %v, want 3", th.Load())
+	}
+	th.Reset()
+	if !math.IsInf(th.Load(), 1) {
+		t.Fatal("Reset must clear the bound")
+	}
+}
+
+func TestSharedThresholdConcurrentTightensMonotonically(t *testing.T) {
+	th := NewSharedThreshold()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			prev := math.Inf(1)
+			for i := 0; i < 2000; i++ {
+				th.Update(float64((g*2000+i)%977) + 1)
+				if v := th.Load(); v > prev {
+					t.Errorf("bound loosened: %v after %v", v, prev)
+					break
+				} else {
+					prev = v
+				}
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if th.Load() != 1 {
+		t.Fatalf("final bound = %v, want 1", th.Load())
+	}
+}
+
+func TestTopKOfferReportsAcceptance(t *testing.T) {
+	tk := NewTopK(2)
+	if !tk.Offer(0, 5) || !tk.Offer(1, 3) {
+		t.Fatal("offers into an unfilled selector must be accepted")
+	}
+	if tk.Offer(2, 9) {
+		t.Fatal("score above the threshold must be rejected")
+	}
+	if tk.Offer(3, 5) {
+		t.Fatal("tie with higher index must be rejected (ranks after)")
+	}
+	if !tk.Offer(4, 4) {
+		t.Fatal("improving score must be accepted")
+	}
+	if tk.Offer(5, math.NaN()) || tk.Offer(6, math.Inf(1)) {
+		t.Fatal("unrankable scores must be rejected")
+	}
+}
+
+func TestTopKResetAndK(t *testing.T) {
+	tk := NewTopK(3)
+	if tk.K() != 3 {
+		t.Fatalf("K() = %d", tk.K())
+	}
+	tk.Offer(0, 1)
+	tk.Offer(1, 2)
+	tk.Reset()
+	if got := tk.Sorted(); len(got) != 0 {
+		t.Fatalf("Reset left %v", got)
+	}
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Fatal("Reset must restore the unfilled threshold")
+	}
+	tk.Offer(7, 4)
+	if got := tk.Sorted(); len(got) != 1 || got[0] != (Candidate{Index: 7, Score: 4}) {
+		t.Fatalf("post-Reset selection = %v", got)
+	}
+}
+
+func TestTopKSortInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		tk := NewTopK(k)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			tk.Offer(int64(i), float64(rng.Intn(8)))
+		}
+		want := tk.Sorted()
+		buf := make([]Candidate, 0, k)
+		got := tk.SortInto(buf[:0])
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: SortInto %v, Sorted %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		if len(got) > 0 && len(got) <= cap(buf) && &got[0] != &buf[:1][0] {
+			t.Fatalf("trial %d: SortInto reallocated despite sufficient capacity", trial)
+		}
+	}
+}

@@ -83,6 +83,8 @@ type Planner struct {
 	queries      atomic.Int64
 	completed    atomic.Int64
 	servedNs     atomic.Int64
+	scored       atomic.Int64
+	pruned       atomic.Int64
 	reloads      atomic.Int64
 	refits       atomic.Int64
 	cacheRekeyed atomic.Int64
@@ -222,46 +224,29 @@ func (c Constraints) signature() string {
 	return b.String()
 }
 
-// Filter compiles canonical constraints into the candidate predicate the
-// search applies (nil when unconstrained), for problem size n over the given
-// class count. Exported so equivalence tests — and any caller wanting the
-// direct path — can hand the identical filter to ModelSet.OptimizeSpace.
-func (c Constraints) Filter(n float64, classes int) func(cfg cluster.Configuration) bool {
+// Core converts the constraints into the search kernel's structured form
+// (nil when unconstrained), which the kernel prunes natively — class subsets
+// zero whole subtrees, the P cap cuts via prefix/suffix bounds, the memory
+// cap compiles to per-pair exclusions — instead of decoding and rejecting
+// every candidate through a closure.
+func (c Constraints) Core() *core.Constraints {
 	if len(c.Classes) == 0 && c.MaxTotalProcs == 0 && c.MaxBytesPerPE == 0 {
 		return nil
 	}
-	var allowed []bool
-	if len(c.Classes) > 0 {
-		allowed = make([]bool, classes)
-		for _, v := range c.Classes {
-			if v >= 0 && v < classes {
-				allowed[v] = true
-			}
-		}
+	return &core.Constraints{
+		Classes:       c.Classes,
+		MaxTotalProcs: c.MaxTotalProcs,
+		MaxBytesPerPE: c.MaxBytesPerPE,
 	}
-	matrixBytes := 8 * n * n
-	return func(cfg cluster.Configuration) bool {
-		p, maxM := 0, 0
-		for ci, u := range cfg.Use {
-			if u.PEs <= 0 || u.Procs <= 0 {
-				continue
-			}
-			if allowed != nil && (ci >= classes || !allowed[ci]) {
-				return false
-			}
-			p += u.PEs * u.Procs
-			if u.Procs > maxM {
-				maxM = u.Procs
-			}
-		}
-		if c.MaxTotalProcs > 0 && p > c.MaxTotalProcs {
-			return false
-		}
-		if c.MaxBytesPerPE > 0 && p > 0 && matrixBytes/float64(p)*float64(maxM) > c.MaxBytesPerPE {
-			return false
-		}
-		return true
-	}
+}
+
+// Filter compiles canonical constraints into the candidate predicate the
+// structured form is defined against (nil when unconstrained), for problem
+// size n over the given class count. Exported so equivalence tests — and any
+// caller wanting the direct path — can hand the identical filter to
+// ModelSet.OptimizeSpace.
+func (c Constraints) Filter(n float64, classes int) func(cfg cluster.Configuration) bool {
+	return c.Core().FilterFunc(n, classes)
 }
 
 // Query is one planning request.
@@ -385,22 +370,24 @@ func (p *Planner) finish(b *batch, k int, start time.Time) (*Result, error) {
 }
 
 // execute runs one grid pass: evaluator from the cache (singleflight
-// compile), then the pruned streaming search with the constraints compiled
-// to a filter.
+// compile), then the pruned streaming search with the constraints handed to
+// the kernel structurally, so constrained passes prune instead of filter.
 func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Constraints, shard *core.IndexRange, k, members int) (*Result, error) {
 	ev, hit := p.cache.Get(evalKey{version: version, n: n}, func() *core.Evaluator {
 		return models.Compile(float64(n))
 	})
 	p.batcher.passes.Add(1)
 	res, err := ev.Search(p.grid, core.SearchOptions{
-		Workers: p.workers,
-		TopK:    k,
-		Filter:  cons.Filter(float64(n), models.Classes),
-		Range:   shard,
+		Workers:     p.workers,
+		TopK:        k,
+		Constraints: cons.Core(),
+		Range:       shard,
 	})
 	if err != nil {
 		return nil, err
 	}
+	p.scored.Add(res.Scored)
+	p.pruned.Add(res.Pruned)
 	return &Result{
 		Version:   version,
 		N:         n,
@@ -412,6 +399,15 @@ func (p *Planner) execute(version int64, models *core.ModelSet, n int, cons Cons
 		CacheHit:  hit,
 		Batched:   members,
 	}, nil
+}
+
+// pruneRatio is the pruned share of visited-plus-pruned candidates, 0 when
+// nothing has been searched yet.
+func pruneRatio(scored, pruned int64) float64 {
+	if total := scored + pruned; total > 0 {
+		return float64(pruned) / float64(total)
+	}
+	return 0
 }
 
 // sliceResult projects a batch result onto one member's requested K: the
@@ -437,21 +433,28 @@ type Stats struct {
 	// clock time they spent in Query (admission wait included). Together
 	// with the rejection counters they let an external load driver locate
 	// the admission-control knee (see internal/workload).
-	Completed        int64 `json:"completed"`
-	ServedNs         int64 `json:"servedNs"`
-	GridPasses       int64 `json:"gridPasses"`
-	Coalesced        int64 `json:"coalesced"`
-	CacheHits        int64 `json:"cacheHits"`
-	CacheMisses      int64 `json:"cacheMisses"`
-	Compiles         int64 `json:"compiles"`
-	CacheEntries     int   `json:"cacheEntries"`
-	Evictions        int64 `json:"evictions"`
-	InFlight         int   `json:"inFlight"`
-	Queued           int64 `json:"queued"`
-	RejectedQueue    int64 `json:"rejectedQueue"`
-	RejectedDeadline int64 `json:"rejectedDeadline"`
-	Reloads          int64 `json:"reloads"`
-	Refits           int64 `json:"refits"`
+	Completed int64 `json:"completed"`
+	ServedNs  int64 `json:"servedNs"`
+	// Scored and Pruned total the candidates the grid passes visited versus
+	// skipped wholesale (bound or structural-constraint pruning); PruneRatio
+	// is Pruned over their sum. Together they expose how much of the search
+	// space the kernel's bounds are eliding under the live query mix.
+	Scored           int64   `json:"scored"`
+	Pruned           int64   `json:"pruned"`
+	PruneRatio       float64 `json:"pruneRatio"`
+	GridPasses       int64   `json:"gridPasses"`
+	Coalesced        int64   `json:"coalesced"`
+	CacheHits        int64   `json:"cacheHits"`
+	CacheMisses      int64   `json:"cacheMisses"`
+	Compiles         int64   `json:"compiles"`
+	CacheEntries     int     `json:"cacheEntries"`
+	Evictions        int64   `json:"evictions"`
+	InFlight         int     `json:"inFlight"`
+	Queued           int64   `json:"queued"`
+	RejectedQueue    int64   `json:"rejectedQueue"`
+	RejectedDeadline int64   `json:"rejectedDeadline"`
+	Reloads          int64   `json:"reloads"`
+	Refits           int64   `json:"refits"`
 	// CacheRekeyed counts evaluators carried across refits without
 	// recompilation — the surgical-invalidation win, visible as cache hits
 	// that a reload would have turned into compiles.
@@ -461,11 +464,15 @@ type Stats struct {
 // Stats snapshots the planner counters. Counters are read individually (not
 // under one lock), so a snapshot taken under load is approximate.
 func (p *Planner) Stats() Stats {
+	scored, pruned := p.scored.Load(), p.pruned.Load()
 	return Stats{
 		Version:          p.store.Version(),
 		Queries:          p.queries.Load(),
 		Completed:        p.completed.Load(),
 		ServedNs:         p.servedNs.Load(),
+		Scored:           scored,
+		Pruned:           pruned,
+		PruneRatio:       pruneRatio(scored, pruned),
 		GridPasses:       p.batcher.passes.Load(),
 		Coalesced:        p.batcher.coalesced.Load(),
 		CacheHits:        p.cache.hits.Load(),

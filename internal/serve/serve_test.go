@@ -487,3 +487,42 @@ func TestInjectedClockCounters(t *testing.T) {
 		t.Errorf("failed query bumped Completed to %d", st.Completed)
 	}
 }
+
+// TestStatsPruneCounters: the planner's scored/pruned counters aggregate the
+// kernel accounting of every grid pass — their sum is the candidate total
+// each pass covered — and a structurally constrained query shows up as
+// pruned work, not scored work.
+func TestStatsPruneCounters(t *testing.T) {
+	ms := testModel(t, 2)
+	p, err := New(ms, testSpace(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridSize := int64(10*10 - 1) // testSpace(2) minus the all-unused config
+	r1, err := p.Query(context.Background(), Query{N: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Query(context.Background(), Query{N: 1600, Constraints: Constraints{Classes: []int{1}, MaxTotalProcs: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*Result{r1, r2} {
+		if r.Size != gridSize || r.Scored+r.Pruned != r.Size {
+			t.Fatalf("query %d: accounting %d scored + %d pruned vs size %d (grid %d)",
+				i, r.Scored, r.Pruned, r.Size, gridSize)
+		}
+	}
+	if r2.Pruned == 0 {
+		t.Fatal("structural constraints pruned nothing")
+	}
+	st := p.Stats()
+	if st.Scored != r1.Scored+r2.Scored || st.Pruned != r1.Pruned+r2.Pruned {
+		t.Fatalf("stats (%d, %d) do not aggregate the passes (%d+%d, %d+%d)",
+			st.Scored, st.Pruned, r1.Scored, r2.Scored, r1.Pruned, r2.Pruned)
+	}
+	want := float64(st.Pruned) / float64(st.Scored+st.Pruned)
+	if st.PruneRatio != want {
+		t.Fatalf("PruneRatio = %v, want %v", st.PruneRatio, want)
+	}
+}
