@@ -1,16 +1,25 @@
-// Command hetlint runs this repository's invariant analyzers (maporder,
-// hotpath, nodeterm, floatorder — see internal/analysis) in two modes:
+// Command hetlint runs this repository's invariant analyzers — per-package
+// (maporder, hotpath, nodeterm, floatorder, atomicfield) and whole-program
+// (hotpathprop, allocfree, lockorder); see internal/analysis — in two modes:
 //
 //	hetlint ./...                 standalone: load, type-check, analyze
 //	go vet -vettool=$(which hetlint) ./...
 //
 // The second form speaks the vet unitchecker protocol (-V=full, -flags, and
 // per-package *.cfg configs), so the suite runs incrementally under the go
-// command's build cache exactly like the built-in vet analyzers. make lint
-// and the CI lint job use that form.
+// command's build cache exactly like the built-in vet analyzers. Because the
+// protocol hands over one package at a time, the whole-program analyzers see
+// only intra-package call edges there; the standalone form loads every
+// matched package into one program and checks the full cross-package call
+// graph. make lint and the CI lint job run both.
 //
 // Individual analyzers toggle like vet passes: `hetlint -maporder ./...`
 // runs only maporder; `hetlint -maporder=false ./...` runs all but.
+//
+// -json switches the standalone form to machine-readable output: a JSON
+// array of {file, line, col, analyzer, message} objects on stdout (empty
+// array when clean; exit status 1 when findings exist). CI uploads it as
+// the lint job's artifact.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"log"
 	"os"
@@ -33,12 +43,18 @@ func main() {
 	log.SetPrefix("hetlint: ")
 
 	all := analysis.Analyzers()
-	selected := make(map[string]*string, len(all))
+	prog := analysis.ProgramAnalyzers()
+	selected := make(map[string]*string, len(all)+len(prog))
 	for _, a := range all {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
 		selected[a.Name] = triStateFlag(a.Name, "enable "+a.Name+" analysis: "+doc)
 	}
+	for _, a := range prog {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = triStateFlag(a.Name, "enable "+a.Name+" analysis (whole-program): "+doc)
+	}
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	jsonOut := flag.Bool("json", false, "standalone mode: emit diagnostics as a JSON array on stdout")
 	flag.Var(versionFlag{}, "V", "print version and exit (vet protocol)")
 	version.AddFlag()
 	flag.Parse()
@@ -48,22 +64,22 @@ func main() {
 	}
 	version.MaybePrint("hetlint")
 
-	enabled := enabledAnalyzers(all, selected)
+	enabled, enabledProg := enabledAnalyzers(all, prog, selected)
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runUnit(args[0], enabled)
+		runUnit(args[0], enabled, enabledProg)
 		return
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	runStandalone(args, enabled)
+	runStandalone(args, enabled, enabledProg, *jsonOut)
 }
 
-// enabledAnalyzers applies vet's selection semantics: naming any analyzer
-// with -name runs only the named ones; -name=false runs all but those;
-// otherwise everything runs.
-func enabledAnalyzers(all []*analysis.Analyzer, selected map[string]*string) []*analysis.Analyzer {
+// enabledAnalyzers applies vet's selection semantics across both analyzer
+// sets: naming any analyzer with -name runs only the named ones; -name=false
+// runs all but those; otherwise everything runs.
+func enabledAnalyzers(all []*analysis.Analyzer, prog []*analysis.ProgramAnalyzer, selected map[string]*string) ([]*analysis.Analyzer, []*analysis.ProgramAnalyzer) {
 	hasTrue, hasFalse := false, false
 	for _, v := range selected {
 		switch *v {
@@ -73,24 +89,53 @@ func enabledAnalyzers(all []*analysis.Analyzer, selected map[string]*string) []*
 			hasFalse = true
 		}
 	}
-	var keep []*analysis.Analyzer
-	for _, a := range all {
-		v := *selected[a.Name]
+	keepName := func(name string) bool {
+		v := *selected[name]
 		if hasTrue && v != "true" {
-			continue
+			return false
 		}
 		if !hasTrue && hasFalse && v == "false" {
-			continue
+			return false
 		}
-		keep = append(keep, a)
+		return true
 	}
-	return keep
+	var keep []*analysis.Analyzer
+	for _, a := range all {
+		if keepName(a.Name) {
+			keep = append(keep, a)
+		}
+	}
+	var keepProg []*analysis.ProgramAnalyzer
+	for _, a := range prog {
+		if keepName(a.Name) {
+			keepProg = append(keepProg, a)
+		}
+	}
+	return keep, keepProg
 }
 
-func runStandalone(patterns []string, enabled []*analysis.Analyzer) {
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, enabled []*analysis.Analyzer, enabledProg []*analysis.ProgramAnalyzer, jsonOut bool) {
 	pkgs, err := analysis.Load(".", patterns)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var all []jsonDiagnostic
+	report := func(fset *token.FileSet, d analysis.Diagnostic) {
+		p := fset.Position(d.Pos)
+		if jsonOut {
+			all = append(all, jsonDiagnostic{File: p.Filename, Line: p.Line, Col: p.Column, Analyzer: d.Analyzer, Message: d.Message})
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p, d.Analyzer, d.Message)
 	}
 	found := false
 	for _, p := range pkgs {
@@ -100,7 +145,29 @@ func runStandalone(patterns []string, enabled []*analysis.Analyzer) {
 		}
 		for _, d := range diags {
 			found = true
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			report(p.Fset, d)
+		}
+	}
+	// Whole-program pass over everything the patterns matched: this is the
+	// run with full cross-package call-graph coverage.
+	if len(pkgs) > 0 {
+		diags, err := analysis.RunProgram(pkgs, enabledProg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			found = true
+			report(pkgs[0].Fset, d)
+		}
+	}
+	if jsonOut {
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(all); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if found {

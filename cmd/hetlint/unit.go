@@ -38,7 +38,13 @@ type unitConfig struct {
 // type-check them via the compiler's export data, run the enabled analyzers,
 // and print findings. The go command caches results keyed on our -V=full
 // output, so clean packages are not re-analyzed between runs.
-func runUnit(cfgPath string, enabled []*analysis.Analyzer) {
+//
+// The whole-program analyzers run over the unit as a one-package program:
+// imported packages arrive as export data (no function bodies), so only
+// intra-package call edges are visible here. The standalone driver provides
+// the cross-package pass; this one still catches same-package propagation
+// incrementally on every vet run.
+func runUnit(cfgPath string, enabled []*analysis.Analyzer, enabledProg []*analysis.ProgramAnalyzer) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		log.Fatal(err)
@@ -118,6 +124,12 @@ func runUnit(cfgPath string, enabled []*analysis.Analyzer) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	unit := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	progDiags, err := analysis.RunProgram([]*analysis.Package{unit}, enabledProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags = append(diags, progDiags...)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}

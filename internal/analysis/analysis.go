@@ -8,7 +8,19 @@
 //     reassociation or FMA fusion (floatorder);
 //   - zero-alloc hot paths: functions annotated //het:hotpath must not
 //     contain the allocation patterns the runtime benchmark gate
-//     (benchrun -gate-allocs) exists to catch after the fact (hotpath).
+//     (benchrun -gate-allocs) exists to catch after the fact (hotpath), and
+//     the same rules propagate through the static call graph to every
+//     function reachable from a hotpath root (hotpathprop); functions
+//     annotated //het:allocfree are statically certified to contain no
+//     allocation site along any reachable path (allocfree);
+//   - concurrency discipline: mutexes must be acquired in one global order —
+//     lock→lock edges observed across the program must form no cycle
+//     (lockorder) — and a field accessed through sync/atomic must never be
+//     read or written plainly elsewhere (atomicfield).
+//
+// Per-package analyzers implement the Analyzer interface; interprocedural
+// ones implement ProgramAnalyzer and run over a call graph built from every
+// loaded package (see callgraph.go for construction and soundness caveats).
 //
 // The API mirrors golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic
 // — but is built on the standard library only (go/ast, go/types, go/importer),
@@ -70,9 +82,85 @@ type Diagnostic struct {
 	Analyzer string // filled by the driver
 }
 
-// Analyzers returns the full hetlint suite in stable order.
+// Analyzers returns the per-package hetlint suite in stable order. These
+// analyzers need only one type-checked package at a time, so they run under
+// both driver modes (standalone and `go vet -vettool`) with identical results.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, HotPath, NoDeterm, FloatOrder}
+	return []*Analyzer{MapOrder, HotPath, NoDeterm, FloatOrder, AtomicField}
+}
+
+// ProgramAnalyzers returns the whole-program hetlint suite in stable order.
+// These analyzers reason over the call graph spanning every loaded package
+// (hotpath taint propagation, allocation-freedom certification, lock-order
+// cycles), so their coverage grows with the program handed to RunProgram:
+// the standalone driver loads the entire module, while the vet protocol
+// type-checks one package per invocation and therefore sees only
+// intra-package edges. CI runs both.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{HotPathProp, AllocFree, LockOrder}
+}
+
+// ProgramAnalyzer describes one whole-program invariant checker.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and //het:allow directives.
+	Name string
+	// Doc is a one-paragraph description, shown by hetlint help.
+	Doc string
+	// Run inspects the whole program and reports diagnostics via pass.Report.
+	Run func(pass *ProgramPass) error
+}
+
+// ProgramPass carries the full set of loaded packages through one
+// whole-program analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunProgram executes the whole-program analyzers over the loaded packages
+// and returns the surviving diagnostics sorted by position. //het:allow
+// filtering spans every file of every package; malformed allow directives are
+// NOT re-reported here — RunPackage owns that finding, and the same files
+// pass through it in both driver modes.
+func RunProgram(pkgs []*Package, analyzers []*ProgramAnalyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	var allFiles []*ast.File
+	for _, p := range pkgs {
+		allFiles = append(allFiles, p.Files...)
+	}
+	allows, _ := collectAllows(fset, allFiles)
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows.covers(fset.Position(d.Pos), d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+	sortDiagnostics(fset, diags)
+	return diags, nil
 }
 
 // RunPackage executes the analyzers over one loaded package and returns the
@@ -107,6 +195,13 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 		kept = append(kept, d)
 	}
 	diags = append(kept, bad...)
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by (file, line, message) so driver output
+// is stable across runs and analyzer orderings.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -117,7 +212,6 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
 }
 
 // allowSet records which (file, line) positions carry an //het:allow for

@@ -25,9 +25,52 @@ import (
 // directory name, so scoped analyzers match fixtures via suffix patterns.
 func RunFixture(dir string, analyzers ...*Analyzer) []error {
 	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
+	files, names, errs := parseFixture(fset, dir)
+	if errs != nil {
+		return errs
+	}
+	pkg, info, err := TypeCheck(fset, fixturePath(dir), files, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		return []error{fmt.Errorf("typecheck fixture %s: %v", dir, err)}
+	}
+	diags, err := RunPackage(fset, files, pkg, info, analyzers)
 	if err != nil {
 		return []error{err}
+	}
+	return matchWants(fset, diags, names)
+}
+
+// RunProgramFixture loads the fixture package at testdata/src/<name> as a
+// one-package program, runs the whole-program analyzers over it, and checks
+// the diagnostics against // want expectations, exactly like RunFixture.
+// Interprocedural fixtures keep all their functions in one package: the
+// propagation machinery is identical across package boundaries (the call
+// graph keys functions by package-qualified name), so single-package
+// fixtures exercise every rule.
+func RunProgramFixture(dir string, analyzers ...*ProgramAnalyzer) []error {
+	fset := token.NewFileSet()
+	files, names, errs := parseFixture(fset, dir)
+	if errs != nil {
+		return errs
+	}
+	pkg, info, err := TypeCheck(fset, fixturePath(dir), files, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		return []error{fmt.Errorf("typecheck fixture %s: %v", dir, err)}
+	}
+	p := &Package{Path: fixturePath(dir), Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := RunProgram([]*Package{p}, analyzers)
+	if err != nil {
+		return []error{err}
+	}
+	return matchWants(fset, diags, names)
+}
+
+// parseFixture parses every .go file directly under dir into fset. The
+// error slice is non-nil only on failure.
+func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, []string, []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, []error{err}
 	}
 	var files []*ast.File
 	var names []string
@@ -38,25 +81,21 @@ func RunFixture(dir string, analyzers ...*Analyzer) []error {
 		path := filepath.Join(dir, e.Name())
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
-			return []error{err}
+			return nil, nil, []error{err}
 		}
 		files = append(files, f)
 		names = append(names, path)
 	}
 	if len(files) == 0 {
-		return []error{fmt.Errorf("no fixture files in %s", dir)}
+		return nil, nil, []error{fmt.Errorf("no fixture files in %s", dir)}
 	}
-	pkg, info, err := TypeCheck(fset, fixturePath(dir), files, importer.ForCompiler(fset, "source", nil))
-	if err != nil {
-		return []error{fmt.Errorf("typecheck fixture %s: %v", dir, err)}
-	}
-	diags, err := RunPackage(fset, files, pkg, info, analyzers)
-	if err != nil {
-		return []error{err}
-	}
-	wants, errs := parseWants(names)
+	return files, names, nil
+}
 
-	// Match diagnostics to wants line by line.
+// matchWants checks diagnostics against the fixtures' // want expectations
+// line by line and returns every mismatch.
+func matchWants(fset *token.FileSet, diags []Diagnostic, names []string) []error {
+	wants, errs := parseWants(names)
 	type key struct {
 		file string
 		line int

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -45,34 +46,49 @@ func runHotPath(pass *Pass) error {
 			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			c := &hotChecker{
+				info:    pass.TypesInfo,
+				where:   "//het:hotpath function " + fd.Name.Name,
+				reportf: pass.Reportf,
+			}
+			c.check(fd.Body)
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
-	prealloc := preallocated(pass.TypesInfo, fd.Body)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// hotChecker applies the hotpath allocation rules to one function body.
+// The where label names the function and, for the interprocedural analyzer
+// (hotpathprop), the //het:hotpath root whose taint reached it — the rules
+// themselves are shared verbatim between the direct and propagated cases.
+type hotChecker struct {
+	info    *types.Info
+	where   string
+	reportf func(pos token.Pos, format string, args ...any)
+}
+
+func (c *hotChecker) check(body *ast.BlockStmt) {
+	prealloc := preallocated(c.info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure allocation in //het:hotpath function %s; hoist the function or pass state explicitly", fd.Name.Name)
+			c.reportf(n.Pos(), "closure allocation in %s; hoist the function or pass state explicitly", c.where)
 			return true // still check the closure's body: it runs on the hot path
 		case *ast.CompositeLit:
-			if t := pass.TypesInfo.TypeOf(n); t != nil {
+			if t := c.info.TypeOf(n); t != nil {
 				if _, isMap := t.Underlying().(*types.Map); isMap {
-					pass.Reportf(n.Pos(), "map literal allocates in //het:hotpath function %s", fd.Name.Name)
+					c.reportf(n.Pos(), "map literal allocates in %s", c.where)
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, fd, n, prealloc)
+			c.checkCall(n, prealloc)
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
-	info := pass.TypesInfo
+func (c *hotChecker) checkCall(call *ast.CallExpr, prealloc map[types.Object]bool) {
+	info := c.info
 	// Builtins: make(map...) and append without preallocation.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
@@ -80,12 +96,12 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 			case "make":
 				if t := info.TypeOf(call); t != nil {
 					if _, isMap := t.Underlying().(*types.Map); isMap {
-						pass.Reportf(call.Pos(), "make(map) allocates in //het:hotpath function %s", fd.Name.Name)
+						c.reportf(call.Pos(), "make(map) allocates in %s", c.where)
 					}
 				}
 			case "append":
 				if obj := appendTarget(info, call); obj == nil || !prealloc[obj] {
-					pass.Reportf(call.Pos(), "append without visible preallocation in //het:hotpath function %s; make the slice with explicit capacity in this function, or justify with //het:allow", fd.Name.Name)
+					c.reportf(call.Pos(), "append without visible preallocation in %s; make the slice with explicit capacity in this function, or justify with //het:allow", c.where)
 				}
 			}
 			return
@@ -93,10 +109,16 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 	}
 	fn := calleeFunc(info, call)
 	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(), "call to fmt.%s allocates in //het:hotpath function %s; move formatting to the cold path", fn.Name(), fd.Name.Name)
+		c.reportf(call.Pos(), "call to fmt.%s allocates in %s; move formatting to the cold path", fn.Name(), c.where)
 		return // boxing findings on the same call would be noise
 	}
-	// Interface boxing of scalars at the call boundary.
+	reportBoxing(info, call, c.where, c.reportf)
+}
+
+// reportBoxing flags scalar-to-interface boxing at a call boundary: passing
+// an int/float/bool/string argument to an interface-typed parameter
+// allocates to box the value. Shared by the hotpath and allocfree rule sets.
+func reportBoxing(info *types.Info, call *ast.CallExpr, where string, reportf func(pos token.Pos, format string, args ...any)) {
 	tv, ok := info.Types[call.Fun]
 	if !ok || tv.IsType() { // conversion, not a call
 		return
@@ -127,7 +149,7 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 			continue
 		}
 		if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped == 0 {
-			pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes the value in //het:hotpath function %s", at, fd.Name.Name)
+			reportf(arg.Pos(), "passing %s to interface parameter boxes the value in %s", at, where)
 		}
 	}
 }

@@ -1,0 +1,42 @@
+package analysis
+
+// HotPathProp propagates the hotpath allocation rules through the static
+// call graph: every function reachable from a //het:hotpath root is on the
+// hot path whether or not it carries the annotation itself, so extracting a
+// helper out of Evaluator.Tau or the odometer walk cannot silently
+// reintroduce fmt calls, closures, map allocation, unpreallocated appends,
+// or interface boxing.
+//
+// Functions that carry //het:hotpath themselves are skipped here — the
+// per-package hotpath analyzer already checks them directly, with the same
+// rules. Edges into panic-only helpers are not traversed (panics are the
+// cold path), and dynamic calls (interfaces, function values) produce no
+// edge; see callgraph.go for the soundness discussion.
+var HotPathProp = &ProgramAnalyzer{
+	Name: "hotpathprop",
+	Doc: `propagate hotpath allocation rules through the call graph
+
+Every function statically reachable from a //het:hotpath root must satisfy
+the same allocation discipline as the root itself: no fmt calls, closures,
+map literals, unpreallocated appends, or scalar-to-interface boxing.
+Suppress a deliberate exception with //het:allow hotpathprop -- <reason>.`,
+	Run: runHotPathProp,
+}
+
+func runHotPathProp(pass *ProgramPass) error {
+	g := buildCallGraph(pass.Pkgs)
+	roots := g.annotatedRoots("hotpath")
+	for _, r := range g.reachableFrom(roots) {
+		if hasDirective(r.node.decl.Doc, "hotpath") {
+			continue // checked directly by the per-package hotpath analyzer
+		}
+		c := &hotChecker{
+			info: r.node.pkg.Info,
+			where: "function " + r.node.displayName() +
+				", reachable from //het:hotpath root " + r.root.qualifiedFrom(r.node.pkg),
+			reportf: pass.Reportf,
+		}
+		c.check(r.node.decl.Body)
+	}
+	return nil
+}

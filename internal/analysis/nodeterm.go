@@ -21,6 +21,14 @@ var DeterministicPackages = []string{
 	// enters replay through the injected Clock (cmd/hetload owns the real
 	// one).
 	"internal/workload",
+	// Summary statistics feed golden files and refit decisions; reservoir
+	// sampling already threads explicit seeds (rand.New(rand.NewSource)),
+	// and this scope keeps it that way.
+	"internal/stats",
+	// The fleet router's scatter-gather merge must rank shard results
+	// identically on every run; durations for timeouts are fine
+	// (time.Duration, NewTicker), wall-clock reads are not.
+	"internal/fleet",
 }
 
 // NoDeterm forbids ambient entropy — wall-clock reads and unseeded global
@@ -34,10 +42,10 @@ var NoDeterm = &Analyzer{
 	Name: "nodeterm",
 	Doc: `forbid wall-clock and unseeded randomness in deterministic packages
 
-Inside internal/{core,linalg,lsq,vmpi,des,workload}, time.Now/Since/Until,
-the global math/rand and math/rand/v2 top-level generators, and crypto/rand
-are all banned: entropy must flow from explicit seeds, time from virtual or
-injected clocks.`,
+Inside internal/{core,linalg,lsq,vmpi,des,workload,stats,fleet},
+time.Now/Since/Until, the global math/rand and math/rand/v2 top-level
+generators, and crypto/rand are all banned: entropy must flow from explicit
+seeds, time from virtual or injected clocks.`,
 	Run: runNoDeterm,
 }
 

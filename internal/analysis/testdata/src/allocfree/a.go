@@ -1,0 +1,108 @@
+// Fixture for the allocfree analyzer: //het:allocfree functions must
+// contain no allocation site along any statically reachable path, with the
+// len<cap escape-lite whitelist admitting provably reused buffers.
+package allocfree
+
+type vec struct{ x, y float64 }
+
+//het:allocfree
+func Grow(xs []int, v int) []int {
+	return append(xs, v) // want `append may grow its backing array in //het:allocfree function Grow`
+}
+
+// Guarded matches the reservoir shape: the append provably reuses capacity.
+//
+//het:allocfree
+func Guarded(xs []float64, v float64) []float64 {
+	if len(xs) < cap(xs) {
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+//het:allocfree
+func Fresh(n int) []int {
+	return make([]int, n) // want `make allocates in //het:allocfree function Fresh`
+}
+
+//het:allocfree
+func Boxed() *int {
+	return new(int) // want `new allocates in //het:allocfree function Boxed`
+}
+
+//het:allocfree
+func SliceLit(a float64) []float64 {
+	return []float64{a} // want `composite literal allocates in //het:allocfree function SliceLit`
+}
+
+// Value composite literals of struct type live on the stack: legal.
+//
+//het:allocfree
+func Value(a float64) vec {
+	return vec{x: a, y: -a}
+}
+
+//het:allocfree
+func Escaping(a float64) *vec {
+	return &vec{x: a} // want `address-taken composite literal escapes to the heap in //het:allocfree function Escaping`
+}
+
+//het:allocfree
+func Closure(n int) int {
+	f := func() int { return n } // want `closure allocation in //het:allocfree function Closure`
+	return f()
+}
+
+//het:allocfree
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates in //het:allocfree function Concat`
+}
+
+//het:allocfree
+func Convert(b []byte) string {
+	return string(b) // want `conversion between string and byte/rune slice copies its contents in //het:allocfree function Convert`
+}
+
+//het:allocfree
+func MapWrite(m map[int]int, k int) {
+	m[k] = k // want `map assignment may allocate a bucket in //het:allocfree function MapWrite`
+}
+
+// Transitivity: the root is clean but its helper allocates.
+//
+//het:allocfree
+func Kernel(a, b float64) float64 {
+	return helperAlloc(a) + b
+}
+
+func helperAlloc(a float64) float64 {
+	buf := []float64{a, a} // want `composite literal allocates in function helperAlloc, reachable from //het:allocfree root Kernel`
+	return buf[0]
+}
+
+// cleanHelper is pure arithmetic: reachable and fine.
+func cleanHelper(a float64) float64 { return a * a }
+
+//het:allocfree
+func KernelClean(a float64) float64 { return cleanHelper(a) }
+
+// Suppression carries through the program pass.
+//
+//het:allocfree
+func Amortized(xs []int, v int) []int {
+	return append(xs, v) //het:allow allocfree -- fixture: growth amortizes across the run
+}
+
+// panic-only helpers stay cold: the boxing in the panic call is exempt and
+// edges into panicBad are not traversed.
+func panicBad(code int) {
+	panic(code)
+}
+
+//het:allocfree
+func Checked(n int) int {
+	if n < 0 {
+		panicBad(n)
+	}
+	return n + 1
+}

@@ -1,0 +1,99 @@
+// Fixture for the hotpathprop analyzer: the hotpath allocation rules
+// propagate through the static call graph to every function reachable from
+// a //het:hotpath root, annotated or not.
+package hotpathprop
+
+import "fmt"
+
+//het:hotpath
+func Root(n int) int {
+	return helper(n) + deep(n)
+}
+
+// helper is unannotated but called directly from a hotpath root: extracting
+// it must not launder the fmt call.
+func helper(n int) int {
+	s := fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf allocates in function helper, reachable from //het:hotpath root Root`
+	return len(s)
+}
+
+// deep is one more hop away; taint is transitive.
+func deep(n int) int { return deeper(n) }
+
+func deeper(n int) int {
+	m := make(map[int]int) // want `make\(map\) allocates in function deeper, reachable from //het:hotpath root Root`
+	m[n] = n
+	return len(m)
+}
+
+// coldPanic is panic-only: formatting hoisted off the hot path on purpose.
+// Edges into it are not traversed, so its fmt call stays legal.
+func coldPanic(n int) {
+	panic(fmt.Sprintf("bad input %d", n))
+}
+
+//het:hotpath
+func Guarded(n int) int {
+	if n < 0 {
+		coldPanic(n)
+	}
+	return n * 2
+}
+
+// notReached allocates freely: nothing on a hot path calls it.
+func notReached(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+type doer interface{ Do(int) int }
+
+// Dyn calls through an interface: no static edge, so implementations are
+// not tainted (the documented soundness hole).
+//
+//het:hotpath
+func Dyn(d doer, n int) int { return d.Do(n) }
+
+type impl struct{}
+
+func (impl) Do(n int) int {
+	return len(fmt.Sprint(n)) // untainted: reached only dynamically
+}
+
+// allowed demonstrates suppression on a propagated finding.
+func allowed(n int) int {
+	s := fmt.Sprint(n) //het:allow hotpathprop -- fixture: cold in practice
+	return len(s)
+}
+
+//het:hotpath
+func RootAllowed(n int) int { return allowed(n) }
+
+// selfAnnotated is reachable from Root2 but carries its own annotation:
+// the per-package hotpath analyzer owns it, hotpathprop must not double-
+// report. (The hotpath analyzer is not loaded in this fixture, so a
+// double report would surface as an unexpected diagnostic.)
+//
+//het:hotpath
+func selfAnnotated(n int) string {
+	return fmt.Sprintf("%d", n) //het:allow hotpath -- fixture: direct finding owned by hotpath
+}
+
+//het:hotpath
+func Root2(n int) int { return len(selfAnnotated(n)) }
+
+// Methods on concrete receivers resolve statically and are tainted too.
+type kernel struct {
+	buf []int
+	acc int
+}
+
+//het:hotpath
+func RootMethod(k *kernel, n int) int {
+	k.step(n)
+	return k.acc
+}
+
+func (k *kernel) step(n int) {
+	k.buf = append(k.buf, n) // want `append without visible preallocation in function \(\*kernel\).step, reachable from //het:hotpath root RootMethod`
+	k.acc += n
+}

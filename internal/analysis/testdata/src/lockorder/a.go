@@ -1,0 +1,141 @@
+// Fixture for the lockorder analyzer: lock→lock edges across the program
+// must form no cycle.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	n  int
+	mu sync.RWMutex
+}
+
+// lockAB and lockBA take the same two mutexes in opposite orders: both
+// edges sit on a cycle and both are reported at the inner acquisition.
+func lockAB(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `inconsistent lock order: lockorder.pair.b acquired while holding lockorder.pair.a`
+	p.n++
+	p.b.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `inconsistent lock order: lockorder.pair.a acquired while holding lockorder.pair.b`
+	p.n++
+	p.a.Unlock()
+}
+
+// sequential is balanced: unlocking a before taking b creates no edge.
+func sequential(p *pair) {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Lock()
+	p.n--
+	p.b.Unlock()
+}
+
+// Consistent nesting elsewhere: mu→a everywhere, never a→mu. No cycle, no
+// diagnostics, and RLock counts as an acquisition of the same lock.
+func readThenA(p *pair) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+	return p.n
+}
+
+func writeThenA(p *pair) {
+	p.mu.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.mu.Unlock()
+}
+
+// Interprocedural inversion: withTree holds tree.mu and calls into a helper
+// that takes leaf.mu; reversed does the opposite directly. The edge through
+// the call is reported at the call site.
+type tree struct {
+	mu sync.Mutex
+	n  int
+}
+
+type leaf struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *tree) withTree(l *leaf) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l.bump() // want `inconsistent lock order: lockorder.leaf.mu acquired while holding lockorder.tree.mu`
+}
+
+func (l *leaf) bump() {
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *leaf) reversed(t *tree) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t.mu.Lock() // want `inconsistent lock order: lockorder.tree.mu acquired while holding lockorder.leaf.mu`
+	t.n++
+	t.mu.Unlock()
+}
+
+// Branches fork the held-set: the two arms each hold only their own lock,
+// so no a→b or b→a edge arises from sibling branches.
+func forked(p *pair, left bool) {
+	if left {
+		p.a.Lock()
+		p.n++
+		p.a.Unlock()
+	} else {
+		p.b.Lock()
+		p.n--
+		p.b.Unlock()
+	}
+}
+
+// A goroutine starts with an empty held-set: no edge from a to b here.
+func spawned(p *pair, wg *sync.WaitGroup) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.b.Lock()
+		p.n++
+		p.b.Unlock()
+	}()
+}
+
+// Suppression: the directive silences the edge it covers.
+type quiet struct {
+	x sync.Mutex
+	y sync.Mutex
+	n int
+}
+
+func quietXY(q *quiet) {
+	q.x.Lock()
+	defer q.x.Unlock()
+	q.y.Lock() //het:allow lockorder -- fixture: x.y inversion is guarded by a singleton elsewhere
+	q.n++
+	q.y.Unlock()
+}
+
+func quietYX(q *quiet) {
+	q.y.Lock()
+	defer q.y.Unlock()
+	q.x.Lock() //het:allow lockorder -- fixture: see quietXY
+	q.n++
+	q.x.Unlock()
+}

@@ -1,0 +1,24 @@
+// Fixture: internal/fleet joined the nodeterm scope — the scatter-gather
+// merge must rank shard results identically on every run. Durations and
+// tickers are fine; wall-clock reads and global randomness are not.
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// tick uses duration plumbing only: legal.
+func tick(d time.Duration) *time.Ticker {
+	return time.NewTicker(d)
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func shuffleSeedless(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global random source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

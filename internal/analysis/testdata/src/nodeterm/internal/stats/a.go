@@ -1,0 +1,21 @@
+// Fixture: internal/stats joined the nodeterm scope — summary statistics
+// feed golden files, so entropy must flow from explicit seeds.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded is the sanctioned shape: an explicit seed threads the stream.
+func seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+func wall() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `global random source`
+}

@@ -140,6 +140,7 @@ func (ev *Evaluator) N() float64 { return ev.n }
 // process count p. ok is false when the model set has no bin for it.
 //
 //het:hotpath
+//het:allocfree
 func (ev *Evaluator) classTau(class, procs, p int) (float64, bool) {
 	if p == procs {
 		// Single-PE bin: the whole job runs on one processor.
@@ -178,6 +179,7 @@ func (ev *Evaluator) classTau(class, procs, p int) (float64, bool) {
 // the configuration exactly as passed.
 //
 //het:hotpath
+//het:allocfree
 func (ev *Evaluator) Tau(cfg cluster.Configuration) (float64, bool) {
 	if len(cfg.Use) != ev.classes {
 		return 0, false

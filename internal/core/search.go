@@ -719,6 +719,7 @@ func newWalker(ev *Evaluator, grid *cluster.Grid, t *gridTables, cons *conPlan,
 // closure, at any worker count.
 //
 //het:hotpath
+//het:allocfree
 func (w *walker) walk(lo, hi int64) {
 	t := w.t
 	cons := w.cons
@@ -881,6 +882,7 @@ func (w *walker) walk(lo, hi int64) {
 // identical to walk's, so the offer stream is unchanged.
 //
 //het:hotpath
+//het:allocfree
 func (w *walker) tailRun(lo, hi int64) {
 	t := w.t
 	cons := w.cons
@@ -986,6 +988,7 @@ func (w *walker) tailRun(lo, hi int64) {
 // rows) — no per-leaf re-summation, no closure calls, no allocation.
 //
 //het:hotpath
+//het:allocfree
 func (w *walker) leafRun(base, lo, hi int64, pp, pm int, b0 float64, nr int) {
 	d := w.grid.Classes() - 1
 	t := w.t

@@ -248,3 +248,82 @@ func boolToInt64(b bool) int64 {
 	}
 	return 0
 }
+
+// TestKernelConstraintsRangeMatchesV1 extends the oracle to the composition
+// the fleet layer actually ships: structural Constraints stacked on a shard
+// Range. The v1 walker has no structural path — it sees the constraints only
+// as their FilterFunc closure, the documented semantic ground truth — so
+// agreement here proves the walker's per-(class, pair) exclusion masks and
+// prefix/suffix cap checks remove exactly the closure-rejected candidates
+// inside an arbitrary sub-range, with global indices and τ bits intact.
+func TestKernelConstraintsRangeMatchesV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	worlds := map[string]*ModelSet{"rich": richWorld(t, nil), "ties": tieWorld(t)}
+	consSet := []*Constraints{
+		{MaxTotalProcs: 9},
+		{Classes: []int{0}, MaxTotalProcs: 6},
+		{MaxBytesPerPE: 8e7},
+		{Classes: []int{0, 1}, MaxTotalProcs: 12, MaxBytesPerPE: 1.2e8},
+	}
+	const n = 6400.0
+	for name, ms := range worlds {
+		for si, space := range evalSpaces() {
+			grid, err := space.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if grid.Size() == 0 {
+				continue
+			}
+			ev := ms.Compile(n)
+			tbl := ev.tables(grid)
+			if tbl == nil {
+				t.Fatalf("%s space %d: no dense tables", name, si)
+			}
+			emptyIdx := emptyIndex(grid)
+			ranges := []IndexRange{{Lo: 0, Hi: grid.Size()}}
+			for i := 0; i < 3; i++ {
+				lo := rng.Int63n(grid.Size() + 1)
+				hi := lo + rng.Int63n(grid.Size()+1-lo)
+				ranges = append(ranges, IndexRange{Lo: lo, Hi: hi})
+			}
+			for ci, cons := range consSet {
+				filter := cons.FilterFunc(n, grid.Classes())
+				for _, rr := range ranges {
+					rr := rr
+					want, _ := v1Offers(grid, tbl, rr.Lo, rr.Hi, emptyIdx, filter)
+					got, err := ev.Search(grid, SearchOptions{
+						Workers: 1, TopK: int(grid.Size()), NoPrune: true,
+						Range: &rr, Constraints: cons,
+					})
+					if err != nil {
+						if len(want) == 0 {
+							continue // both agree: nothing admissible in range
+						}
+						t.Fatalf("%s space %d cons %d [%d,%d): v2 failed (%v), v1 offered %d",
+							name, si, ci, rr.Lo, rr.Hi, err, len(want))
+					}
+					if len(got.Best) != len(want) {
+						t.Fatalf("%s space %d cons %d [%d,%d): v2 offered %d candidates, v1 %d",
+							name, si, ci, rr.Lo, rr.Hi, len(got.Best), len(want))
+					}
+					for i := range want {
+						if got.BestIndex[i] != want[i].Index ||
+							math.Float64bits(got.Best[i].Tau) != math.Float64bits(want[i].Score) {
+							t.Fatalf("%s space %d cons %d [%d,%d) rank %d: v2 (%d, %x) vs v1 (%d, %x)",
+								name, si, ci, rr.Lo, rr.Hi, i,
+								got.BestIndex[i], math.Float64bits(got.Best[i].Tau),
+								want[i].Index, math.Float64bits(want[i].Score))
+						}
+					}
+					// Structural exclusion moves rejections from Scored to
+					// Pruned, so only the sum is comparable across the two.
+					if got.Scored+got.Pruned != got.Size {
+						t.Fatalf("%s space %d cons %d [%d,%d): accounting %d+%d vs size %d",
+							name, si, ci, rr.Lo, rr.Hi, got.Scored, got.Pruned, got.Size)
+					}
+				}
+			}
+		}
+	}
+}

@@ -311,3 +311,82 @@ func TestTopKSortInto(t *testing.T) {
 		}
 	}
 }
+
+// TestTopKContains pins the membership scan the seeded-threshold dedup path
+// depends on: present exactly for held candidates, false before any offer,
+// false after eviction, and a re-offer of an evicted index must be rejected
+// (the property that lets Contains scan only held entries).
+func TestTopKContains(t *testing.T) {
+	tk := NewTopK(2)
+	if tk.Contains(1) {
+		t.Fatal("empty selection claims to contain 1")
+	}
+	tk.Offer(1, 5)
+	tk.Offer(2, 3)
+	for _, idx := range []int64{1, 2} {
+		if !tk.Contains(idx) {
+			t.Fatalf("selection lost held index %d", idx)
+		}
+	}
+	if tk.Contains(3) {
+		t.Fatal("selection claims an index never offered")
+	}
+	// A better candidate evicts index 1 (the current worst).
+	if !tk.Offer(3, 1) {
+		t.Fatal("improving offer rejected")
+	}
+	if tk.Contains(1) {
+		t.Fatal("evicted index still reported as held")
+	}
+	if !tk.Contains(3) {
+		t.Fatal("accepted candidate not reported as held")
+	}
+	// Re-offering the evicted candidate with its old score must fail: it
+	// ranks after every survivor, so Contains need not remember evictions.
+	if tk.Offer(1, 5) {
+		t.Fatal("re-offer of an evicted candidate was accepted")
+	}
+	if tk.Contains(1) {
+		t.Fatal("rejected re-offer entered the selection")
+	}
+	tk.Reset()
+	if tk.Contains(2) || tk.Contains(3) {
+		t.Fatal("Reset left stale membership")
+	}
+}
+
+// TestTopKContainsDuplicateOffers drives the exact hazard Contains guards
+// against in seedThreshold: offering one index twice on a duplicate-score
+// stream. Without dedup, the same configuration occupies two of k slots and
+// drags the threshold below the true k-th best.
+func TestTopKContainsDuplicateOffers(t *testing.T) {
+	const k = 3
+	tk := NewTopK(k)
+	// Adversarial duplicate-τ stream: every candidate scores 7.0.
+	for _, idx := range []int64{10, 20, 30} {
+		tk.Offer(idx, 7)
+	}
+	// The k-th best over distinct candidates is 7; a duplicate of a held
+	// index must be skipped via Contains, keeping the threshold honest.
+	if !tk.Contains(20) {
+		t.Fatal("held index not found")
+	}
+	if got := tk.Threshold(); got != 7 {
+		t.Fatalf("threshold %v, want 7", got)
+	}
+	// The seeding pattern: only offer when not already held.
+	if !tk.Contains(10) {
+		t.Fatal("dedup scan missed index 10")
+	}
+	held := tk.Sorted()
+	if len(held) != k {
+		t.Fatalf("selection holds %d candidates, want %d", len(held), k)
+	}
+	seen := map[int64]bool{}
+	for _, c := range held {
+		if seen[c.Index] {
+			t.Fatalf("index %d held twice", c.Index)
+		}
+		seen[c.Index] = true
+	}
+}

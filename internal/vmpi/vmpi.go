@@ -194,6 +194,7 @@ func (p *Proc) SendScalars(dst, tag int, x float64, y int, bytes float64) float6
 // envelope (TestSendRecvSteadyStateAllocs asserts the steady state).
 //
 //het:hotpath
+//het:allocfree
 func (p *Proc) send(dst, tag int, data any, valF float64, valI int, bytes float64) float64 {
 	if dst < 0 || dst >= p.world.size {
 		panicBadRank("send to", dst, p.world.size)
@@ -264,6 +265,7 @@ func (p *Proc) RecvScalars(src, tag int) (x float64, y int, elapsed float64) {
 // (the envelope itself is recycled inside the mailbox).
 //
 //het:hotpath
+//het:allocfree
 func (p *Proc) recv(src, tag int) float64 {
 	if src < 0 || src >= p.world.size {
 		panicBadRank("recv from", src, p.world.size)
@@ -322,13 +324,14 @@ func panicBadRank(op string, rank, size int) {
 // post enqueues a copy of m in a pooled envelope.
 //
 //het:hotpath
+//het:allocfree
 func (b *mailbox) post(m Message) {
 	env := msgPool.Get().(*Message)
 	*env = m
 	b.mu.Lock()
 	// The queue's backing array reaches its high-water mark within the first
 	// few messages of a run and is reused for the rest of it.
-	b.msgs = append(b.msgs, env) //het:allow hotpath -- unbounded queue; capacity amortizes across the run
+	b.msgs = append(b.msgs, env) //het:allow hotpath allocfree -- unbounded queue; capacity amortizes across the run
 	// Only pay the wakeup when the owner is actually parked; on a busy
 	// single-CPU host the receiver usually drains without ever waiting.
 	wake := b.waiting
@@ -352,6 +355,7 @@ func (b *mailbox) poison() {
 // the recycled envelope so the pool never keeps payloads alive.
 //
 //het:hotpath
+//het:allocfree
 func (b *mailbox) take(dst *Message, src, tag, kindMask int) {
 	b.mu.Lock()
 	for {
